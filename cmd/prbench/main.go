@@ -1,0 +1,289 @@
+// Command prbench regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	prbench -exp all                 # everything, paper-scale corpus
+//	prbench -exp table1              # one artefact
+//	prbench -exp fig7 -n 200 -csv out/   # smaller corpus, CSV dumps
+//
+// Experiments: table1, table2, table3, table4, table5, fig7, fig8, fig9,
+// claims, classes, gallery, ablation, weighted, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"prpart/internal/design"
+	"prpart/internal/experiments"
+	"prpart/internal/partition"
+	"prpart/internal/report"
+	"prpart/internal/synthetic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prbench:", err)
+		os.Exit(1)
+	}
+}
+
+type env struct {
+	out     io.Writer
+	csvDir  string
+	n       int
+	seed    int64
+	workers int
+	md      bool
+
+	sweepOnce bool
+	outs      []*experiments.Outcome
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run")
+	n := fs.Int("n", 1000, "synthetic corpus size (figs 7-9, claims)")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	workers := fs.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
+	csvDir := fs.String("csv", "", "directory for CSV dumps (optional)")
+	md := fs.Bool("md", false, "render tables as Markdown instead of aligned text")
+	ablN := fs.Int("abl-n", 100, "ablation corpus size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	e := &env{out: out, csvDir: *csvDir, n: *n, seed: *seed, workers: *workers, md: *md}
+
+	runners := map[string]func() error{
+		"table1":   e.table1,
+		"table2":   e.table2,
+		"table3":   e.table3,
+		"table4":   e.table4,
+		"table5":   e.table5,
+		"fig7":     e.fig7,
+		"fig8":     e.fig8,
+		"fig9":     e.fig9,
+		"claims":   e.claims,
+		"classes":  e.classes,
+		"gallery":  e.gallery,
+		"weighted": e.weighted,
+		"ablation": func() error { return e.ablation(*ablN) },
+	}
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "table2", "table3", "table4", "table5",
+			"fig7", "fig8", "fig9", "claims", "classes", "gallery",
+			"ablation", "weighted",
+		} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	r, ok := runners[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return r()
+}
+
+func (e *env) sweep() ([]*experiments.Outcome, error) {
+	if e.sweepOnce {
+		return e.outs, nil
+	}
+	start := time.Now()
+	designs := synthetic.Generate(e.seed, e.n)
+	outs, err := experiments.Sweep(designs, partition.Options{}, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(e.out, "[sweep: %d designs in %v]\n", len(outs), time.Since(start).Round(time.Millisecond))
+	e.outs = outs
+	e.sweepOnce = true
+	return outs, nil
+}
+
+// render writes a table in the selected format.
+func (e *env) render(t *report.Table) error {
+	if e.md {
+		return t.WriteMarkdown(e.out)
+	}
+	return t.Render(e.out)
+}
+
+func (e *env) dumpCSV(name string, w interface{ WriteCSV(io.Writer) error }) error {
+	if e.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(e.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(e.csvDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return w.WriteCSV(f)
+}
+
+func (e *env) table1() error {
+	t, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	if err := e.render(t); err != nil {
+		return err
+	}
+	return e.dumpCSV("table1.csv", t)
+}
+
+func (e *env) table2() error {
+	t := experiments.Table2()
+	if err := e.render(t); err != nil {
+		return err
+	}
+	return e.dumpCSV("table2.csv", t)
+}
+
+func (e *env) table3() error {
+	cs, err := experiments.RunCaseStudy(design.VideoReceiver())
+	if err != nil {
+		return err
+	}
+	t := cs.PartitionTable("Table III: partitions determined by algorithm")
+	if err := e.render(t); err != nil {
+		return err
+	}
+	fmt.Fprintf(e.out, "improvement over one-module-per-region: %.1f%% (paper: 4%%)\n",
+		cs.ImprovementOverModular())
+	return e.dumpCSV("table3.csv", t)
+}
+
+func (e *env) table4() error {
+	cs, err := experiments.RunCaseStudy(design.VideoReceiver())
+	if err != nil {
+		return err
+	}
+	t := cs.SchemeTable()
+	if err := e.render(t); err != nil {
+		return err
+	}
+	return e.dumpCSV("table4.csv", t)
+}
+
+func (e *env) table5() error {
+	cs, err := experiments.RunCaseStudy(design.VideoReceiverModified())
+	if err != nil {
+		return err
+	}
+	t := cs.PartitionTable("Table V: partitions for modified configurations")
+	if err := e.render(t); err != nil {
+		return err
+	}
+	fmt.Fprintf(e.out, "total reconfiguration time: %d frames (paper: 92120), %.1f%% below modular (paper: 6%%)\n",
+		cs.Proposed.Summary.Total, cs.ImprovementOverModular())
+	return e.dumpCSV("table5.csv", t)
+}
+
+func (e *env) fig7() error {
+	outs, err := e.sweep()
+	if err != nil {
+		return err
+	}
+	if err := e.render(experiments.DeviceBuckets(outs)); err != nil {
+		return err
+	}
+	return e.dumpCSV("fig7.csv", experiments.Fig7(outs))
+}
+
+func (e *env) fig8() error {
+	outs, err := e.sweep()
+	if err != nil {
+		return err
+	}
+	// The bucket table covers both figures; dump the per-design series.
+	return e.dumpCSV("fig8.csv", experiments.Fig8(outs))
+}
+
+func (e *env) fig9() error {
+	outs, err := e.sweep()
+	if err != nil {
+		return err
+	}
+	for _, h := range experiments.Fig9(outs) {
+		if err := h.Render(e.out); err != nil {
+			return err
+		}
+		fmt.Fprintln(e.out)
+	}
+	return nil
+}
+
+func (e *env) claims() error {
+	outs, err := e.sweep()
+	if err != nil {
+		return err
+	}
+	t := experiments.ComputeClaims(outs).Table()
+	if err := e.render(t); err != nil {
+		return err
+	}
+	return e.dumpCSV("claims.csv", t)
+}
+
+func (e *env) classes() error {
+	outs, err := e.sweep()
+	if err != nil {
+		return err
+	}
+	t := experiments.ClassTable(outs)
+	if err := e.render(t); err != nil {
+		return err
+	}
+	return e.dumpCSV("classes.csv", t)
+}
+
+func (e *env) gallery() error {
+	t, err := experiments.GalleryTable()
+	if err != nil {
+		return err
+	}
+	if err := e.render(t); err != nil {
+		return err
+	}
+	return e.dumpCSV("gallery.csv", t)
+}
+
+func (e *env) ablation(n int) error {
+	designs := synthetic.Generate(e.seed, n)
+	t, err := experiments.Ablation(designs, e.workers)
+	if err != nil {
+		return err
+	}
+	if err := e.render(t); err != nil {
+		return err
+	}
+	return e.dumpCSV("ablation.csv", t)
+}
+
+func (e *env) weighted() error {
+	t, err := experiments.WeightedCaseStudy(e.seed)
+	if err != nil {
+		return err
+	}
+	if err := e.render(t); err != nil {
+		return err
+	}
+	return e.dumpCSV("weighted.csv", t)
+}
+
+// report.Table and report.Series both satisfy the dumpCSV constraint.
+var (
+	_ interface{ WriteCSV(io.Writer) error } = (*report.Table)(nil)
+	_ interface{ WriteCSV(io.Writer) error } = (*report.Series)(nil)
+)

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiments(t *testing.T) {
+	cases := map[string][]string{
+		"table1":   {"Table I", "{B.2}"},
+		"table2":   {"Table II", "MPEG4"},
+		"table3":   {"Table III", "PRR1", "improvement"},
+		"table4":   {"Table IV", "Static", "Proposed"},
+		"table5":   {"Table V", "paper: 92120"},
+		"weighted": {"Weighted expectation", "Modular"},
+	}
+	for exp, wants := range cases {
+		t.Run(exp, func(t *testing.T) {
+			var out strings.Builder
+			if err := run([]string{"-exp", exp}, &out); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range wants {
+				if !strings.Contains(out.String(), w) {
+					t.Errorf("%s output missing %q:\n%s", exp, w, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestSweepExperimentsShareCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out strings.Builder
+	// fig7, fig9 and claims share one sweep; a tiny corpus keeps it fast.
+	for _, exp := range []string{"fig7", "fig9", "claims"} {
+		if err := run([]string{"-exp", exp, "-n", "16"}, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figs. 7-8 summary") ||
+		!strings.Contains(s, "Fig. 9(a)") ||
+		!strings.Contains(s, "Scalar claims") {
+		t.Errorf("sweep outputs incomplete:\n%s", s)
+	}
+}
+
+func TestCSVDumps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	var out strings.Builder
+	if err := run([]string{"-exp", "table1", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "Base Part'n,Freq wt\n") {
+		t.Errorf("CSV header wrong: %.40q", string(data))
+	}
+}
+
+func TestAblationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out strings.Builder
+	if err := run([]string{"-exp", "ablation", "-abl-n", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "greedy-only (A2)") {
+		t.Errorf("ablation output incomplete:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}, &strings.Builder{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/spec"
+)
+
+func designFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "design.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	err = spec.WriteDesign(f, design.VideoReceiver(), spec.Constraints{
+		Device: "FX70T", Budget: design.CaseStudyBudget(), ClockMHz: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFlowWritesArtefacts(t *testing.T) {
+	in := designFile(t)
+	out := filepath.Join(t.TempDir(), "build")
+	if err := run([]string{"-in", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"report.txt", "design.ucf", "floorplan.txt",
+		"connectivity.dot", "partitioning.dot", "activation.dot",
+	} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Errorf("missing artefact %s: %v", name, err)
+		}
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, verilog := 0, 0
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".bit"):
+			bits++
+		case strings.HasSuffix(e.Name(), ".v"):
+			verilog++
+		}
+	}
+	if bits == 0 || verilog == 0 {
+		t.Errorf("artefacts incomplete: %d .bit, %d .v", bits, verilog)
+	}
+	ucf, err := os.ReadFile(filepath.Join(out, "design.ucf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ucf), "RECONFIG_MODE = TRUE") {
+		t.Error("UCF lacks PR constraints")
+	}
+	// Bitstream files are non-trivial binaries.
+	var bitSize int64
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".bit") {
+			fi, _ := e.Info()
+			bitSize += fi.Size()
+		}
+	}
+	if bitSize < 100_000 {
+		t.Errorf("bitstreams suspiciously small: %d bytes", bitSize)
+	}
+}
+
+func TestFlowBudgetFlag(t *testing.T) {
+	in := designFile(t)
+	out := filepath.Join(t.TempDir(), "build")
+	err := run([]string{"-in", in, "-out", out, "-budget", "6800,64,150", "-device", "FX70T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-in", "/nope.xml", "-out", t.TempDir()}); err == nil {
+		t.Error("missing input accepted")
+	}
+	in := designFile(t)
+	if err := run([]string{"-in", in, "-out", t.TempDir(), "-budget", "zz"}); err == nil {
+		t.Error("bad budget accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Command prpart runs the automated partitioning algorithm on a PR design
+// description and reports the proposed region allocation next to the
+// conventional schemes.
+//
+// Usage:
+//
+//	prpart -in design.xml [-device FX70T] [-budget clb,bram,dsp]
+//	       [-no-static] [-greedy] [-json]
+//
+// The input is the tool flow's XML design description (see internal/spec)
+// or the JSON schema (see internal/design) selected by file extension.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prpart/internal/core"
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/partition"
+	"prpart/internal/resource"
+	"prpart/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prpart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prpart", flag.ContinueOnError)
+	in := fs.String("in", "", "design description (.xml or .json)")
+	dev := fs.String("device", "", "target device (empty: smallest feasible)")
+	budget := fs.String("budget", "", "resource budget as clb,bram,dsp (empty: device capacity)")
+	noStatic := fs.Bool("no-static", false, "disable static promotion (ablation A1)")
+	greedy := fs.Bool("greedy", false, "single greedy descent (ablation A2)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the report")
+	devices := fs.String("devices", "", "custom device library (JSON, see internal/device.LoadLibrary)")
+	pin := fs.String("pin", "", "comma-separated Module.Mode names to pin into static logic")
+	explain := fs.Bool("explain", false, "print the search moves that produced the scheme")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+	d, con, err := load(*in)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Device:      con.Device,
+		Budget:      con.Budget,
+		ClockMHz:    con.ClockMHz,
+		SkipBackend: true,
+		Partition: partition.Options{
+			NoStatic:   *noStatic,
+			GreedyOnly: *greedy,
+		},
+	}
+	if *dev != "" {
+		opts.Device = *dev
+	}
+	if *budget != "" {
+		v, err := parseBudget(*budget)
+		if err != nil {
+			return err
+		}
+		opts.Budget = v
+	}
+	if *pin != "" {
+		for _, name := range strings.Split(*pin, ",") {
+			r, err := d.FindMode(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			opts.Partition.PinnedStatic = append(opts.Partition.PinnedStatic, r)
+		}
+	}
+	if *devices != "" {
+		f, err := os.Open(*devices)
+		if err != nil {
+			return err
+		}
+		opts.Library, err = device.LoadLibrary(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	res, err := core.Run(d, opts)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return emitJSON(out, res)
+	}
+	if _, err := fmt.Fprint(out, res.Report()); err != nil {
+		return err
+	}
+	if *explain && res.Search != nil {
+		fmt.Fprintf(out, "search: %d states over %d candidate sets; moves to the chosen scheme:\n",
+			res.Search.States, res.Search.CandidateSets)
+		if len(res.Search.Trace) == 0 {
+			fmt.Fprintln(out, "  (none: the all-separate start was already optimal)")
+		}
+		for i, step := range res.Search.Trace {
+			fmt.Fprintf(out, "  %2d. %s\n", i+1, step)
+		}
+	}
+	return nil
+}
+
+func load(path string) (*design.Design, spec.Constraints, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, spec.Constraints{}, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".xml":
+		return spec.ParseDesign(f)
+	case ".json":
+		d, err := design.DecodeJSON(f)
+		return d, spec.Constraints{}, err
+	}
+	return nil, spec.Constraints{}, fmt.Errorf("unsupported input extension on %q (want .xml or .json)", path)
+}
+
+func parseBudget(s string) (resource.Vector, error) {
+	var clb, bram, dsp int
+	if _, err := fmt.Sscanf(s, "%d,%d,%d", &clb, &bram, &dsp); err != nil {
+		return resource.Vector{}, fmt.Errorf("bad -budget %q (want clb,bram,dsp): %v", s, err)
+	}
+	return resource.New(clb, bram, dsp), nil
+}
+
+type jsonOut struct {
+	Device    string         `json:"device"`
+	Total     int            `json:"totalFrames"`
+	Worst     int            `json:"worstFrames"`
+	Regions   []jsonRegion   `json:"regions"`
+	Static    []string       `json:"static,omitempty"`
+	Baselines map[string]int `json:"baselineTotals"`
+}
+
+type jsonRegion struct {
+	Frames int      `json:"frames"`
+	Parts  []string `json:"parts"`
+}
+
+func emitJSON(out io.Writer, res *core.Result) error {
+	jo := jsonOut{
+		Device:    res.Device.Name,
+		Total:     res.Summary.Total,
+		Worst:     res.Summary.Worst,
+		Baselines: map[string]int{},
+	}
+	for name, sum := range res.Baselines {
+		jo.Baselines[name] = sum.Total
+	}
+	for i := range res.Scheme.Regions {
+		reg := &res.Scheme.Regions[i]
+		jr := jsonRegion{Frames: reg.Frames()}
+		for _, p := range reg.Parts {
+			jr.Parts = append(jr.Parts, p.Label(res.Design))
+		}
+		jo.Regions = append(jo.Regions, jr)
+	}
+	for _, p := range res.Scheme.Static {
+		jo.Static = append(jo.Static, p.Label(res.Design))
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jo)
+}

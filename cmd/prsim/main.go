@@ -1,0 +1,179 @@
+// Command prsim deploys a partitioned design on the simulated fabric and
+// replays an environment workload, reporting realised reconfiguration
+// cost per partitioning scheme — the runtime counterpart of prpart:
+//
+//	prsim -in design.xml -events 2000 [-workload walk|markov] [-seed 7]
+//	      [-storage none|ddr2|cf] [-width 32] [-prefetch]
+//
+// The proposed scheme is compared against the one-module-per-region and
+// single-region baselines on the same event sequence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"prpart/internal/adaptive"
+	"prpart/internal/bitstream"
+	"prpart/internal/core"
+	"prpart/internal/design"
+	"prpart/internal/floorplan"
+	"prpart/internal/icap"
+	"prpart/internal/partition"
+	"prpart/internal/report"
+	"prpart/internal/scheme"
+	"prpart/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prsim", flag.ContinueOnError)
+	in := fs.String("in", "", "design description (.xml or .json)")
+	dev := fs.String("device", "", "target device (empty: smallest feasible)")
+	events := fs.Int("events", 2000, "workload length")
+	seed := fs.Int64("seed", 7, "workload seed")
+	workload := fs.String("workload", "walk", "workload model: walk or markov")
+	storage := fs.String("storage", "none", "bitstream storage: none, ddr2 or cf")
+	width := fs.Int("width", 32, "ICAP width in bits (8, 16 or 32)")
+	prefetch := fs.Bool("prefetch", false, "prefetch don't-care regions before each switch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+	d, con, err := load(*in)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Device: con.Device, Budget: con.Budget, ClockMHz: con.ClockMHz}
+	if *dev != "" {
+		opts.Device = *dev
+	}
+	res, err := core.Run(d, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "design %q on %s; workload: %s, %d events, seed %d\n",
+		d.Name, res.Device.Name, *workload, *events, *seed)
+
+	seq, err := sequence(*workload, *seed, *events, len(d.Configurations))
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("Realised reconfiguration cost",
+		"Scheme", "Switches", "Region loads", "Frames", "Reconfig time", "Prefetch time")
+	schemes := []*scheme.Scheme{res.Scheme, partition.Modular(d), partition.SingleRegion(d)}
+	for _, s := range schemes {
+		st, err := replay(s, res, *width, *storage, *prefetch, seq)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		t.AddRowf(s.Name, st.Switches, st.RegionLoads, st.Frames,
+			st.ReconfigTime.Round(time.Microsecond), st.PrefetchTime.Round(time.Microsecond))
+	}
+	return t.Render(out)
+}
+
+// sequence produces the configuration sequence for the chosen workload.
+func sequence(model string, seed int64, n, configs int) ([]int, error) {
+	switch model {
+	case "walk":
+		events := adaptive.RandomWalkEvents(seed, n, time.Millisecond)
+		policy := adaptive.ThresholdPolicy(configs)
+		seq := make([]int, n)
+		for i, ev := range events {
+			seq[i] = policy(ev)
+		}
+		return seq, nil
+	case "markov":
+		// A mildly skewed chain: adjacent configurations are favoured.
+		p := make([][]float64, configs)
+		for i := range p {
+			p[i] = make([]float64, configs)
+			sum := 0.0
+			for j := range p[i] {
+				if i == j {
+					continue
+				}
+				w := 1.0
+				if j == (i+1)%configs || (j+1)%configs == i {
+					w = 4.0
+				}
+				p[i][j] = w
+				sum += w
+			}
+			for j := range p[i] {
+				p[i][j] /= sum
+			}
+		}
+		return adaptive.MarkovSequence(seed, p, n)
+	}
+	return nil, fmt.Errorf("unknown workload %q (want walk or markov)", model)
+}
+
+// replay floorplans a scheme on the flow's device, assembles bitstreams
+// and replays the sequence.
+func replay(s *scheme.Scheme, res *core.Result, width int, storage string, prefetch bool, seq []int) (adaptive.Stats, error) {
+	plan, err := floorplan.Place(s, res.Device)
+	if err != nil {
+		return adaptive.Stats{}, err
+	}
+	bits, err := bitstream.Assemble(s, plan)
+	if err != nil {
+		return adaptive.Stats{}, err
+	}
+	port := icap.New(width, 100_000_000)
+	switch storage {
+	case "none":
+	case "ddr2":
+		port.AttachStorage(icap.DDR2())
+	case "cf":
+		port.AttachStorage(icap.CompactFlash())
+	default:
+		return adaptive.Stats{}, fmt.Errorf("unknown storage %q (want none, ddr2 or cf)", storage)
+	}
+	mgr, err := adaptive.NewManager(s, bits, port)
+	if err != nil {
+		return adaptive.Stats{}, err
+	}
+	for i, c := range seq {
+		if _, err := mgr.SwitchTo(c); err != nil {
+			return mgr.Stats(), err
+		}
+		if prefetch && i+1 < len(seq) && seq[i+1] != c {
+			// An oracle prefetcher: while resident in c, it loads the
+			// next configuration's don't-care regions in the background.
+			if _, err := mgr.Prefetch(seq[i+1]); err != nil {
+				return mgr.Stats(), err
+			}
+		}
+	}
+	return mgr.Stats(), nil
+}
+
+func load(path string) (*design.Design, spec.Constraints, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, spec.Constraints{}, err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		d, err := design.DecodeJSON(f)
+		return d, spec.Constraints{}, err
+	}
+	return spec.ParseDesign(f)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/spec"
+)
+
+func designFile(t *testing.T, d *design.Design, con spec.Constraints) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "design.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := spec.WriteDesign(f, d, con); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimWalkWorkload(t *testing.T) {
+	in := designFile(t, design.VideoReceiver(), spec.Constraints{
+		Device: "FX70T", Budget: design.CaseStudyBudget(),
+	})
+	var out strings.Builder
+	if err := run([]string{"-in", in, "-events", "300"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"proposed", "modular", "single-region", "Reconfig time"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSimMarkovWithStorageAndPrefetch(t *testing.T) {
+	in := designFile(t, design.SingleModeExample(), spec.Constraints{})
+	var out strings.Builder
+	err := run([]string{
+		"-in", in, "-events", "200", "-workload", "markov",
+		"-storage", "ddr2", "-prefetch",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Prefetch time") {
+		t.Errorf("missing prefetch column:\n%s", out.String())
+	}
+}
+
+func TestSimCompactFlashSlower(t *testing.T) {
+	in := designFile(t, design.SingleModeExample(), spec.Constraints{})
+	runOnce := func(storage string) string {
+		var out strings.Builder
+		if err := run([]string{"-in", in, "-events", "150", "-storage", storage}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	fast := runOnce("none")
+	slow := runOnce("cf")
+	if fast == slow {
+		t.Error("storage model had no effect on the report")
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	if err := run([]string{}, &strings.Builder{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	in := designFile(t, design.SingleModeExample(), spec.Constraints{})
+	if err := run([]string{"-in", in, "-workload", "zzz"}, &strings.Builder{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-in", in, "-storage", "zzz"}, &strings.Builder{}); err == nil {
+		t.Error("unknown storage accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Closed loop: the paper's future-work idea, end to end. Deploy a design
+// partitioned with the uniform objective, observe how the environment
+// actually drives it, estimate the switching distribution from the
+// trace, re-partition with the weighted objective, and compare both
+// schemes on the same workload.
+//
+// The design is an adaptive link with two similar-sized reconfigurable
+// modules; the budget leaves room to give ONE of them per-mode regions
+// (making its switches free) while the other stays in a shared region.
+// The uniform objective protects the slightly larger FEC module; the
+// observed workload, however, switches modulation almost exclusively —
+// so re-partitioning moves the split to where the traffic is.
+//
+//	go run ./examples/closedloop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prpart/internal/adaptive"
+	"prpart/internal/cost"
+	"prpart/internal/design"
+	"prpart/internal/partition"
+	"prpart/internal/resource"
+)
+
+// link is the adaptive communication link under study.
+func link() *design.Design {
+	return &design.Design{
+		Name:   "adaptive-link",
+		Static: resource.New(90, 8, 0),
+		Modules: []*design.Module{
+			{Name: "Mod", Modes: []design.Mode{
+				{Name: "QPSK", Resources: resource.New(400, 2, 10)},
+				{Name: "QAM64", Resources: resource.New(400, 2, 10)},
+			}},
+			{Name: "FEC", Modes: []design.Mode{
+				{Name: "Light", Resources: resource.New(440, 4, 4)},
+				{Name: "Strong", Resources: resource.New(440, 4, 4)},
+			}},
+		},
+		Configurations: []design.Configuration{
+			{Name: "good-channel", Modes: []int{2, 1}}, // QAM64 + light FEC
+			{Name: "fair-channel", Modes: []int{1, 1}}, // QPSK + light FEC
+			{Name: "bad-channel", Modes: []int{1, 2}},  // QPSK + strong FEC
+		},
+	}
+}
+
+func main() {
+	d := link()
+	// Room for three regions of ~400-440 CLBs plus static: one module can
+	// have per-mode regions, the other cannot.
+	budget := resource.New(1420, 24, 32)
+	n := len(d.Configurations)
+
+	// 1. First deployment: the uniform objective.
+	first, err := partition.Solve(d, partition.Options{Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed with the uniform objective:")
+	for i := range first.Scheme.Regions {
+		r := &first.Scheme.Regions[i]
+		fmt.Printf("  PRR%d (%d frames): %s\n", i+1, r.Frames(), r.Label(d))
+	}
+
+	// 2. In the field the channel flaps between good and fair — the
+	// modulation switches constantly, the FEC hardly ever.
+	p := [][]float64{
+		{0, 0.97, 0.03},
+		{0.97, 0, 0.03},
+		{0.50, 0.50, 0},
+	}
+	seq, err := adaptive.MarkovSequence(2026, p, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Estimate the switching distribution from the observed trace.
+	weights, err := adaptive.EstimateWeights(seq, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nobserved workload: %.1f%% of switches are good<->fair (modulation only)\n",
+		100*(weights[0][1]+weights[1][0]))
+
+	// 4. Re-partition for the measured distribution.
+	second, err := partition.Solve(d, partition.Options{
+		Budget:            budget,
+		TransitionWeights: weights,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("re-partitioned for the observed workload:")
+	for i := range second.Scheme.Regions {
+		r := &second.Scheme.Regions[i]
+		fmt.Printf("  PRR%d (%d frames): %s\n", i+1, r.Frames(), r.Label(d))
+	}
+
+	// 5. Replay the same workload against both schemes.
+	replay := func(r *partition.Result) int {
+		m := cost.Transitions(r.Scheme)
+		total := 0
+		for k := 1; k < len(seq); k++ {
+			total += m[seq[k-1]][seq[k]]
+		}
+		return total
+	}
+	before, after := replay(first), replay(second)
+	fmt.Printf("\nworkload cost before re-partitioning: %8d frames (uniform total %d)\n",
+		before, first.Summary.Total)
+	fmt.Printf("workload cost after  re-partitioning: %8d frames (uniform total %d)\n",
+		after, second.Summary.Total)
+	if after < before {
+		fmt.Printf("adaptation saved %.1f%% of reconfiguration traffic\n",
+			100*float64(before-after)/float64(before))
+	} else {
+		fmt.Println("the uniform scheme was already optimal for this workload")
+	}
+}

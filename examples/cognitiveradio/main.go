@@ -1,0 +1,129 @@
+// Cognitive radio: the paper's motivating application (§I) — a radio that
+// switches between spectrum sensing and transmission chains as channel
+// conditions change. This example builds the radio as a PR design,
+// partitions it three ways, and then *runs* it: the adaptive runtime
+// simulator drives configuration switches from a synthetic channel trace
+// through the ICAP model, measuring realised reconfiguration time for
+// each partitioning scheme.
+//
+//	go run ./examples/cognitiveradio
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prpart/internal/adaptive"
+	"prpart/internal/bitstream"
+	"prpart/internal/core"
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/icap"
+	"prpart/internal/partition"
+	"prpart/internal/resource"
+	"prpart/internal/scheme"
+)
+
+// radio builds the cognitive-radio design: a sensing engine (energy vs
+// cyclostationary detector), an adaptive front-end filter, a modem with
+// three modulation depths, and an FEC encoder with two strengths. Valid
+// configurations pair sensing with light processing, and transmission
+// with the full chain at several robustness levels.
+func radio() *design.Design {
+	return &design.Design{
+		Name:   "cognitive-radio",
+		Static: resource.New(90, 8, 0),
+		Modules: []*design.Module{
+			{Name: "Sense", Modes: []design.Mode{
+				{Name: "Energy", Resources: resource.New(220, 2, 6)},
+				{Name: "Cyclo", Resources: resource.New(980, 10, 24)},
+			}},
+			{Name: "Filter", Modes: []design.Mode{
+				{Name: "Narrow", Resources: resource.New(300, 0, 12)},
+				{Name: "Wide", Resources: resource.New(520, 0, 22)},
+			}},
+			{Name: "Modem", Modes: []design.Mode{
+				{Name: "BPSK", Resources: resource.New(60, 0, 2)},
+				{Name: "QPSK", Resources: resource.New(120, 0, 4)},
+				{Name: "QAM16", Resources: resource.New(260, 1, 8)},
+			}},
+			{Name: "FEC", Modes: []design.Mode{
+				{Name: "Light", Resources: resource.New(240, 2, 0)},
+				{Name: "Strong", Resources: resource.New(700, 8, 4)},
+			}},
+		},
+		Configurations: []design.Configuration{
+			// Sensing sweeps: no modem or FEC on the fabric.
+			{Name: "sense-fast", Modes: []int{1, 1, 0, 0}},
+			{Name: "sense-deep", Modes: []int{2, 2, 0, 0}},
+			// Transmission at increasing robustness.
+			{Name: "tx-fragile", Modes: []int{0, 2, 3, 1}},
+			{Name: "tx-normal", Modes: []int{0, 2, 2, 1}},
+			{Name: "tx-robust", Modes: []int{0, 1, 1, 2}},
+		},
+	}
+}
+
+func main() {
+	d := radio()
+	budget := resource.New(2600, 36, 80)
+
+	res, err := core.Run(d, core.Options{Device: "FX30T", Budget: budget, ClockMHz: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== proposed partitioning ==")
+	fmt.Print(res.Report())
+
+	// Channel trace: long sensing stretches punctuated by transmission
+	// bursts whose robustness follows the walk value.
+	events := adaptive.RandomWalkEvents(2026, 2000, 10*time.Millisecond)
+	policy := func(ev adaptive.Event) int {
+		switch {
+		case ev.Value < 0.25:
+			return 0 // sense-fast
+		case ev.Value < 0.40:
+			return 1 // sense-deep
+		case ev.Value < 0.65:
+			return 2 // tx-fragile
+		case ev.Value < 0.85:
+			return 3 // tx-normal
+		default:
+			return 4 // tx-robust
+		}
+	}
+
+	fmt.Println("\n== realised reconfiguration cost over the channel trace ==")
+	fmt.Printf("%-22s %10s %12s %14s\n", "scheme", "switches", "region loads", "reconfig time")
+	run(res.Scheme, "proposed", events, policy)
+	run(partition.Modular(d), "one module/region", events, policy)
+	run(partition.SingleRegion(d), "single region", events, policy)
+}
+
+// run floorplans a scheme, assembles its bitstreams, and replays the
+// event trace through the runtime manager.
+func run(s *scheme.Scheme, label string, events []adaptive.Event, policy adaptive.Policy) {
+	dev, err := device.ByName("FX30T")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := floorplan.Place(s, dev)
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	bits, err := bitstream.Assemble(s, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := adaptive.NewManager(s, bits, icap.New(32, 100_000_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := adaptive.Simulate(mgr, events, policy); err != nil {
+		log.Fatal(err)
+	}
+	st := mgr.Stats()
+	fmt.Printf("%-22s %10d %12d %14v\n", label, st.Switches, st.RegionLoads, st.ReconfigTime)
+}

@@ -1,0 +1,3 @@
+module prpart
+
+go 1.22

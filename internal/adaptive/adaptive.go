@@ -1,0 +1,243 @@
+// Package adaptive simulates the runtime half of an adaptive PR system:
+// the configuration-management software the paper places on the embedded
+// processor (§III-A). A Manager owns a partitioning scheme, its partial
+// bitstreams and an ICAP port; it tracks what every region currently
+// holds, loads exactly the regions a configuration switch requires, and
+// accounts realised reconfiguration time — the quantity the partitioning
+// algorithm minimises in expectation.
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"prpart/internal/bitstream"
+	"prpart/internal/icap"
+	"prpart/internal/scheme"
+)
+
+// ErrNoConfig reports a configuration index out of range.
+var ErrNoConfig = errors.New("adaptive: configuration index out of range")
+
+// unloaded marks a region whose contents are still unknown (never
+// configured since power-up).
+const unloaded = -1
+
+// Manager is the runtime configuration manager.
+type Manager struct {
+	sch  *scheme.Scheme
+	bits *bitstream.Set
+	port *icap.Port
+
+	current int   // current configuration, -1 before Boot
+	loaded  []int // per region: part index currently in the fabric
+
+	stats Stats
+}
+
+// Stats accumulates runtime behaviour.
+type Stats struct {
+	// Switches counts configuration changes requested (including Boot).
+	Switches int
+	// RegionLoads counts partial bitstreams loaded.
+	RegionLoads int
+	// Frames counts configuration frames written.
+	Frames int
+	// ReconfigTime is the cumulative time spent reconfiguring on the
+	// critical path (SwitchTo).
+	ReconfigTime time.Duration
+	// PrefetchTime is the cumulative background loading time (Prefetch).
+	PrefetchTime time.Duration
+}
+
+// NewManager validates the inputs and returns a manager with all regions
+// unloaded.
+func NewManager(s *scheme.Scheme, bits *bitstream.Set, port *icap.Port) (*Manager, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("adaptive: scheme invalid: %w", err)
+	}
+	if len(bits.PerRegion) != len(s.Regions) {
+		return nil, fmt.Errorf("adaptive: %d bitstream regions for %d scheme regions",
+			len(bits.PerRegion), len(s.Regions))
+	}
+	for ri := range s.Regions {
+		if len(bits.PerRegion[ri]) != len(s.Regions[ri].Parts) {
+			return nil, fmt.Errorf("adaptive: region %d has %d bitstreams for %d parts",
+				ri, len(bits.PerRegion[ri]), len(s.Regions[ri].Parts))
+		}
+	}
+	loaded := make([]int, len(s.Regions))
+	for i := range loaded {
+		loaded[i] = unloaded
+	}
+	return &Manager{sch: s, bits: bits, port: port, current: -1, loaded: loaded}, nil
+}
+
+// Current returns the active configuration index, or -1 before Boot.
+func (m *Manager) Current() int { return m.current }
+
+// Loaded returns the part currently held by region ri (-1 if unknown).
+func (m *Manager) Loaded(ri int) int { return m.loaded[ri] }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// SwitchTo reconfigures the system into the target configuration: every
+// region the configuration activates with a part other than its current
+// contents is reloaded; don't-care regions are left untouched. It returns
+// the reconfiguration time of this switch.
+func (m *Manager) SwitchTo(config int) (time.Duration, error) {
+	if config < 0 || config >= len(m.sch.Design.Configurations) {
+		return 0, fmt.Errorf("%w: %d", ErrNoConfig, config)
+	}
+	if config == m.current {
+		return 0, nil
+	}
+	var total time.Duration
+	for ri := range m.sch.Regions {
+		want := m.sch.Active[config][ri]
+		if want == scheme.Inactive || m.loaded[ri] == want {
+			continue
+		}
+		bs := m.bits.PerRegion[ri][want]
+		d, err := m.port.Load(bs)
+		if err != nil {
+			return total, fmt.Errorf("adaptive: loading %s: %w", bs.Name, err)
+		}
+		m.loaded[ri] = want
+		m.stats.RegionLoads++
+		m.stats.Frames += bs.Frames
+		total += d
+	}
+	m.current = config
+	m.stats.Switches++
+	m.stats.ReconfigTime += total
+	return total, nil
+}
+
+// Prefetch loads, ahead of time, every region that the anticipated
+// configuration needs but the current configuration leaves don't-care —
+// the configuration-prefetching idea of the paper's related work [4],
+// applicable here exactly where the pairwise cost model has slack. The
+// returned duration is the background loading time; a later SwitchTo to
+// the anticipated configuration then skips those regions. Regions the
+// current configuration actively uses are never touched.
+func (m *Manager) Prefetch(config int) (time.Duration, error) {
+	if config < 0 || config >= len(m.sch.Design.Configurations) {
+		return 0, fmt.Errorf("%w: %d", ErrNoConfig, config)
+	}
+	var total time.Duration
+	for ri := range m.sch.Regions {
+		want := m.sch.Active[config][ri]
+		if want == scheme.Inactive || m.loaded[ri] == want {
+			continue
+		}
+		if m.current >= 0 && m.sch.Active[m.current][ri] != scheme.Inactive {
+			continue // region is live; cannot be reconfigured underneath
+		}
+		bs := m.bits.PerRegion[ri][want]
+		d, err := m.port.Load(bs)
+		if err != nil {
+			return total, fmt.Errorf("adaptive: prefetching %s: %w", bs.Name, err)
+		}
+		m.loaded[ri] = want
+		m.stats.RegionLoads++
+		m.stats.Frames += bs.Frames
+		m.stats.PrefetchTime += d
+		total += d
+	}
+	return total, nil
+}
+
+// PredictedFrames returns the pairwise cost-model estimate for the
+// transition from -> to: the frames of every region both configurations
+// activate with different parts. The realised cost of SwitchTo can exceed
+// this when a region was left in a third state by earlier don't-care
+// transitions; it never falls below it.
+func (m *Manager) PredictedFrames(from, to int) int {
+	t := 0
+	for ri := range m.sch.Regions {
+		a, b := m.sch.Active[from][ri], m.sch.Active[to][ri]
+		if a != scheme.Inactive && b != scheme.Inactive && a != b {
+			t += m.sch.Regions[ri].Frames()
+		}
+	}
+	return t
+}
+
+// Event is one environmental observation driving adaptation.
+type Event struct {
+	// Time is the observation timestamp (informational).
+	Time time.Duration
+	// Value is the observed quantity (e.g. SNR, channel index).
+	Value float64
+}
+
+// Policy maps an environmental event to the configuration the system
+// should adopt.
+type Policy func(Event) int
+
+// Trace records one step of a simulation.
+type Trace struct {
+	Event    Event
+	Config   int
+	Switched bool
+	Cost     time.Duration
+}
+
+// Simulate boots the manager into the policy's response to the first
+// event, then feeds the remaining events in order, switching whenever the
+// policy output changes. It returns the per-step trace.
+func Simulate(m *Manager, events []Event, policy Policy) ([]Trace, error) {
+	traces := make([]Trace, 0, len(events))
+	for _, ev := range events {
+		target := policy(ev)
+		tr := Trace{Event: ev, Config: target}
+		if target != m.Current() {
+			d, err := m.SwitchTo(target)
+			if err != nil {
+				return traces, err
+			}
+			tr.Switched = true
+			tr.Cost = d
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// RandomWalkEvents generates a deterministic event stream whose values
+// wander in [0, 1) — a stand-in for a measured channel condition.
+func RandomWalkEvents(seed int64, n int, step time.Duration) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Event, n)
+	v := rng.Float64()
+	for i := range out {
+		v += (rng.Float64() - 0.5) * 0.2
+		switch {
+		case v < 0:
+			v = -v
+		case v >= 1:
+			v = 2 - v - 1e-9
+		}
+		out[i] = Event{Time: time.Duration(i) * step, Value: v}
+	}
+	return out
+}
+
+// ThresholdPolicy maps [0,1) values onto configuration indices by equal
+// bands: a simple "adapt to channel quality" rule.
+func ThresholdPolicy(numConfigs int) Policy {
+	return func(ev Event) int {
+		c := int(ev.Value * float64(numConfigs))
+		if c < 0 {
+			c = 0
+		}
+		if c >= numConfigs {
+			c = numConfigs - 1
+		}
+		return c
+	}
+}

@@ -1,0 +1,160 @@
+// Package bitstream models step 7 of the tool flow: generation of the
+// partial bitstreams that reconfigure each region. Bitstreams follow a
+// simplified Virtex-5 configuration packet format (UG191): sync word,
+// type-1 write to the frame address register (FAR), a frame-data (FDRI)
+// write of 41-word frames, a CRC check word, and a desync command. The
+// ICAP simulator in internal/icap parses exactly this format.
+//
+// The payload content is synthetic (a deterministic pseudo-random fill),
+// but every size is real: a frame is 41 32-bit words, and a region's
+// partial bitstream carries exactly its tile-quantised frame count, which
+// is what makes reconfiguration time proportional to region area (the
+// paper's eq. 9).
+package bitstream
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/scheme"
+)
+
+// Configuration packet constants (simplified UG191 encoding).
+const (
+	// DummyWord pads the front of every bitstream.
+	DummyWord = 0xFFFFFFFF
+	// SyncWord begins packet processing.
+	SyncWord = 0xAA995566
+	// CmdWriteFAR is a type-1 one-word write to the frame address register.
+	CmdWriteFAR = 0x30002001
+	// CmdWriteFDRI is a type-1 header announcing a type-2 data write.
+	CmdWriteFDRI = 0x30004000
+	// Type2Hdr carries the FDRI word count in its low 27 bits.
+	Type2Hdr = 0x50000000
+	// CmdWriteCRC is a type-1 one-word write to the CRC register.
+	CmdWriteCRC = 0x30000001
+	// CmdDesync is a type-1 one-word write to the CMD register...
+	CmdDesync = 0x30008001
+	// DesyncValue is the DESYNC command code.
+	DesyncValue = 0x0000000D
+)
+
+// FAR is a simplified frame address: the placed rectangle's origin.
+type FAR struct {
+	// Row is the device row of the region's bottom edge.
+	Row int
+	// Major is the leftmost column of the region.
+	Major int
+}
+
+// Pack encodes the FAR as a configuration word.
+func (f FAR) Pack() uint32 {
+	return uint32(f.Row&0xFF)<<16 | uint32(f.Major&0xFFFF)
+}
+
+// UnpackFAR decodes a packed FAR word.
+func UnpackFAR(w uint32) FAR {
+	return FAR{Row: int(w>>16) & 0xFF, Major: int(w & 0xFFFF)}
+}
+
+// Bitstream is one partial bitstream: the configuration data that loads
+// one base partition (part) into one region.
+type Bitstream struct {
+	// Region and Part identify the scheme slot this bitstream loads.
+	Region, Part int
+	// Name labels the bitstream ("prr1_p0.bit").
+	Name string
+	// Frames is the number of configuration frames written.
+	Frames int
+	// Addr is the target frame address.
+	Addr FAR
+	// Words is the full packet stream.
+	Words []uint32
+}
+
+// Bytes returns the bitstream size in bytes.
+func (b *Bitstream) Bytes() int { return len(b.Words) * 4 }
+
+// Set is the collection of partial bitstreams for a scheme.
+type Set struct {
+	// PerRegion[ri][pi] is the bitstream for part pi of region ri.
+	PerRegion [][]*Bitstream
+}
+
+// Total returns the number of bitstreams.
+func (s *Set) Total() int {
+	n := 0
+	for _, r := range s.PerRegion {
+		n += len(r)
+	}
+	return n
+}
+
+// Assemble generates one partial bitstream per (region, part). Every part
+// of a region produces a bitstream of the region's full frame count —
+// reconfiguring a region always rewrites the whole region, whichever mode
+// group is being loaded.
+func Assemble(sch *scheme.Scheme, plan *floorplan.Plan) (*Set, error) {
+	if err := plan.Validate(sch); err != nil {
+		return nil, fmt.Errorf("bitstream: floorplan invalid: %w", err)
+	}
+	addrOf := make(map[int]FAR, len(plan.Placements))
+	for _, pl := range plan.Placements {
+		addrOf[pl.Region] = FAR{Row: pl.Rect.Row0, Major: pl.Rect.Col0}
+	}
+	out := &Set{}
+	for ri := range sch.Regions {
+		frames := sch.Regions[ri].Frames()
+		addr, ok := addrOf[ri]
+		if !ok {
+			return nil, fmt.Errorf("bitstream: region %d has no placement", ri)
+		}
+		var parts []*Bitstream
+		for pi := range sch.Regions[ri].Parts {
+			bs := build(ri, pi, addr, frames)
+			parts = append(parts, bs)
+		}
+		out.PerRegion = append(out.PerRegion, parts)
+	}
+	return out, nil
+}
+
+// build assembles the packet stream for one partial bitstream.
+func build(region, part int, addr FAR, frames int) *Bitstream {
+	payload := frames * device.WordsPerFrame
+	words := make([]uint32, 0, payload+8)
+	words = append(words, DummyWord, SyncWord, CmdWriteFAR, addr.Pack())
+	words = append(words, CmdWriteFDRI, Type2Hdr|uint32(payload&0x07FFFFFF))
+	seed := uint32(region*1000003 + part*7919 + 0x9E3779B9)
+	state := seed
+	start := len(words)
+	for i := 0; i < payload; i++ {
+		// xorshift32: deterministic synthetic frame data.
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		words = append(words, state)
+	}
+	crc := Checksum(words[start : start+payload])
+	words = append(words, CmdWriteCRC, crc, CmdDesync, DesyncValue)
+	return &Bitstream{
+		Region: region,
+		Part:   part,
+		Name:   fmt.Sprintf("prr%d_p%d.bit", region+1, part),
+		Frames: frames,
+		Addr:   addr,
+		Words:  words,
+	}
+}
+
+// Checksum computes the CRC word over an FDRI payload (IEEE CRC-32 over
+// the little-endian byte stream).
+func Checksum(payload []uint32) uint32 {
+	buf := make([]byte, 0, len(payload)*4)
+	for _, w := range payload {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return crc32.ChecksumIEEE(buf)
+}

@@ -1,0 +1,169 @@
+package bitstream
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/partition"
+)
+
+var (
+	once sync.Once
+	res  *partition.Result
+	plan *floorplan.Plan
+	err  error
+)
+
+func assembled(t *testing.T) (*Set, *partition.Result, *floorplan.Plan) {
+	t.Helper()
+	once.Do(func() {
+		res, err = partition.Solve(design.VideoReceiver(),
+			partition.Options{Budget: design.CaseStudyBudget()})
+		if err != nil {
+			return
+		}
+		var dev = mustDev()
+		plan, err = floorplan.Place(res.Scheme, dev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, aerr := Assemble(res.Scheme, plan)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	return set, res, plan
+}
+
+func mustDev() *device.Device {
+	d, err := device.ByName("FX70T")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestAssembleShape(t *testing.T) {
+	set, res, _ := assembled(t)
+	if len(set.PerRegion) != len(res.Scheme.Regions) {
+		t.Fatalf("regions = %d, want %d", len(set.PerRegion), len(res.Scheme.Regions))
+	}
+	total := 0
+	for ri, parts := range set.PerRegion {
+		total += len(parts)
+		if len(parts) != len(res.Scheme.Regions[ri].Parts) {
+			t.Errorf("region %d: %d bitstreams for %d parts", ri, len(parts), len(res.Scheme.Regions[ri].Parts))
+		}
+	}
+	if set.Total() != total {
+		t.Errorf("Total() = %d, want %d", set.Total(), total)
+	}
+}
+
+func TestBitstreamSizesMatchRegionFrames(t *testing.T) {
+	set, res, _ := assembled(t)
+	for ri, parts := range set.PerRegion {
+		want := res.Scheme.Regions[ri].Frames()
+		for _, bs := range parts {
+			if bs.Frames != want {
+				t.Errorf("%s: frames = %d, want %d", bs.Name, bs.Frames, want)
+			}
+			// Packet stream: 6 header + payload + 4 trailer words.
+			if got := len(bs.Words); got != 10+want*device.WordsPerFrame {
+				t.Errorf("%s: words = %d, want %d", bs.Name, got, 10+want*device.WordsPerFrame)
+			}
+			if bs.Bytes() != len(bs.Words)*4 {
+				t.Errorf("%s: Bytes() inconsistent", bs.Name)
+			}
+		}
+		// All parts of a region have identical sizes.
+		for _, bs := range parts[1:] {
+			if bs.Bytes() != parts[0].Bytes() {
+				t.Errorf("region %d: part sizes differ", ri)
+			}
+		}
+	}
+}
+
+func TestBitstreamHeaderAndCRC(t *testing.T) {
+	set, _, _ := assembled(t)
+	bs := set.PerRegion[0][0]
+	if bs.Words[0] != DummyWord || bs.Words[1] != SyncWord {
+		t.Error("missing dummy/sync header")
+	}
+	payload := bs.Words[6 : len(bs.Words)-4]
+	if got := Checksum(payload); got != bs.Words[len(bs.Words)-3] {
+		t.Errorf("embedded CRC %08x != computed %08x", bs.Words[len(bs.Words)-3], got)
+	}
+	if bs.Words[len(bs.Words)-1] != DesyncValue {
+		t.Error("missing desync trailer")
+	}
+}
+
+func TestAddressesFollowPlacement(t *testing.T) {
+	set, _, plan := assembled(t)
+	addrOf := map[int]FAR{}
+	for _, pl := range plan.Placements {
+		addrOf[pl.Region] = FAR{Row: pl.Rect.Row0, Major: pl.Rect.Col0}
+	}
+	for ri, parts := range set.PerRegion {
+		for _, bs := range parts {
+			if bs.Addr != addrOf[ri] {
+				t.Errorf("%s: addr %+v, want %+v", bs.Name, bs.Addr, addrOf[ri])
+			}
+		}
+	}
+}
+
+func TestDeterministicContent(t *testing.T) {
+	a, res, plan := assembled(t)
+	b, err := Assemble(res.Scheme, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range a.PerRegion {
+		for pi := range a.PerRegion[ri] {
+			wa, wb := a.PerRegion[ri][pi].Words, b.PerRegion[ri][pi].Words
+			for i := range wa {
+				if wa[i] != wb[i] {
+					t.Fatalf("region %d part %d word %d differs", ri, pi, i)
+				}
+			}
+		}
+	}
+	// Different parts carry different payloads (distinct seeds).
+	if len(a.PerRegion[0]) > 1 {
+		p0, p1 := a.PerRegion[0][0].Words[6], a.PerRegion[0][1].Words[6]
+		if p0 == p1 {
+			t.Error("two parts share identical first payload word (seed collision?)")
+		}
+	}
+}
+
+func TestFARPackRoundTrip(t *testing.T) {
+	for _, f := range []FAR{{0, 0}, {3, 17}, {255, 65535}} {
+		if got := UnpackFAR(f.Pack()); got != f {
+			t.Errorf("round trip %+v -> %+v", f, got)
+		}
+	}
+}
+
+func TestAssembleRejectsBadPlan(t *testing.T) {
+	_, res, plan := assembled(t)
+	bad := *plan
+	bad.Placements = bad.Placements[:1]
+	if _, err := Assemble(res.Scheme, &bad); err == nil {
+		t.Error("truncated plan accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	set, _, _ := assembled(t)
+	if !strings.HasPrefix(set.PerRegion[0][0].Name, "prr1_p0") {
+		t.Errorf("name = %q", set.PerRegion[0][0].Name)
+	}
+}

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"testing"
+
+	"prpart/internal/connmat"
+	"prpart/internal/design"
+	"prpart/internal/synthetic"
+)
+
+func BenchmarkRunPaperExample(b *testing.B) {
+	m := connmat.New(design.PaperExample())
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunCaseStudy(b *testing.B) {
+	m := connmat.New(design.VideoReceiver())
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSynthetic(b *testing.B) {
+	mats := make([]*connmat.Matrix, 8)
+	for i, d := range synthetic.Generate(5, len(mats)) {
+		mats[i] = connmat.New(d)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(mats[i%len(mats)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prpart/internal/adaptive"
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/resource"
+)
+
+func TestRunCaseStudyPinnedDevice(t *testing.T) {
+	r, err := Run(design.VideoReceiver(), Options{
+		Device:   "FX70T",
+		Budget:   design.CaseStudyBudget(),
+		ClockMHz: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Device.Name != "XC5VFX70T" {
+		t.Errorf("device = %s", r.Device.Name)
+	}
+	if r.Plan == nil || r.Wrappers == nil || r.Bitstreams == nil || r.UCF == "" {
+		t.Fatal("back-end artefacts missing")
+	}
+	if r.Summary.Total >= r.Baselines["modular"].Total {
+		t.Errorf("proposed %d not below modular %d", r.Summary.Total, r.Baselines["modular"].Total)
+	}
+	if r.Baselines["static"].Total != 0 {
+		t.Error("static baseline should cost zero")
+	}
+	if !strings.Contains(r.UCF, "RECONFIG_MODE") {
+		t.Error("UCF missing PR constraints")
+	}
+}
+
+func TestRunAutoDevice(t *testing.T) {
+	r, err := Run(design.VideoReceiver(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The video receiver needs more than the smallest devices; the
+	// auto-picked device must fit the scheme.
+	if !r.Scheme.FitsIn(r.Device.Capacity) {
+		t.Errorf("scheme %v exceeds %s", r.Scheme.TotalResources(), r.Device.Name)
+	}
+	if err := r.Plan.Validate(r.Scheme); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSkipBackend(t *testing.T) {
+	r, err := Run(design.PaperExample(), Options{SkipBackend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan != nil || r.Bitstreams != nil {
+		t.Error("back-end artefacts produced despite SkipBackend")
+	}
+	if _, err := r.NewManager(nil); err == nil {
+		t.Error("NewManager should fail without bitstreams")
+	}
+}
+
+func TestRunInvalidDesign(t *testing.T) {
+	d := design.PaperExample()
+	d.Configurations = nil
+	if _, err := Run(d, Options{}); err == nil {
+		t.Fatal("invalid design accepted")
+	}
+}
+
+func TestRunUnknownDevice(t *testing.T) {
+	if _, err := Run(design.PaperExample(), Options{Device: "XC9000"}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestRunImpossibleBudget(t *testing.T) {
+	_, err := Run(design.VideoReceiver(), Options{
+		Device: "FX70T",
+		Budget: resource.New(100, 1, 1),
+	})
+	if err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+}
+
+func TestEndToEndRuntime(t *testing.T) {
+	r, err := Run(design.VideoReceiver(), Options{
+		Device: "FX70T",
+		Budget: design.CaseStudyBudget(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.NewManager(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := adaptive.RandomWalkEvents(3, 100, time.Millisecond)
+	policy := adaptive.ThresholdPolicy(len(r.Design.Configurations))
+	if _, err := adaptive.Simulate(m, events, policy); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().ReconfigTime <= 0 {
+		t.Error("no reconfiguration happened")
+	}
+}
+
+func TestReport(t *testing.T) {
+	r, err := Run(design.VideoReceiver(), Options{
+		Device: "FX70T",
+		Budget: design.CaseStudyBudget(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Report()
+	for _, want := range []string{
+		"video-receiver", "XC5VFX70T", "PRR1", "baseline modular",
+		"floorplan utilisation", "partial bitstreams",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithCustomLibrary(t *testing.T) {
+	lib, err := device.LoadLibrary(strings.NewReader(`[
+	  {"name":"TINY","clb":1000,"bram":16,"dsp":16,"rows":2},
+	  {"name":"BIG","clb":20000,"bram":300,"dsp":300,"rows":16}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(design.VideoReceiver(), Options{Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Device.Name != "BIG" {
+		t.Errorf("device = %s, want BIG (TINY cannot hold the design)", r.Device.Name)
+	}
+	// Pin a library device by name.
+	r2, err := Run(design.VideoReceiver(), Options{Library: lib, Device: "BIG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Device.Name != "BIG" {
+		t.Errorf("pinned device = %s", r2.Device.Name)
+	}
+	// Unknown name within the library must fail.
+	if _, err := Run(design.VideoReceiver(), Options{Library: lib, Device: "FX70T"}); err == nil {
+		t.Error("device outside library accepted")
+	}
+}

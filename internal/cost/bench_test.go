@@ -1,0 +1,24 @@
+package cost
+
+import (
+	"testing"
+
+	"prpart/internal/design"
+)
+
+func BenchmarkTransitionsModular(b *testing.B) {
+	d := design.TwoModuleExample()
+	s := twoModuleModular(d)
+	for i := 0; i < b.N; i++ {
+		Transitions(s)
+	}
+}
+
+func BenchmarkTotalWorst(b *testing.B) {
+	d := design.TwoModuleExample()
+	m := Transitions(twoModuleModular(d))
+	for i := 0; i < b.N; i++ {
+		_ = m.Total()
+		_ = m.Worst()
+	}
+}

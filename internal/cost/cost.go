@@ -1,0 +1,124 @@
+// Package cost implements the paper's reconfiguration-time model
+// (eqs. 7-11): the cost of a configuration transition is the total number
+// of configuration frames of every region whose contents must change, the
+// total reconfiguration time is the sum over all unordered configuration
+// pairs, and the worst case is the largest single transition.
+//
+// Times are expressed in frames; internal/icap converts frames to seconds
+// for a given configuration-port model (eq. 9's proportionality).
+package cost
+
+import (
+	"fmt"
+
+	"prpart/internal/scheme"
+)
+
+// Matrix is the symmetric transition-cost matrix in frames:
+// Matrix[i][j] = t_con(i,j), with zeros on the diagonal.
+type Matrix [][]int
+
+// Transitions computes the transition matrix of a scheme. A region is
+// reconfigured on i→j when both configurations activate it with different
+// parts; a configuration that does not use a region leaves its contents
+// untouched ("don't care"), so no frames are charged.
+func Transitions(s *scheme.Scheme) Matrix {
+	n := len(s.Design.Configurations)
+	frames := make([]int, len(s.Regions))
+	for ri := range s.Regions {
+		frames[ri] = s.Regions[ri].Frames()
+	}
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t := 0
+			for ri := range s.Regions {
+				a, b := s.Active[i][ri], s.Active[j][ri]
+				if a != scheme.Inactive && b != scheme.Inactive && a != b {
+					t += frames[ri]
+				}
+			}
+			m[i][j] = t
+			m[j][i] = t
+		}
+	}
+	return m
+}
+
+// Total returns the paper's eq. (7): the sum of t_con(i,j) over all
+// unordered pairs i < j.
+func (m Matrix) Total() int {
+	t := 0
+	for i := range m {
+		for j := i + 1; j < len(m); j++ {
+			t += m[i][j]
+		}
+	}
+	return t
+}
+
+// Worst returns the paper's eq. (11): the largest transition cost.
+func (m Matrix) Worst() int {
+	w := 0
+	for i := range m {
+		for j := i + 1; j < len(m); j++ {
+			if m[i][j] > w {
+				w = m[i][j]
+			}
+		}
+	}
+	return w
+}
+
+// Weighted returns the probability-weighted total reconfiguration time,
+// the extension the paper's §V closing remarks anticipate: Σ p(i,j) ·
+// t_con(i,j) over ordered pairs i≠j. The probability matrix must be
+// n×n; entries on the diagonal are ignored.
+func (m Matrix) Weighted(prob [][]float64) (float64, error) {
+	if len(prob) != len(m) {
+		return 0, fmt.Errorf("cost: probability matrix has %d rows, want %d", len(prob), len(m))
+	}
+	var t float64
+	for i := range m {
+		if len(prob[i]) != len(m) {
+			return 0, fmt.Errorf("cost: probability row %d has %d entries, want %d", i, len(prob[i]), len(m))
+		}
+		for j := range m {
+			if i == j {
+				continue
+			}
+			p := prob[i][j]
+			if p < 0 {
+				return 0, fmt.Errorf("cost: negative probability p(%d,%d) = %g", i, j, p)
+			}
+			t += p * float64(m[i][j])
+		}
+	}
+	return t, nil
+}
+
+// Summary bundles the headline metrics of a scheme.
+type Summary struct {
+	// Name echoes the scheme name.
+	Name string
+	// Total is eq. (7) in frames.
+	Total int
+	// Worst is eq. (11) in frames.
+	Worst int
+	// Regions is the number of reconfigurable regions.
+	Regions int
+}
+
+// Evaluate computes the transition matrix and summary for a scheme.
+func Evaluate(s *scheme.Scheme) (Matrix, Summary) {
+	m := Transitions(s)
+	return m, Summary{
+		Name:    s.Name,
+		Total:   m.Total(),
+		Worst:   m.Worst(),
+		Regions: len(s.Regions),
+	}
+}

@@ -1,0 +1,245 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prpart/internal/cluster"
+	"prpart/internal/design"
+	"prpart/internal/modeset"
+	"prpart/internal/resource"
+	"prpart/internal/scheme"
+)
+
+func bp(d *design.Design, refs ...design.ModeRef) cluster.BasePartition {
+	s := modeset.New(refs...)
+	var v resource.Vector
+	for _, r := range s.Refs() {
+		v = v.Add(d.ModeResources(r))
+	}
+	return cluster.BasePartition{Set: s, FreqWeight: 1, Resources: v}
+}
+
+func r(mod, mode int) design.ModeRef { return design.ModeRef{Module: mod, Mode: mode} }
+
+func twoModuleModular(d *design.Design) *scheme.Scheme {
+	return &scheme.Scheme{
+		Design: d,
+		Name:   "modular",
+		Regions: []scheme.Region{
+			{Parts: []cluster.BasePartition{bp(d, r(0, 1)), bp(d, r(0, 2))}},
+			{Parts: []cluster.BasePartition{bp(d, r(1, 1)), bp(d, r(1, 2))}},
+		},
+		Active: [][]int{
+			{0, 0}, // A1 -> B1
+			{1, 1}, // A2 -> B2
+			{0, 1}, // A1 -> B2
+		},
+	}
+}
+
+func TestTransitionsModular(t *testing.T) {
+	d := design.TwoModuleExample()
+	s := twoModuleModular(d)
+	m := Transitions(s)
+	// Region frames: A=720, B=900 (see scheme tests).
+	want := [3][3]int{
+		{0, 1620, 900},
+		{1620, 0, 720},
+		{900, 720, 0},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if m[i][j] != want[i][j] {
+				t.Errorf("t(%d,%d) = %d, want %d", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+	if got := m.Total(); got != 1620+900+720 {
+		t.Errorf("Total = %d, want %d", got, 1620+900+720)
+	}
+	if got := m.Worst(); got != 1620 {
+		t.Errorf("Worst = %d, want 1620", got)
+	}
+}
+
+func TestInactiveRegionCostsNothing(t *testing.T) {
+	// A configuration that does not use a region must not be charged for
+	// it on entry or exit.
+	d := design.SingleModeExample()
+	// One region per module, single part each; configs use disjoint sets.
+	var regions []scheme.Region
+	for mi := range d.Modules {
+		regions = append(regions, scheme.Region{
+			Parts: []cluster.BasePartition{bp(d, r(mi, 1))},
+		})
+	}
+	s := &scheme.Scheme{
+		Design:  d,
+		Name:    "modular",
+		Regions: regions,
+		Active: [][]int{
+			{0, 0, scheme.Inactive, scheme.Inactive, scheme.Inactive},
+			{scheme.Inactive, scheme.Inactive, 0, 0, 0},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := Transitions(s)
+	// Every region is inactive on one side of the only transition, and
+	// where both sides are active the part is identical: zero cost.
+	if m[0][1] != 0 {
+		t.Errorf("t(0,1) = %d, want 0 (disjoint configs, don't-care regions)", m[0][1])
+	}
+}
+
+func TestSingleRegionAllPairsEqual(t *testing.T) {
+	// A single region holding one part per configuration reconfigures
+	// fully on every transition: all off-diagonal costs equal the region
+	// frame count.
+	d := design.PaperExample()
+	var parts []cluster.BasePartition
+	active := make([][]int, len(d.Configurations))
+	for ci := range d.Configurations {
+		parts = append(parts, bp(d, d.ConfigModes(ci)...))
+		active[ci] = []int{ci}
+	}
+	s := &scheme.Scheme{
+		Design:  d,
+		Name:    "single",
+		Regions: []scheme.Region{{Parts: parts}},
+		Active:  active,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := Transitions(s)
+	fr := s.Regions[0].Frames()
+	n := len(d.Configurations)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := fr
+			if i == j {
+				want = 0
+			}
+			if m[i][j] != want {
+				t.Errorf("t(%d,%d) = %d, want %d", i, j, m[i][j], want)
+			}
+		}
+	}
+	if got, want := m.Total(), fr*n*(n-1)/2; got != want {
+		t.Errorf("Total = %d, want %d", got, want)
+	}
+	if m.Worst() != fr {
+		t.Errorf("Worst = %d, want %d", m.Worst(), fr)
+	}
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	d := design.TwoModuleExample()
+	m := Transitions(twoModuleModular(d))
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal t(%d,%d) = %d", i, i, m[i][i])
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Errorf("asymmetry t(%d,%d)=%d t(%d,%d)=%d", i, j, m[i][j], j, i, m[j][i])
+			}
+		}
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	d := design.TwoModuleExample()
+	m := Transitions(twoModuleModular(d))
+	n := len(m)
+	// Uniform distribution over ordered pairs: weighted total equals
+	// 2*Total/(n*(n-1)) scaled by... directly: sum(t)/ (n*(n-1)).
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		for j := range p[i] {
+			if i != j {
+				p[i][j] = 1.0 / float64(n*(n-1))
+			}
+		}
+	}
+	got, err := m.Weighted(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * float64(m.Total()) / float64(n*(n-1))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Weighted = %g, want %g", got, want)
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	d := design.TwoModuleExample()
+	m := Transitions(twoModuleModular(d))
+	if _, err := m.Weighted([][]float64{{0}}); err == nil {
+		t.Error("short probability matrix accepted")
+	}
+	bad := [][]float64{{0, 1, 0}, {0, 0}, {0, 0, 0}}
+	if _, err := m.Weighted(bad); err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Errorf("ragged probability matrix: err = %v", err)
+	}
+	neg := [][]float64{{0, -1, 0}, {0, 0, 0}, {0, 0, 0}}
+	if _, err := m.Weighted(neg); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative probability: err = %v", err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	d := design.TwoModuleExample()
+	s := twoModuleModular(d)
+	m, sum := Evaluate(s)
+	if sum.Name != "modular" || sum.Regions != 2 {
+		t.Errorf("summary header wrong: %+v", sum)
+	}
+	if sum.Total != m.Total() || sum.Worst != m.Worst() {
+		t.Errorf("summary metrics wrong: %+v", sum)
+	}
+}
+
+func TestStaticPromotionReducesCost(t *testing.T) {
+	// The §IV-A hybrid case: statically implementing A1 and B2 removes
+	// their region transitions. Build modular vs hybrid and compare.
+	d := design.TwoModuleExample()
+	mod := twoModuleModular(d)
+	// Hybrid: region {A2, B1}-as-parts... the paper puts A2 and B1 in one
+	// region and A1, B2 in static.
+	hybrid := &scheme.Scheme{
+		Design: d,
+		Name:   "hybrid",
+		Regions: []scheme.Region{
+			{Parts: []cluster.BasePartition{bp(d, r(0, 2)), bp(d, r(1, 1))}},
+		},
+		Static: []cluster.BasePartition{bp(d, r(0, 1)), bp(d, r(1, 2))},
+		Active: [][]int{
+			{1},               // A1(static) -> B1(region part 1)
+			{0},               // A2(region part 0) -> B2(static)
+			{scheme.Inactive}, // A1, B2 both static
+		},
+	}
+	if err := hybrid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mm := Transitions(mod)
+	hm := Transitions(hybrid)
+	if hm.Total() >= mm.Total() {
+		t.Errorf("hybrid total %d not below modular %d", hm.Total(), mm.Total())
+	}
+	// Transition c1 -> c2 (A2B2 -> A1B2): the region is active in c1 and
+	// don't-care in c2, so nothing is charged.
+	if hm[1][2] != 0 {
+		t.Errorf("hybrid t(1,2) = %d, want 0", hm[1][2])
+	}
+	// c0 -> c1 swaps region contents (B1 -> A2): one region reconfig.
+	if hm[0][1] != hybrid.Regions[0].Frames() {
+		t.Errorf("hybrid t(0,1) = %d, want %d", hm[0][1], hybrid.Regions[0].Frames())
+	}
+}

@@ -1,0 +1,43 @@
+package cost_test
+
+import (
+	"fmt"
+
+	"prpart/internal/cost"
+	"prpart/internal/design"
+	"prpart/internal/partition"
+)
+
+// The cost model turns a scheme into the paper's eq. (7) total and
+// eq. (11) worst case, both in configuration frames.
+func ExampleEvaluate() {
+	d := design.VideoReceiver()
+	_, sum := cost.Evaluate(partition.Modular(d))
+	fmt.Printf("one module per region: total %d frames, worst %d frames\n", sum.Total, sum.Worst)
+	_, single := cost.Evaluate(partition.SingleRegion(d))
+	fmt.Printf("single region: total %d frames, worst %d frames\n", single.Total, single.Worst)
+	// Output:
+	// one module per region: total 248850 frames, worst 13014 frames
+	// single region: total 342552 frames, worst 12234 frames
+}
+
+// Transition matrices expose per-pair costs; a probability matrix turns
+// them into an expected cost (the paper's future-work extension).
+func ExampleMatrix_Weighted() {
+	d := design.TwoModuleExample()
+	m := cost.Transitions(partition.Modular(d))
+	n := len(d.Configurations)
+	uniform := make([][]float64, n)
+	for i := range uniform {
+		uniform[i] = make([]float64, n)
+		for j := range uniform[i] {
+			if i != j {
+				uniform[i][j] = 1.0 / float64(n*(n-1))
+			}
+		}
+	}
+	w, _ := m.Weighted(uniform)
+	fmt.Printf("expected %.0f frames per transition\n", w)
+	// Output:
+	// expected 1080 frames per transition
+}

@@ -1,0 +1,132 @@
+// Package cover implements the paper's covering algorithm (§IV-C): base
+// partitions, ordered ascending by mode count (then frequency weight,
+// then area), are drawn in sequence and used to zero the entries of the
+// connectivity matrix they provide, until every configuration is fully
+// covered. The partitions actually used form a candidate partition set —
+// the starting point for region allocation. Removing the head of the list
+// and re-covering yields the next candidate set, until covering fails.
+package cover
+
+import (
+	"errors"
+	"sort"
+
+	"prpart/internal/cluster"
+	"prpart/internal/connmat"
+	"prpart/internal/device"
+)
+
+// ErrUncoverable reports that the base-partition list cannot cover every
+// configuration — the candidate-set iteration has been exhausted.
+var ErrUncoverable = errors.New("cover: base partitions cannot cover all configurations")
+
+// CandidateSet is a set of base partitions whose modes cover every valid
+// configuration, plus the activation record the covering produced.
+type CandidateSet struct {
+	// Parts are the selected base partitions, in selection order.
+	Parts []cluster.BasePartition
+	// Active[ci][pi] reports whether configuration ci requires part pi
+	// (the part covered at least one of the configuration's modes).
+	Active [][]bool
+}
+
+// Order sorts base partitions into the paper's covering order: ascending
+// number of modes, then ascending frequency weight, then ascending area
+// in frames, with the canonical set key as a final deterministic
+// tie-break. The input is not modified.
+func Order(parts []cluster.BasePartition) []cluster.BasePartition {
+	out := append([]cluster.BasePartition(nil), parts...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Set.Len() != b.Set.Len() {
+			return a.Set.Len() < b.Set.Len()
+		}
+		if a.FreqWeight != b.FreqWeight {
+			return a.FreqWeight < b.FreqWeight
+		}
+		fa, fb := device.Frames(a.Resources), device.Frames(b.Resources)
+		if fa != fb {
+			return fa < fb
+		}
+		return a.Set.Key() < b.Set.Key()
+	})
+	return out
+}
+
+// Cover runs one covering pass: partitions are taken in list order, each
+// kept only if it covers at least one still-uncovered (configuration,
+// mode) cell, until the matrix is fully covered. ErrUncoverable is
+// returned when the list runs out first.
+func Cover(list []cluster.BasePartition, m *connmat.Matrix) (*CandidateSet, error) {
+	work := m.Clone()
+	nCfg := m.NumConfigs()
+	cs := &CandidateSet{}
+	for _, bp := range list {
+		if work.AllZero() {
+			break
+		}
+		var active []int
+		for ci := 0; ci < nCfg; ci++ {
+			covered := false
+			for _, r := range bp.Set.Refs() {
+				if work.Clear(ci, r) {
+					covered = true
+				}
+			}
+			if covered {
+				active = append(active, ci)
+			}
+		}
+		if len(active) == 0 {
+			continue // covers nothing new: not a candidate
+		}
+		row := make([]bool, nCfg)
+		for _, ci := range active {
+			row[ci] = true
+		}
+		cs.Parts = append(cs.Parts, bp)
+		// Active is stored config-major; transpose as we go.
+		for ci := 0; ci < nCfg; ci++ {
+			if len(cs.Active) <= ci {
+				cs.Active = append(cs.Active, nil)
+			}
+			cs.Active[ci] = append(cs.Active[ci], row[ci])
+		}
+	}
+	if !work.AllZero() {
+		return nil, ErrUncoverable
+	}
+	if len(cs.Active) == 0 {
+		cs.Active = make([][]bool, nCfg)
+	}
+	return cs, nil
+}
+
+// Sets enumerates the candidate partition sets of the paper's outer loop:
+// the first covering uses the whole ordered list; each subsequent one
+// removes the current head and re-covers, until covering fails. The
+// partitions must already be in covering order (see Order).
+func Sets(ordered []cluster.BasePartition, m *connmat.Matrix) []*CandidateSet {
+	var out []*CandidateSet
+	seen := make(map[string]bool)
+	for start := 0; start < len(ordered); start++ {
+		cs, err := Cover(ordered[start:], m)
+		if err != nil {
+			break
+		}
+		key := setKey(cs)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+func setKey(cs *CandidateSet) string {
+	key := ""
+	for _, p := range cs.Parts {
+		key += p.Set.Key() + ";"
+	}
+	return key
+}

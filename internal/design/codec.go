@@ -1,0 +1,126 @@
+package design
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prpart/internal/resource"
+)
+
+// jsonDesign is the on-disk JSON schema. Configurations name modes by
+// string ("Module": "Mode"), with absent modules simply omitted, which is
+// friendlier to hand-written files than index vectors.
+type jsonDesign struct {
+	Name    string       `json:"name"`
+	Static  jsonRes      `json:"static"`
+	Modules []jsonModule `json:"modules"`
+	Configs []jsonConfig `json:"configurations"`
+}
+
+type jsonModule struct {
+	Name  string     `json:"name"`
+	Modes []jsonMode `json:"modes"`
+}
+
+type jsonMode struct {
+	Name      string  `json:"name"`
+	Resources jsonRes `json:"resources"`
+}
+
+type jsonRes struct {
+	CLB  int `json:"clb"`
+	BRAM int `json:"bram"`
+	DSP  int `json:"dsp"`
+}
+
+type jsonConfig struct {
+	Name  string            `json:"name,omitempty"`
+	Modes map[string]string `json:"modes"`
+}
+
+// EncodeJSON writes the design to w in the library's JSON schema.
+func EncodeJSON(w io.Writer, d *Design) error {
+	jd := jsonDesign{
+		Name:   d.Name,
+		Static: jsonRes{d.Static.CLB, d.Static.BRAM, d.Static.DSP},
+	}
+	for _, m := range d.Modules {
+		jm := jsonModule{Name: m.Name}
+		for _, md := range m.Modes {
+			jm.Modes = append(jm.Modes, jsonMode{
+				Name:      md.Name,
+				Resources: jsonRes{md.Resources.CLB, md.Resources.BRAM, md.Resources.DSP},
+			})
+		}
+		jd.Modules = append(jd.Modules, jm)
+	}
+	for ci, c := range d.Configurations {
+		jc := jsonConfig{Name: c.Name, Modes: map[string]string{}}
+		for mi, k := range c.Modes {
+			if k == 0 {
+				continue
+			}
+			mod := d.Modules[mi]
+			if k < 1 || k > len(mod.Modes) {
+				return fmt.Errorf("design: configuration %d: mode index %d out of range for module %q", ci, k, mod.Name)
+			}
+			jc.Modes[mod.Name] = mod.Modes[k-1].Name
+		}
+		jd.Configs = append(jd.Configs, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jd)
+}
+
+// DecodeJSON reads a design from w's JSON representation and validates it.
+func DecodeJSON(r io.Reader) (*Design, error) {
+	var jd jsonDesign
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("design: decoding JSON: %w", err)
+	}
+	d := &Design{
+		Name:   jd.Name,
+		Static: resource.New(jd.Static.CLB, jd.Static.BRAM, jd.Static.DSP),
+	}
+	modIdx := make(map[string]int)
+	for _, jm := range jd.Modules {
+		m := &Module{Name: jm.Name}
+		for _, md := range jm.Modes {
+			m.Modes = append(m.Modes, Mode{
+				Name:      md.Name,
+				Resources: resource.New(md.Resources.CLB, md.Resources.BRAM, md.Resources.DSP),
+			})
+		}
+		modIdx[jm.Name] = len(d.Modules)
+		d.Modules = append(d.Modules, m)
+	}
+	for ci, jc := range jd.Configs {
+		c := Configuration{Name: jc.Name, Modes: make([]int, len(d.Modules))}
+		for modName, modeName := range jc.Modes {
+			mi, ok := modIdx[modName]
+			if !ok {
+				return nil, fmt.Errorf("design: configuration %d names unknown module %q", ci, modName)
+			}
+			ki := -1
+			for idx, md := range d.Modules[mi].Modes {
+				if md.Name == modeName {
+					ki = idx + 1
+					break
+				}
+			}
+			if ki < 0 {
+				return nil, fmt.Errorf("design: configuration %d: module %q has no mode %q", ci, modName, modeName)
+			}
+			c.Modes[mi] = ki
+		}
+		d.Configurations = append(d.Configurations, c)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("design: invalid design %q: %w", d.Name, err)
+	}
+	return d, nil
+}

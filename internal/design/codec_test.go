@@ -1,0 +1,83 @@
+package design
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, d := range []*Design{
+		PaperExample(), VideoReceiver(), VideoReceiverModified(),
+		TwoModuleExample(), SingleModeExample(),
+	} {
+		var buf bytes.Buffer
+		if err := EncodeJSON(&buf, d); err != nil {
+			t.Fatalf("%s: encode: %v", d.Name, err)
+		}
+		got, err := DecodeJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", d.Name, err)
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", d.Name, got, d)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownModule(t *testing.T) {
+	const js = `{
+	  "name": "x", "static": {"clb":0,"bram":0,"dsp":0},
+	  "modules": [{"name":"A","modes":[{"name":"1","resources":{"clb":1,"bram":0,"dsp":0}}]}],
+	  "configurations": [{"modes":{"B":"1"}}]
+	}`
+	if _, err := DecodeJSON(strings.NewReader(js)); err == nil || !strings.Contains(err.Error(), "unknown module") {
+		t.Errorf("want unknown-module error, got %v", err)
+	}
+}
+
+func TestDecodeRejectsUnknownMode(t *testing.T) {
+	const js = `{
+	  "name": "x", "static": {"clb":0,"bram":0,"dsp":0},
+	  "modules": [{"name":"A","modes":[{"name":"1","resources":{"clb":1,"bram":0,"dsp":0}}]}],
+	  "configurations": [{"modes":{"A":"7"}}]
+	}`
+	if _, err := DecodeJSON(strings.NewReader(js)); err == nil || !strings.Contains(err.Error(), "no mode") {
+		t.Errorf("want unknown-mode error, got %v", err)
+	}
+}
+
+func TestDecodeRejectsInvalidDesign(t *testing.T) {
+	// Structurally parseable but semantically invalid: no configurations.
+	const js = `{
+	  "name": "x", "static": {"clb":0,"bram":0,"dsp":0},
+	  "modules": [{"name":"A","modes":[{"name":"1","resources":{"clb":1,"bram":0,"dsp":0}}]}],
+	  "configurations": []
+	}`
+	if _, err := DecodeJSON(strings.NewReader(js)); err == nil {
+		t.Error("want validation error for design without configurations")
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	const js = `{"name":"x","bogus":1}`
+	if _, err := DecodeJSON(strings.NewReader(js)); err == nil {
+		t.Error("want error for unknown JSON field")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader("not json")); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}
+
+func TestEncodeRejectsCorruptConfiguration(t *testing.T) {
+	d := PaperExample()
+	d.Configurations[0].Modes[0] = 99 // bypassing Validate
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, d); err == nil {
+		t.Error("want error encoding out-of-range mode index")
+	}
+}

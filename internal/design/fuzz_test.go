@@ -1,0 +1,39 @@
+package design
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeJSON checks the JSON codec never panics and that accepted
+// inputs are valid designs that survive a round trip.
+func FuzzDecodeJSON(f *testing.F) {
+	for _, d := range []*Design{PaperExample(), VideoReceiver(), SingleModeExample()} {
+		var b bytes.Buffer
+		if err := EncodeJSON(&b, d); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.String())
+	}
+	f.Add("{}")
+	f.Add("[1,2,3]")
+	f.Add(`{"name":"x","static":{"clb":-5,"bram":0,"dsp":0},"modules":[],"configurations":[]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := DecodeJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("DecodeJSON accepted invalid design: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := EncodeJSON(&out, d); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		if _, rerr := DecodeJSON(&out); rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package design
+
+import "prpart/internal/resource"
+
+// Gallery returns a set of realistic adaptive-system designs beyond the
+// paper's case study, spanning the application domains its introduction
+// motivates (cognitive radio, space/real-time systems, vision). They are
+// used by integration tests and the gallery experiment as additional
+// fixed workloads with hand-written, domain-plausible utilisations.
+func Gallery() []*Design {
+	return []*Design{
+		SDRTransceiver(),
+		VisionPipeline(),
+		SatelliteComms(),
+	}
+}
+
+// SDRTransceiver models a software-defined radio that switches between
+// receive and transmit personalities with several waveform options —
+// the cognitive-radio pattern of the paper's reference [1], where the
+// sensing and transmission chains never co-exist.
+func SDRTransceiver() *Design {
+	return &Design{
+		Name:   "sdr-transceiver",
+		Static: resource.New(120, 8, 0),
+		Modules: []*Module{
+			{Name: "Sense", Modes: []Mode{
+				{Name: "Energy", Resources: resource.New(260, 2, 8)},
+				{Name: "Feature", Resources: resource.New(1150, 12, 30)},
+			}},
+			{Name: "RxChain", Modes: []Mode{
+				{Name: "NBFM", Resources: resource.New(540, 2, 18)},
+				{Name: "OFDM", Resources: resource.New(1900, 18, 52)},
+			}},
+			{Name: "TxChain", Modes: []Mode{
+				{Name: "NBFM", Resources: resource.New(480, 1, 14)},
+				{Name: "OFDM", Resources: resource.New(1750, 14, 46)},
+			}},
+			{Name: "Codec", Modes: []Mode{
+				{Name: "Voice", Resources: resource.New(350, 4, 6)},
+				{Name: "Data", Resources: resource.New(620, 10, 10)},
+			}},
+		},
+		Configurations: []Configuration{
+			// Spectrum sensing sweeps: no Rx/Tx/codec on the fabric.
+			{Name: "scan-fast", Modes: []int{1, 0, 0, 0}},
+			{Name: "scan-deep", Modes: []int{2, 0, 0, 0}},
+			// Receive personalities.
+			{Name: "rx-voice", Modes: []int{0, 1, 0, 1}},
+			{Name: "rx-data", Modes: []int{0, 2, 0, 2}},
+			// Transmit personalities.
+			{Name: "tx-voice", Modes: []int{0, 0, 1, 1}},
+			{Name: "tx-data", Modes: []int{0, 0, 2, 2}},
+		},
+	}
+}
+
+// VisionPipeline models an adaptive vision system that re-targets its
+// pre-processing and detector stages as scene conditions change.
+func VisionPipeline() *Design {
+	return &Design{
+		Name:   "vision-pipeline",
+		Static: resource.New(150, 12, 0),
+		Modules: []*Module{
+			{Name: "PreProc", Modes: []Mode{
+				{Name: "Denoise", Resources: resource.New(820, 10, 24)},
+				{Name: "HDR", Resources: resource.New(1350, 22, 40)},
+				{Name: "LowLight", Resources: resource.New(990, 16, 30)},
+			}},
+			{Name: "Features", Modes: []Mode{
+				{Name: "Edges", Resources: resource.New(460, 4, 12)},
+				{Name: "Corners", Resources: resource.New(610, 6, 18)},
+			}},
+			{Name: "Detector", Modes: []Mode{
+				{Name: "Pedestrian", Resources: resource.New(2600, 30, 56)},
+				{Name: "Vehicle", Resources: resource.New(2450, 26, 50)},
+				{Name: "Generic", Resources: resource.New(1800, 18, 36)},
+			}},
+		},
+		Configurations: []Configuration{
+			{Name: "day-road", Modes: []int{1, 1, 2}},
+			{Name: "day-urban", Modes: []int{1, 2, 1}},
+			{Name: "dusk-road", Modes: []int{2, 1, 2}},
+			{Name: "night-urban", Modes: []int{3, 2, 1}},
+			{Name: "night-generic", Modes: []int{3, 1, 3}},
+		},
+	}
+}
+
+// SatelliteComms models a space payload that cycles between telemetry,
+// payload downlink and safe modes — the domain where the paper argues
+// long reconfiguration times are most damaging.
+func SatelliteComms() *Design {
+	return &Design{
+		Name:   "satellite-comms",
+		Static: resource.New(200, 16, 0),
+		Modules: []*Module{
+			{Name: "Mod", Modes: []Mode{
+				{Name: "BPSK", Resources: resource.New(90, 0, 4)},
+				{Name: "QPSK", Resources: resource.New(150, 0, 8)},
+				{Name: "APSK16", Resources: resource.New(420, 2, 20)},
+			}},
+			{Name: "FEC", Modes: []Mode{
+				{Name: "RS", Resources: resource.New(540, 6, 0)},
+				{Name: "LDPC", Resources: resource.New(1650, 24, 12)},
+			}},
+			{Name: "Crypto", Modes: []Mode{
+				{Name: "AES", Resources: resource.New(380, 4, 0)},
+				{Name: "Bypass", Resources: resource.New(20, 0, 0)},
+			}},
+			{Name: "Compress", Modes: []Mode{
+				{Name: "CCSDS", Resources: resource.New(950, 18, 16)},
+				{Name: "None", Resources: resource.New(15, 0, 0)},
+			}},
+		},
+		Configurations: []Configuration{
+			{Name: "safe", Modes: []int{1, 1, 2, 2}},
+			{Name: "telemetry", Modes: []int{2, 1, 1, 2}},
+			{Name: "downlink-low", Modes: []int{2, 2, 1, 1}},
+			{Name: "downlink-high", Modes: []int{3, 2, 1, 1}},
+			{Name: "emergency", Modes: []int{1, 1, 1, 2}},
+		},
+	}
+}

@@ -1,0 +1,43 @@
+package design
+
+import "testing"
+
+func TestGalleryValid(t *testing.T) {
+	gallery := Gallery()
+	if len(gallery) != 3 {
+		t.Fatalf("gallery size = %d, want 3", len(gallery))
+	}
+	seen := map[string]bool{}
+	for _, d := range gallery {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if seen[d.Name] {
+			t.Errorf("duplicate gallery design %q", d.Name)
+		}
+		seen[d.Name] = true
+		if got, want := len(d.UsedModes()), len(d.AllModes()); got != want {
+			t.Errorf("%s: %d/%d modes used — gallery designs should use every mode", d.Name, got, want)
+		}
+	}
+}
+
+func TestSDRTransceiverDisjointPersonalities(t *testing.T) {
+	d := SDRTransceiver()
+	// Sensing configurations and Rx/Tx configurations share no modules:
+	// the §IV-D mode-0 pattern at realistic scale.
+	for ci, c := range d.Configurations {
+		active := 0
+		for _, k := range c.Modes {
+			if k != 0 {
+				active++
+			}
+		}
+		if ci < 2 && active != 1 {
+			t.Errorf("sensing config %d activates %d modules, want 1", ci, active)
+		}
+		if ci >= 2 && active != 2 {
+			t.Errorf("link config %d activates %d modules, want 2", ci, active)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package design
+
+import "prpart/internal/resource"
+
+// PaperExample returns the worked example of the paper's §III-A/§IV-C:
+// three modules A (3 modes), B (2 modes), C (3 modes) and the five valid
+// configurations
+//
+//	S -> A3 -> B2 -> C3
+//	S -> A1 -> B1 -> C1
+//	S -> A3 -> B2 -> C1
+//	S -> A1 -> B2 -> C2
+//	S -> A2 -> B2 -> C3
+//
+// whose connectivity matrix, node/edge weights and base partitions
+// (Table I) are printed in the paper. The paper assigns the example no
+// utilisations; the numbers here are synthetic but distinct so that area
+// ordering is exercised.
+func PaperExample() *Design {
+	return &Design{
+		Name:   "paper-example",
+		Static: resource.New(90, 8, 0),
+		Modules: []*Module{
+			{Name: "A", Modes: []Mode{
+				{Name: "1", Resources: resource.New(120, 0, 2)},
+				{Name: "2", Resources: resource.New(200, 2, 4)},
+				{Name: "3", Resources: resource.New(80, 0, 0)},
+			}},
+			{Name: "B", Modes: []Mode{
+				{Name: "1", Resources: resource.New(300, 4, 6)},
+				{Name: "2", Resources: resource.New(150, 1, 2)},
+			}},
+			{Name: "C", Modes: []Mode{
+				{Name: "1", Resources: resource.New(90, 0, 1)},
+				{Name: "2", Resources: resource.New(110, 2, 0)},
+				{Name: "3", Resources: resource.New(60, 0, 3)},
+			}},
+		},
+		Configurations: []Configuration{
+			{Modes: []int{3, 2, 3}},
+			{Modes: []int{1, 1, 1}},
+			{Modes: []int{3, 2, 1}},
+			{Modes: []int{1, 2, 2}},
+			{Modes: []int{2, 2, 3}},
+		},
+	}
+}
+
+// VideoReceiver returns the paper's §V case study: a wireless video
+// receiver chain on a Virtex-5 FX70T with five reconfigurable modules.
+// The utilisations are Table II verbatim (the paper's "Slices" column used
+// directly as CLB counts, matching how Tables IV-V sum them), and the
+// configurations are the first (8-configuration) set.
+func VideoReceiver() *Design {
+	d := &Design{
+		Name: "video-receiver",
+		// The paper allocates the rest of the FX70T to static logic and
+		// gives the PR design an explicit budget instead; Static is left
+		// zero and the budget is supplied to the partitioner.
+		Modules: []*Module{
+			{Name: "F", Modes: []Mode{ // Matched Filter
+				{Name: "Filter1", Resources: resource.New(818, 0, 28)},
+				{Name: "Filter2", Resources: resource.New(500, 0, 34)},
+			}},
+			{Name: "R", Modes: []Mode{ // Recovery
+				{Name: "Fine", Resources: resource.New(318, 1, 13)},
+				{Name: "Coarse1", Resources: resource.New(195, 1, 5)},
+				{Name: "Coarse2", Resources: resource.New(123, 0, 8)},
+				{Name: "None", Resources: resource.New(0, 0, 0)},
+			}},
+			{Name: "M", Modes: []Mode{ // Demodulator
+				{Name: "BPSK", Resources: resource.New(50, 0, 2)},
+				{Name: "QPSK", Resources: resource.New(97, 0, 4)},
+			}},
+			{Name: "D", Modes: []Mode{ // Decoder (FEC)
+				{Name: "Viterbi", Resources: resource.New(630, 2, 0)},
+				{Name: "Turbo", Resources: resource.New(748, 15, 4)},
+				{Name: "DPC", Resources: resource.New(234, 2, 0)},
+			}},
+			{Name: "V", Modes: []Mode{ // Decoder (video)
+				{Name: "MPEG4", Resources: resource.New(4700, 40, 65)},
+				{Name: "MPEG2", Resources: resource.New(4558, 16, 32)},
+				{Name: "JPEG", Resources: resource.New(2780, 6, 9)},
+			}},
+		},
+		Configurations: []Configuration{
+			// S -> F1 -> R3 -> M1 -> D1 -> V1  (module order F,R,M,D,V)
+			{Modes: []int{1, 3, 1, 1, 1}},
+			{Modes: []int{1, 3, 1, 1, 2}},
+			{Modes: []int{1, 3, 1, 1, 3}},
+			{Modes: []int{2, 1, 2, 3, 1}},
+			{Modes: []int{2, 2, 1, 1, 1}},
+			{Modes: []int{2, 2, 1, 1, 2}},
+			{Modes: []int{2, 2, 1, 1, 3}},
+			{Modes: []int{1, 2, 1, 2, 2}},
+		},
+	}
+	return d
+}
+
+// VideoReceiverModified returns the case study with the second
+// (5-configuration) set used for the paper's Table V.
+func VideoReceiverModified() *Design {
+	d := VideoReceiver()
+	d.Name = "video-receiver-modified"
+	d.Configurations = []Configuration{
+		// S -> F1 -> R3 -> M1 -> D1 -> V1
+		{Modes: []int{1, 3, 1, 1, 1}},
+		// S -> F1 -> R2 -> M1 -> D1 -> V3
+		{Modes: []int{1, 2, 1, 1, 3}},
+		// S -> F2 -> R3 -> M1 -> D1 -> V3
+		{Modes: []int{2, 3, 1, 1, 3}},
+		// S -> F1 -> R1 -> M2 -> D3 -> V1
+		{Modes: []int{1, 1, 2, 3, 1}},
+		// S -> F2 -> R1 -> M2 -> D3 -> V2
+		{Modes: []int{2, 1, 2, 3, 2}},
+	}
+	return d
+}
+
+// CaseStudyBudget is the FX70T resource budget set aside for the PR
+// portion of the case study. The paper quotes 6800 CLBs, 50 BRAMs and 150
+// DSP slices, but that BRAM figure is inconsistent with its own Table II
+// utilisations: the paper's Table III solution needs at least 59 BRAMs
+// from Table II data (V's 40 plus Turbo's 15 in separate regions plus
+// Recovery's 1), and even the one-module-per-region scheme needs 56. We
+// raise the BRAM budget to 64 so the case study retains the paper's shape
+// (static infeasible, modular and proposed both fit); see EXPERIMENTS.md.
+func CaseStudyBudget() resource.Vector { return resource.New(6800, 64, 150) }
+
+// TwoModuleExample returns the two-module motivating example of §IV-A:
+// modules A (small mode A1, large mode A2) and B (large mode B1, small
+// mode B2) with valid configurations A1->B1, A2->B2 and A1->B2. It is the
+// smallest design on which single-region, one-module-per-region and the
+// hybrid static assignment all differ.
+func TwoModuleExample() *Design {
+	return &Design{
+		Name:   "two-module-example",
+		Static: resource.New(90, 8, 0),
+		Modules: []*Module{
+			{Name: "A", Modes: []Mode{
+				{Name: "1", Resources: resource.New(100, 0, 0)},
+				{Name: "2", Resources: resource.New(400, 0, 0)},
+			}},
+			{Name: "B", Modes: []Mode{
+				{Name: "1", Resources: resource.New(500, 0, 0)},
+				{Name: "2", Resources: resource.New(120, 0, 0)},
+			}},
+		},
+		Configurations: []Configuration{
+			{Modes: []int{1, 1}},
+			{Modes: []int{2, 2}},
+			{Modes: []int{1, 2}},
+		},
+	}
+}
+
+// SingleModeExample returns the §IV-D special-condition example borrowed
+// from the paper's reference [7]: five single-mode modules (CAN, FIR,
+// Ethernet, FPU, CRC) and two configurations with disjoint module sets,
+// expressed via mode 0 for absent modules.
+func SingleModeExample() *Design {
+	one := func(name string, v resource.Vector) *Module {
+		return &Module{Name: name, Modes: []Mode{{Name: "1", Resources: v}}}
+	}
+	return &Design{
+		Name:   "single-mode-example",
+		Static: resource.New(90, 8, 0),
+		Modules: []*Module{
+			one("CAN", resource.New(310, 2, 0)),
+			one("FIR", resource.New(260, 0, 12)),
+			one("Eth", resource.New(420, 4, 0)),
+			one("FPU", resource.New(550, 0, 8)),
+			one("CRC", resource.New(90, 0, 0)),
+		},
+		Configurations: []Configuration{
+			// CAN -> FIR (Eth, FPU, CRC absent)
+			{Modes: []int{1, 1, 0, 0, 0}},
+			// Eth -> FPU -> CRC (CAN, FIR absent)
+			{Modes: []int{0, 0, 1, 1, 1}},
+		},
+	}
+}

@@ -1,0 +1,33 @@
+package device_test
+
+import (
+	"fmt"
+
+	"prpart/internal/device"
+	"prpart/internal/resource"
+)
+
+// The frame arithmetic of the paper's eqs. (3)-(6): a requirement is
+// quantised to whole tiles, and each tile type contributes a fixed number
+// of configuration frames.
+func ExampleFrames() {
+	req := resource.New(818, 0, 28) // the case study's Filter1 mode
+	tiles := device.Tiles(req)
+	fmt.Printf("tiles: %v\n", tiles)
+	fmt.Printf("frames: %d\n", device.Frames(req))
+	// Output:
+	// tiles: {41 CLB, 0 BRAM, 4 DSP}
+	// frames: 1588
+}
+
+// Device selection walks the catalog smallest-first.
+func ExampleSmallest() {
+	dev, err := device.Smallest(resource.New(5000, 40, 100))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(dev.Name)
+	// Output:
+	// XC5VSX35T
+}

@@ -1,0 +1,271 @@
+// Package exact finds provably optimal partitionings for small designs by
+// exhaustive enumeration, providing ground truth against which the greedy
+// search of internal/partition is validated. The paper notes the general
+// problem is NP-hard; this solver is exponential in the candidate-set
+// size and is intended for designs with at most ExactLimit candidate
+// parts (the worked example and small synthetic designs).
+//
+// The enumeration assigns each part of the first candidate partition set
+// either to the static region or to a group, using restricted-growth
+// labelling so every set partition is visited exactly once, pruning on
+// pairwise compatibility and on the (monotone) area lower bound.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"prpart/internal/cluster"
+	"prpart/internal/compat"
+	"prpart/internal/connmat"
+	"prpart/internal/cost"
+	"prpart/internal/cover"
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/modeset"
+	"prpart/internal/resource"
+	"prpart/internal/scheme"
+)
+
+// ExactLimit is the largest candidate-set size the solver accepts
+// (Bell(11) ≈ 678k set partitions, times static choices, stays tractable).
+const ExactLimit = 10
+
+// ErrTooLarge reports a design beyond the enumeration limit.
+var ErrTooLarge = errors.New("exact: candidate set too large for exhaustive enumeration")
+
+// ErrNoScheme reports that no feasible assignment exists.
+var ErrNoScheme = errors.New("exact: no feasible scheme")
+
+// static is the assignment label for the static region.
+const static = -1
+
+// Options configures the exhaustive search.
+type Options struct {
+	// Budget is the device resource budget (including design static).
+	Budget resource.Vector
+	// NoStatic disables promotion into the static region.
+	NoStatic bool
+}
+
+// Result is the optimal scheme and its metrics.
+type Result struct {
+	Scheme  *scheme.Scheme
+	Summary cost.Summary
+	// States is the number of complete assignments evaluated.
+	States int
+}
+
+// Solve exhaustively enumerates groupings of the first candidate
+// partition set and returns the feasible scheme with the lowest total
+// reconfiguration time (ties: lower worst case, then fewer resources).
+func Solve(d *design.Design, opts Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("exact: invalid design: %w", err)
+	}
+	m := connmat.New(d)
+	parts, err := cluster.BasePartitions(m)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := cover.Cover(cover.Order(parts), m)
+	if err != nil {
+		return nil, err
+	}
+	if len(cs.Parts) > ExactLimit {
+		return nil, fmt.Errorf("%w: %d parts (max %d)", ErrTooLarge, len(cs.Parts), ExactLimit)
+	}
+	sets := make([]modeset.Set, len(cs.Parts))
+	for i, p := range cs.Parts {
+		sets[i] = p.Set
+	}
+	e := &enum{
+		d:      d,
+		cs:     cs,
+		tab:    compat.NewTable(m, sets),
+		opts:   opts,
+		assign: make([]int, len(cs.Parts)),
+	}
+	e.walk(0, 0)
+	if e.bestAssign == nil {
+		return nil, ErrNoScheme
+	}
+	sch := e.toScheme(e.bestAssign, e.bestGroups)
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("exact: internal error: %w", err)
+	}
+	_, sum := cost.Evaluate(sch)
+	return &Result{Scheme: sch, Summary: sum, States: e.states}, nil
+}
+
+type enum struct {
+	d    *design.Design
+	cs   *cover.CandidateSet
+	tab  *compat.Table
+	opts Options
+
+	assign []int // part -> group id, or static
+	states int
+
+	bestAssign []int
+	bestGroups int
+	bestTotal  int
+	bestWorst  int
+	bestArea   int
+}
+
+// walk assigns part i; groups already used are 0..nGroups-1.
+func (e *enum) walk(i, nGroups int) {
+	if i == len(e.assign) {
+		e.evaluate(nGroups)
+		return
+	}
+	if e.partialArea(i).Total() > e.opts.Budget.Total() {
+		// Area is monotone in further assignments only per-component;
+		// use the scalar total as a safe (weaker) bound.
+		return
+	}
+	// Existing groups (must be pairwise compatible with all members).
+	for g := 0; g < nGroups; g++ {
+		ok := true
+		for j := 0; j < i; j++ {
+			if e.assign[j] == g && !e.tab.Compatible(i, j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.assign[i] = g
+			e.walk(i+1, nGroups)
+		}
+	}
+	// A fresh group (restricted growth: always label nGroups).
+	e.assign[i] = nGroups
+	e.walk(i+1, nGroups+1)
+	// Static.
+	if !e.opts.NoStatic {
+		e.assign[i] = static
+		e.walk(i+1, nGroups)
+	}
+	e.assign[i] = 0
+}
+
+// partialArea returns the area of the first i assigned parts plus the
+// design's fixed static logic.
+func (e *enum) partialArea(i int) resource.Vector {
+	groupRes := map[int]resource.Vector{}
+	staticRes := e.d.Static
+	for j := 0; j < i; j++ {
+		if e.assign[j] == static {
+			staticRes = staticRes.Add(e.cs.Parts[j].Resources)
+			continue
+		}
+		groupRes[e.assign[j]] = groupRes[e.assign[j]].Max(e.cs.Parts[j].Resources)
+	}
+	area := staticRes
+	for _, r := range groupRes {
+		area = area.Add(device.TilesToPrimitives(device.Tiles(r)))
+	}
+	return area
+}
+
+// evaluate scores a complete assignment.
+func (e *enum) evaluate(nGroups int) {
+	e.states++
+	area := e.partialArea(len(e.assign))
+	if !area.FitsIn(e.opts.Budget) {
+		return
+	}
+	// Region frames and per-config activation.
+	frames := make([]int, nGroups)
+	for g := 0; g < nGroups; g++ {
+		var r resource.Vector
+		for p, ag := range e.assign {
+			if ag == g {
+				r = r.Max(e.cs.Parts[p].Resources)
+			}
+		}
+		frames[g] = device.FramesForTiles(device.Tiles(r))
+	}
+	nCfg := len(e.d.Configurations)
+	act := make([][]int, nCfg)
+	for ci := 0; ci < nCfg; ci++ {
+		act[ci] = make([]int, nGroups)
+		for g := range act[ci] {
+			act[ci][g] = scheme.Inactive
+		}
+		for p, ag := range e.assign {
+			if ag != static && e.cs.Active[ci][p] {
+				act[ci][ag] = p
+			}
+		}
+	}
+	total, worst := 0, 0
+	for i := 0; i < nCfg; i++ {
+		for j := i + 1; j < nCfg; j++ {
+			t := 0
+			for g := 0; g < nGroups; g++ {
+				a, b := act[i][g], act[j][g]
+				if a != scheme.Inactive && b != scheme.Inactive && a != b {
+					t += frames[g]
+				}
+			}
+			total += t
+			if t > worst {
+				worst = t
+			}
+		}
+	}
+	if e.bestAssign != nil {
+		switch {
+		case total > e.bestTotal:
+			return
+		case total == e.bestTotal && worst > e.bestWorst:
+			return
+		case total == e.bestTotal && worst == e.bestWorst && area.Total() >= e.bestArea:
+			return
+		}
+	}
+	e.bestAssign = append(e.bestAssign[:0], e.assign...)
+	e.bestGroups = nGroups
+	e.bestTotal = total
+	e.bestWorst = worst
+	e.bestArea = area.Total()
+}
+
+// toScheme materialises an assignment.
+func (e *enum) toScheme(assign []int, nGroups int) *scheme.Scheme {
+	out := &scheme.Scheme{Design: e.d, Name: "exact"}
+	// slotOf[p] = index of part p within its region's Parts.
+	slotOf := make([]int, len(assign))
+	for g := 0; g < nGroups; g++ {
+		var reg scheme.Region
+		for p, ag := range assign {
+			if ag == g {
+				slotOf[p] = len(reg.Parts)
+				reg.Parts = append(reg.Parts, e.cs.Parts[p])
+			}
+		}
+		out.Regions = append(out.Regions, reg)
+	}
+	for p, ag := range assign {
+		if ag == static {
+			out.Static = append(out.Static, e.cs.Parts[p])
+		}
+	}
+	nCfg := len(e.d.Configurations)
+	out.Active = make([][]int, nCfg)
+	for ci := 0; ci < nCfg; ci++ {
+		row := make([]int, nGroups)
+		for g := range row {
+			row[g] = scheme.Inactive
+		}
+		for p, ag := range assign {
+			if ag != static && e.cs.Active[ci][p] {
+				row[ag] = slotOf[p]
+			}
+		}
+		out.Active[ci] = row
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prpart/internal/cost"
+	"prpart/internal/design"
+	"prpart/internal/partition"
+	"prpart/internal/report"
+)
+
+// AblationVariant names one configuration of the search under test.
+type AblationVariant struct {
+	// Name labels the variant in the report.
+	Name string
+	// Opts are the search options (Budget is filled per device).
+	Opts partition.Options
+}
+
+// AblationVariants returns the design-choice ablations called out in
+// DESIGN.md: the full algorithm, static promotion disabled (A1), greedy
+// descent without restarts (A2), idealised (non-quantised) search
+// guidance (A3), and reversed covering order (A5). A4, the
+// transition-probability weighting, is exercised by WeightedCaseStudy.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "full", Opts: partition.Options{}},
+		{Name: "no-static (A1)", Opts: partition.Options{NoStatic: true}},
+		{Name: "greedy-only (A2)", Opts: partition.Options{GreedyOnly: true}},
+		{Name: "no-quantize (A3)", Opts: partition.Options{NoQuantize: true}},
+		{Name: "descending-cover (A5)", Opts: partition.Options{CoverDescending: true}},
+	}
+}
+
+// Ablation runs every variant over the corpus and reports the aggregate
+// total reconfiguration time and win counts relative to the full
+// algorithm.
+func Ablation(designs []*design.Design, workers int) (*report.Table, error) {
+	variants := AblationVariants()
+	totals := make([][]int, len(variants))
+	sameDev := make([][]bool, len(variants))
+	devs := make([][]string, len(variants))
+	var fallbacks, upsized []int
+	for vi, v := range variants {
+		outs, err := Sweep(designs, v.Opts, workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", v.Name, err)
+		}
+		totals[vi] = make([]int, len(outs))
+		devs[vi] = make([]string, len(outs))
+		fb, up := 0, 0
+		for i, o := range outs {
+			totals[vi][i] = o.Proposed.Total
+			devs[vi][i] = o.ProposedDev
+			if o.FallbackSingle {
+				fb++
+			}
+			if o.Upsized {
+				up++
+			}
+		}
+		fallbacks = append(fallbacks, fb)
+		upsized = append(upsized, up)
+	}
+	// Totals are only comparable on the same device: a weaker search that
+	// escalates to a larger FPGA can post a lower reconfiguration time by
+	// spending silicon instead. Count wins/losses on same-device designs
+	// and report device escalation separately.
+	for vi := range variants {
+		sameDev[vi] = make([]bool, len(designs))
+		for i := range designs {
+			sameDev[vi][i] = devs[vi][i] == devs[0][i]
+		}
+	}
+	t := report.NewTable("Ablation: search variants over the corpus (same-device comparisons)",
+		"Variant", "Sum total (frames)", "Worse than full", "Better than full",
+		"Larger device", "Upsized", "Fallbacks")
+	for vi, v := range variants {
+		sum, worse, better, bigger := 0, 0, 0, 0
+		for i := range totals[vi] {
+			sum += totals[vi][i]
+			if !sameDev[vi][i] {
+				bigger++
+				continue
+			}
+			if totals[vi][i] > totals[0][i] {
+				worse++
+			}
+			if totals[vi][i] < totals[0][i] {
+				better++
+			}
+		}
+		t.AddRowf(v.Name, sum, worse, better, bigger, upsized[vi], fallbacks[vi])
+	}
+	return t, nil
+}
+
+// WeightedCaseStudy evaluates the paper's future-work extension (A4):
+// under a skewed transition-probability distribution, compare the
+// probability-weighted expected reconfiguration time of the proposed,
+// modular and single-region schemes for the case study. The probability
+// matrix is drawn deterministically from the seed.
+func WeightedCaseStudy(seed int64) (*report.Table, error) {
+	d := design.VideoReceiver()
+	cs, err := RunCaseStudy(d)
+	if err != nil {
+		return nil, err
+	}
+	n := len(d.Configurations)
+	rng := rand.New(rand.NewSource(seed))
+	prob := make([][]float64, n)
+	var norm float64
+	for i := range prob {
+		prob[i] = make([]float64, n)
+		for j := range prob[i] {
+			if i != j {
+				p := rng.Float64() * rng.Float64() // skewed toward small
+				prob[i][j] = p
+				norm += p
+			}
+		}
+	}
+	for i := range prob {
+		for j := range prob[i] {
+			prob[i][j] /= norm
+		}
+	}
+	// The weighted-objective search (the future-work extension made
+	// first-class in partition.Options.TransitionWeights).
+	wres, err := partition.Solve(d, partition.Options{
+		Budget:            design.CaseStudyBudget(),
+		TransitionWeights: prob,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("A4: probability-weighted expected reconfiguration time (frames/transition)",
+		"Scheme", "Uniform total", "Weighted expectation")
+	for _, row := range []struct {
+		name string
+		m    cost.Matrix
+	}{
+		{"Proposed (uniform objective)", cost.Transitions(cs.Proposed.Scheme)},
+		{"Proposed (weighted objective)", cost.Transitions(wres.Scheme)},
+		{"Modular", cost.Transitions(partition.Modular(d))},
+		{"Single", cost.Transitions(partition.SingleRegion(d))},
+	} {
+		w, err := row.m.Weighted(prob)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(row.name, row.m.Total(), fmt.Sprintf("%.1f", w))
+	}
+	return t, nil
+}

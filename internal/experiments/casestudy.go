@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prpart/internal/cluster"
+	"prpart/internal/connmat"
+	"prpart/internal/cost"
+	"prpart/internal/cover"
+	"prpart/internal/design"
+	"prpart/internal/partition"
+	"prpart/internal/report"
+	"prpart/internal/scheme"
+)
+
+// Table1 reproduces the paper's Table I: the base partitions of the
+// worked example with their frequency weights, in covering order.
+func Table1() (*report.Table, error) {
+	d := design.PaperExample()
+	parts, err := cluster.BasePartitions(connmat.New(d))
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table I: base partitions with their frequency weight",
+		"Base Part'n", "Freq wt")
+	for _, bp := range cover.Order(parts) {
+		t.AddRowf(bp.Label(d), bp.FreqWeight)
+	}
+	return t, nil
+}
+
+// Table2 reproduces the paper's Table II: resource utilisation of the
+// case-study reconfigurable modules.
+func Table2() *report.Table {
+	d := design.VideoReceiver()
+	t := report.NewTable("Table II: resource utilisation for reconfigurable modules",
+		"Module", "Mode", "CLBs", "BR", "DSP")
+	for _, m := range d.Modules {
+		for _, md := range m.Modes {
+			t.AddRowf(m.Name, md.Name, md.Resources.CLB, md.Resources.BRAM, md.Resources.DSP)
+		}
+	}
+	return t
+}
+
+// CaseStudy bundles one run of the case study.
+type CaseStudy struct {
+	Design   *design.Design
+	Proposed *partition.Result
+	Modular  cost.Summary
+	Single   cost.Summary
+	Static   *scheme.Scheme
+}
+
+// RunCaseStudy solves a case-study design against the FX70T budget.
+func RunCaseStudy(d *design.Design) (*CaseStudy, error) {
+	res, err := partition.Solve(d, partition.Options{Budget: design.CaseStudyBudget()})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: case study %s: %w", d.Name, err)
+	}
+	cs := &CaseStudy{Design: d, Proposed: res, Static: partition.FullyStatic(d)}
+	_, cs.Modular = cost.Evaluate(partition.Modular(d))
+	_, cs.Single = cost.Evaluate(partition.SingleRegion(d))
+	return cs, nil
+}
+
+// PartitionTable renders the proposed scheme's regions in the paper's
+// Table III / Table V format.
+func (cs *CaseStudy) PartitionTable(title string) *report.Table {
+	t := report.NewTable(title, "Region", "Base Partitions")
+	if len(cs.Proposed.Scheme.Static) > 0 {
+		label := ""
+		for i, p := range cs.Proposed.Scheme.Static {
+			if i > 0 {
+				label += ", "
+			}
+			label += p.Label(cs.Design)
+		}
+		t.AddRow("static", label)
+	}
+	for i := range cs.Proposed.Scheme.Regions {
+		r := &cs.Proposed.Scheme.Regions[i]
+		t.AddRow(fmt.Sprintf("PRR%d", i+1), r.Label(cs.Design))
+	}
+	return t
+}
+
+// SchemeTable renders the paper's Table IV: resources and total
+// reconfiguration time for the static, modular and proposed schemes, plus
+// whether each fits the case-study budget.
+func (cs *CaseStudy) SchemeTable() *report.Table {
+	budget := design.CaseStudyBudget()
+	t := report.NewTable("Table IV: properties for different partitioning schemes",
+		"Scheme", "CLBs", "BRAMs", "DSPs", "Total Recon. time", "Fits budget")
+	add := func(name string, s *scheme.Scheme, total int) {
+		r := s.TotalResources()
+		t.AddRowf(name, r.CLB, r.BRAM, r.DSP, total, s.FitsIn(budget))
+	}
+	d := cs.Design
+	add("Static", partition.FullyStatic(d), 0)
+	add("Modular", partition.Modular(d), cs.Modular.Total)
+	add("Single", partition.SingleRegion(d), cs.Single.Total)
+	add("Proposed", cs.Proposed.Scheme, cs.Proposed.Summary.Total)
+	return t
+}
+
+// ImprovementOverModular returns the percentage reduction in total
+// reconfiguration time of the proposed scheme relative to modular.
+func (cs *CaseStudy) ImprovementOverModular() float64 {
+	if cs.Modular.Total == 0 {
+		return 0
+	}
+	return 100 * float64(cs.Modular.Total-cs.Proposed.Summary.Total) / float64(cs.Modular.Total)
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/partition"
+	"prpart/internal/synthetic"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 26 {
+		t.Errorf("Table I rows = %d, want 26", len(tab.Rows))
+	}
+	out := tab.String()
+	// Spot-check the paper's distinctive rows.
+	for _, want := range []string{"{B.2}", "4", "{A.3, B.2, C.3}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2EchoesUtilisations(t *testing.T) {
+	out := Table2().String()
+	for _, want := range []string{"Viterbi", "4700", "818", "MPEG4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	if len(Table2().Rows) != 14 {
+		t.Errorf("Table II rows = %d, want 14", len(Table2().Rows))
+	}
+}
+
+func TestCaseStudyTables(t *testing.T) {
+	cs, err := RunCaseStudy(design.VideoReceiver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp := cs.ImprovementOverModular(); imp <= 0 || imp > 25 {
+		t.Errorf("improvement over modular = %.1f%%, expected a small positive percentage", imp)
+	}
+	t3 := cs.PartitionTable("Table III").String()
+	if !strings.Contains(t3, "PRR1") {
+		t.Errorf("Table III missing PRR1:\n%s", t3)
+	}
+	t4 := cs.SchemeTable().String()
+	for _, want := range []string{"Static", "Modular", "Proposed", "false", "true"} {
+		if !strings.Contains(t4, want) {
+			t.Errorf("Table IV missing %q:\n%s", want, t4)
+		}
+	}
+}
+
+func TestCaseStudyModified(t *testing.T) {
+	cs, err := RunCaseStudy(design.VideoReceiverModified())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table V shape: the modified set's total is far below the original's.
+	orig, err := RunCaseStudy(design.VideoReceiver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Proposed.Summary.Total >= orig.Proposed.Summary.Total/2 {
+		t.Errorf("modified total %d not well below original %d",
+			cs.Proposed.Summary.Total, orig.Proposed.Summary.Total)
+	}
+}
+
+func TestEvaluateDesignCanned(t *testing.T) {
+	o, err := EvaluateDesign(0, design.VideoReceiver(), partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.SingleDev == "" || o.ProposedDev == "" {
+		t.Fatalf("missing devices: %+v", o)
+	}
+	if o.Proposed.Total > o.Single.Total {
+		t.Errorf("proposed %d worse than single %d", o.Proposed.Total, o.Single.Total)
+	}
+	if o.FallbackSingle {
+		t.Error("case study should not need the single-region fallback")
+	}
+}
+
+func sweepOutcomes(t *testing.T, n int) []*Outcome {
+	t.Helper()
+	designs := synthetic.Generate(1, n)
+	outs, err := Sweep(designs, partition.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+func TestSweepShapeInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	outs := sweepOutcomes(t, 60)
+	claims := ComputeClaims(outs)
+	if claims.Designs != 60 {
+		t.Fatalf("claims over %d designs", claims.Designs)
+	}
+	// The headline shape: proposed never loses to the single-region
+	// scheme on total time.
+	if claims.TotalWorseThanSingle > 0 {
+		for _, o := range outs {
+			if o.Proposed.Total > o.Single.Total {
+				t.Errorf("design %d (%s): proposed %d > single %d",
+					o.Index, o.Name, o.Proposed.Total, o.Single.Total)
+			}
+		}
+	}
+	// Proposed should beat or match modular on a clear majority.
+	if claims.TotalBetterThanModular+claims.TotalEqualModular < claims.Designs*6/10 {
+		t.Errorf("proposed better-or-equal modular on only %d+%d of %d designs",
+			claims.TotalBetterThanModular, claims.TotalEqualModular, claims.Designs)
+	}
+	// Devices must be consistent: proposed device never below single's.
+	for _, o := range outs {
+		if o.Upsized && o.ProposedDev == o.SingleDev {
+			t.Errorf("design %d flagged upsized but device unchanged", o.Index)
+		}
+	}
+}
+
+func TestFigureBuilders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	outs := sweepOutcomes(t, 24)
+	f7 := Fig7(outs)
+	if len(f7.Labels) != len(outs) {
+		t.Errorf("Fig7 points = %d, want %d", len(f7.Labels), len(outs))
+	}
+	f8 := Fig8(outs)
+	if len(f8.Labels) != len(outs) {
+		t.Errorf("Fig8 points = %d, want %d", len(f8.Labels), len(outs))
+	}
+	sorted := SortByDevice(outs)
+	if len(sorted) != len(outs) {
+		t.Fatal("SortByDevice lost designs")
+	}
+	hs := Fig9(outs)
+	for i, h := range hs {
+		if h.Total() != len(outs) {
+			t.Errorf("Fig9[%d] samples = %d, want %d", i, h.Total(), len(outs))
+		}
+	}
+	buckets := DeviceBuckets(outs)
+	if len(buckets.Rows) == 0 {
+		t.Error("DeviceBuckets empty")
+	}
+	claimsOut := ComputeClaims(outs).Table().String()
+	for _, want := range []string{"73%", "201 designs", "13 designs"} {
+		if !strings.Contains(claimsOut, want) {
+			t.Errorf("claims table missing paper reference %q", want)
+		}
+	}
+}
+
+func TestPctChange(t *testing.T) {
+	cases := []struct {
+		base, got int
+		want      float64
+	}{
+		{100, 50, 50},
+		{100, 100, 0},
+		{100, 110, -10},
+		{0, 0, 0},
+		{0, 5, -100},
+	}
+	for _, c := range cases {
+		if got := pctChange(c.base, c.got); got != c.want {
+			t.Errorf("pctChange(%d,%d) = %g, want %g", c.base, c.got, got, c.want)
+		}
+	}
+}
+
+func TestAblationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	designs := synthetic.Generate(2, 12)
+	tab, err := Ablation(designs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("ablation rows = %d, want 5", len(tab.Rows))
+	}
+	out := tab.String()
+	for _, want := range []string{"full", "no-static", "greedy-only", "no-quantize", "descending-cover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation missing variant %q", want)
+		}
+	}
+}
+
+func TestWeightedCaseStudy(t *testing.T) {
+	tab, err := WeightedCaseStudy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	out := tab.String()
+	if !strings.Contains(out, "Proposed") || !strings.Contains(out, "Weighted") {
+		t.Errorf("weighted table malformed:\n%s", out)
+	}
+}
+
+func TestShortDev(t *testing.T) {
+	if shortDev("XC5VFX70T") != "FX70T" {
+		t.Error("prefix not stripped")
+	}
+	if shortDev("other") != "other" {
+		t.Error("non-prefixed name changed")
+	}
+}
+
+func TestGalleryTable(t *testing.T) {
+	tab, err := GalleryTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("gallery rows = %d, want 3", len(tab.Rows))
+	}
+	out := tab.String()
+	for _, want := range []string{"sdr-transceiver", "vision-pipeline", "satellite-comms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gallery missing %q:\n%s", want, out)
+		}
+	}
+}

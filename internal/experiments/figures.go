@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"prpart/internal/device"
+	"prpart/internal/report"
+)
+
+// SortByDevice orders outcomes the way the paper sorts Figs. 7-8: by the
+// proposed algorithm's target FPGA (catalog order), then by proposed
+// total reconfiguration time within a device.
+func SortByDevice(outs []*Outcome) []*Outcome {
+	list := device.SweepCatalog()
+	sorted := append([]*Outcome(nil), outs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		di, dj := devIndex(list, sorted[i].ProposedDev), devIndex(list, sorted[j].ProposedDev)
+		if di != dj {
+			return di < dj
+		}
+		return sorted[i].Proposed.Total < sorted[j].Proposed.Total
+	})
+	return sorted
+}
+
+// Fig7 builds the total-reconfiguration-time series of the paper's
+// Fig. 7: one point per design, sorted by target device, with the
+// proposed, one-module-per-region and single-region totals.
+func Fig7(outs []*Outcome) *report.Series {
+	s := report.NewSeries(
+		"Fig. 7: total reconfiguration time (frames), designs sorted by target FPGA",
+		"design@device", "Proposed", "1 Module/Region", "Single region")
+	for _, o := range SortByDevice(outs) {
+		s.Add(fmt.Sprintf("%d@%s", o.Index, shortDev(o.ProposedDev)),
+			float64(o.Proposed.Total), float64(o.Modular.Total), float64(o.Single.Total))
+	}
+	return s
+}
+
+// Fig8 builds the worst-case series of the paper's Fig. 8.
+func Fig8(outs []*Outcome) *report.Series {
+	s := report.NewSeries(
+		"Fig. 8: worst-case reconfiguration time (frames), designs sorted by target FPGA",
+		"design@device", "Proposed", "1 Module/Region", "Single region")
+	for _, o := range SortByDevice(outs) {
+		s.Add(fmt.Sprintf("%d@%s", o.Index, shortDev(o.ProposedDev)),
+			float64(o.Proposed.Worst), float64(o.Modular.Worst), float64(o.Single.Worst))
+	}
+	return s
+}
+
+// DeviceBuckets summarises Figs. 7-8 per target device: design count and
+// mean totals per scheme — the readable form of the figure.
+func DeviceBuckets(outs []*Outcome) *report.Table {
+	list := device.SweepCatalog()
+	type agg struct {
+		n                      int
+		pTot, mTot, sTot       float64
+		pWorst, mWorst, sWorst float64
+	}
+	byDev := make(map[string]*agg)
+	for _, o := range outs {
+		a := byDev[o.ProposedDev]
+		if a == nil {
+			a = &agg{}
+			byDev[o.ProposedDev] = a
+		}
+		a.n++
+		a.pTot += float64(o.Proposed.Total)
+		a.mTot += float64(o.Modular.Total)
+		a.sTot += float64(o.Single.Total)
+		a.pWorst += float64(o.Proposed.Worst)
+		a.mWorst += float64(o.Modular.Worst)
+		a.sWorst += float64(o.Single.Worst)
+	}
+	t := report.NewTable("Figs. 7-8 summary: mean reconfiguration time per target device (frames)",
+		"Device", "Designs", "Prop tot", "Mod tot", "Single tot",
+		"Prop worst", "Mod worst", "Single worst")
+	for _, d := range list {
+		a := byDev[d.Name]
+		if a == nil {
+			continue
+		}
+		n := float64(a.n)
+		t.AddRowf(shortDev(d.Name), a.n,
+			fmt.Sprintf("%.0f", a.pTot/n), fmt.Sprintf("%.0f", a.mTot/n),
+			fmt.Sprintf("%.0f", a.sTot/n), fmt.Sprintf("%.0f", a.pWorst/n),
+			fmt.Sprintf("%.0f", a.mWorst/n), fmt.Sprintf("%.0f", a.sWorst/n))
+	}
+	return t
+}
+
+// pctChange returns the percentage improvement of got over base: positive
+// means got is better (smaller).
+func pctChange(base, got int) float64 {
+	if base == 0 {
+		if got == 0 {
+			return 0
+		}
+		return -100
+	}
+	return 100 * float64(base-got) / float64(base)
+}
+
+// Fig9 builds the four percentage-improvement histograms of the paper's
+// Fig. 9: total time vs (a) one-module-per-region and (b) single-region,
+// and worst-case time vs (c) one-module-per-region and (d) single-region.
+func Fig9(outs []*Outcome) [4]*report.Histogram {
+	mk := func(title string) *report.Histogram {
+		return report.NewHistogram(title, -10, 100, 10)
+	}
+	hs := [4]*report.Histogram{
+		mk("Fig. 9(a): % total-time change vs one module per region"),
+		mk("Fig. 9(b): % total-time change vs single region"),
+		mk("Fig. 9(c): % worst-time change vs one module per region"),
+		mk("Fig. 9(d): % worst-time change vs single region"),
+	}
+	for _, o := range outs {
+		hs[0].Add(pctChange(o.Modular.Total, o.Proposed.Total))
+		hs[1].Add(pctChange(o.Single.Total, o.Proposed.Total))
+		hs[2].Add(pctChange(o.Modular.Worst, o.Proposed.Worst))
+		hs[3].Add(pctChange(o.Single.Worst, o.Proposed.Worst))
+	}
+	return hs
+}
+
+// Claims aggregates the scalar statements of §V.
+type Claims struct {
+	// Designs is the corpus size.
+	Designs int
+	// TotalBetterThanModular counts designs where the proposed total is
+	// strictly below one-module-per-region (paper: 73%).
+	TotalBetterThanModular int
+	// TotalEqualModular counts ties.
+	TotalEqualModular int
+	// TotalWorseThanSingle counts designs where the proposed total
+	// exceeds the single-region total (paper: none).
+	TotalWorseThanSingle int
+	// WorstBetterThanModular counts strictly better worst-case times
+	// (paper: 70%).
+	WorstBetterThanModular int
+	// WorstWorseThanModular counts strictly worse (paper: 3 designs).
+	WorstWorseThanModular int
+	// WorstBetterOrEqualSingle counts designs where the proposed
+	// worst-case improves on or matches single-region (paper: 87.5%).
+	WorstBetterOrEqualSingle int
+	// Upsized counts designs needing a device above the single-region
+	// minimum (paper: 201).
+	Upsized int
+	// SmallerThanModular counts designs fitting a smaller device than
+	// modular requires (paper: 13).
+	SmallerThanModular int
+	// FallbackSingle counts designs with no multi-region scheme at all.
+	FallbackSingle int
+}
+
+// ComputeClaims tallies the scalar claims over a corpus.
+func ComputeClaims(outs []*Outcome) Claims {
+	var c Claims
+	c.Designs = len(outs)
+	for _, o := range outs {
+		switch {
+		case o.Proposed.Total < o.Modular.Total:
+			c.TotalBetterThanModular++
+		case o.Proposed.Total == o.Modular.Total:
+			c.TotalEqualModular++
+		}
+		if o.Proposed.Total > o.Single.Total {
+			c.TotalWorseThanSingle++
+		}
+		switch {
+		case o.Proposed.Worst < o.Modular.Worst:
+			c.WorstBetterThanModular++
+		case o.Proposed.Worst > o.Modular.Worst:
+			c.WorstWorseThanModular++
+		}
+		if o.Proposed.Worst <= o.Single.Worst {
+			c.WorstBetterOrEqualSingle++
+		}
+		if o.Upsized {
+			c.Upsized++
+		}
+		if o.SmallerThanModular {
+			c.SmallerThanModular++
+		}
+		if o.FallbackSingle {
+			c.FallbackSingle++
+		}
+	}
+	return c
+}
+
+// Table renders the claims next to the paper's reported numbers.
+func (c Claims) Table() *report.Table {
+	t := report.NewTable("Scalar claims: measured vs paper",
+		"Claim", "Measured", "Paper")
+	pct := func(n int) string {
+		if c.Designs == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%% (%d/%d)", 100*float64(n)/float64(c.Designs), n, c.Designs)
+	}
+	t.AddRow("total better than 1M/R", pct(c.TotalBetterThanModular), "73%")
+	t.AddRow("total equal to 1M/R", pct(c.TotalEqualModular), "-")
+	t.AddRow("total worse than single region", pct(c.TotalWorseThanSingle), "0%")
+	t.AddRow("worst better than 1M/R", pct(c.WorstBetterThanModular), "70%")
+	t.AddRow("worst worse than 1M/R", fmt.Sprintf("%d designs", c.WorstWorseThanModular), "3 designs")
+	t.AddRow("worst better/equal single region", pct(c.WorstBetterOrEqualSingle), "87.5%")
+	t.AddRow("re-iterated on larger FPGA", fmt.Sprintf("%d designs", c.Upsized), "201 designs")
+	t.AddRow("fits smaller FPGA than 1M/R", fmt.Sprintf("%d designs", c.SmallerThanModular), "13 designs")
+	t.AddRow("single-region fallback", fmt.Sprintf("%d designs", c.FallbackSingle), "-")
+	return t
+}
+
+func shortDev(name string) string {
+	const prefix = "XC5V"
+	if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+		return name[len(prefix):]
+	}
+	return name
+}

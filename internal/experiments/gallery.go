@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prpart/internal/design"
+	"prpart/internal/partition"
+	"prpart/internal/report"
+)
+
+// GalleryTable runs the full evaluation procedure on the realistic
+// gallery designs (SDR transceiver, vision pipeline, satellite comms) —
+// fixed workloads complementing the §V random corpus. For each design it
+// reports the smallest device, the three schemes' totals, and the
+// improvement of the proposed scheme.
+func GalleryTable() (*report.Table, error) {
+	t := report.NewTable("Gallery: realistic adaptive systems (totals in frames)",
+		"Design", "Device", "Proposed", "1M/R", "Single", "vs 1M/R", "Static parts")
+	for i, d := range design.Gallery() {
+		o, err := EvaluateDesign(i, d, partition.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gallery %s: %w", d.Name, err)
+		}
+		t.AddRowf(d.Name, shortDev(o.ProposedDev),
+			o.Proposed.Total, o.Modular.Total, o.Single.Total,
+			fmt.Sprintf("%.1f%%", pctChange(o.Modular.Total, o.Proposed.Total)),
+			len(o.ProposedScheme.Static))
+	}
+	return t, nil
+}

@@ -1,0 +1,41 @@
+package floorplan
+
+import (
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/partition"
+)
+
+func BenchmarkPlaceCaseStudy(b *testing.B) {
+	res, err := partition.Solve(design.VideoReceiver(),
+		partition.Options{Budget: design.CaseStudyBudget()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := device.ByName("FX70T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(res.Scheme, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaceModularOnLargestDevice(b *testing.B) {
+	s := partition.Modular(design.VideoReceiver())
+	dev, err := device.ByName("FX200T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(s, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package floorplan_test
+
+import (
+	"fmt"
+
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/partition"
+)
+
+// Placing the one-module-per-region case study on the FX70T: every
+// region gets a rectangle of whole tiles, none overlap, and the plan
+// validates against the scheme's requirements.
+func ExamplePlace() {
+	d := design.VideoReceiver()
+	s := partition.Modular(d)
+	dev, _ := device.ByName("FX70T")
+	plan, err := floorplan.Place(s, dev)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("placed %d regions, plan valid: %v\n",
+		len(plan.Placements), plan.Validate(s) == nil)
+	// Output:
+	// placed 5 regions, plan valid: true
+}

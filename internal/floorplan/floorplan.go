@@ -1,0 +1,218 @@
+// Package floorplan places the reconfigurable regions of a partitioning
+// scheme onto a device's row/column tile grid (§III-B step 5, standing in
+// for the authors' architecture-aware floorplanner [11]). It honours the
+// Xilinx PR constraints the paper lists: regions are rectangles of whole
+// tiles, regions do not overlap, and a region must contain at least the
+// tile counts its largest base partition needs of every resource type.
+//
+// The feasibility feedback the paper plans as future work is available
+// here directly: Place returns a typed error when a scheme cannot be
+// floorplanned so that the caller can retry with a different scheme or a
+// larger device.
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"prpart/internal/device"
+	"prpart/internal/resource"
+	"prpart/internal/scheme"
+)
+
+// ErrUnplaceable reports that at least one region could not be placed.
+var ErrUnplaceable = errors.New("floorplan: region cannot be placed on the device")
+
+// Rect is a placed rectangle: rows [Row0, Row1] by columns [Col0, Col1],
+// inclusive, in device tile coordinates.
+type Rect struct {
+	Row0, Col0 int
+	Row1, Col1 int
+}
+
+// Width returns the number of columns spanned.
+func (r Rect) Width() int { return r.Col1 - r.Col0 + 1 }
+
+// Height returns the number of rows spanned.
+func (r Rect) Height() int { return r.Row1 - r.Row0 + 1 }
+
+// Placement is one region's location.
+type Placement struct {
+	// Region indexes scheme.Regions.
+	Region int
+	// Rect is the placed rectangle.
+	Rect Rect
+	// Tiles counts the tile resources enclosed by Rect.
+	Tiles resource.Vector
+}
+
+// Plan is a complete floorplan.
+type Plan struct {
+	Device     *device.Device
+	Placements []Placement
+}
+
+// Place floorplans every region of the scheme on the device using a
+// first-fit rectangle search over the column grid: regions are placed
+// largest-first, each taking the narrowest full-height-per-row rectangle
+// providing its tile requirement.
+func Place(s *scheme.Scheme, dev *device.Device) (*Plan, error) {
+	if len(dev.Columns) == 0 || dev.Rows <= 0 {
+		return nil, fmt.Errorf("floorplan: device %s has no grid", dev.Name)
+	}
+	type req struct {
+		region int
+		tiles  resource.Vector
+	}
+	reqs := make([]req, 0, len(s.Regions))
+	for ri := range s.Regions {
+		reqs = append(reqs, req{region: ri, tiles: s.Regions[ri].Tiles()})
+	}
+	// Largest first (by total tile count) for better packing.
+	sort.SliceStable(reqs, func(i, j int) bool {
+		return reqs[i].tiles.Total() > reqs[j].tiles.Total()
+	})
+
+	occupied := make([][]bool, dev.Rows) // [row][col]
+	for r := range occupied {
+		occupied[r] = make([]bool, len(dev.Columns))
+	}
+	plan := &Plan{Device: dev}
+	for _, rq := range reqs {
+		rect, tiles, ok := findRect(dev, occupied, rq.tiles)
+		if !ok {
+			return nil, fmt.Errorf("%w: region %d needs %v tiles on %s",
+				ErrUnplaceable, rq.region, rq.tiles, dev.Name)
+		}
+		for r := rect.Row0; r <= rect.Row1; r++ {
+			for c := rect.Col0; c <= rect.Col1; c++ {
+				occupied[r][c] = true
+			}
+		}
+		plan.Placements = append(plan.Placements, Placement{
+			Region: rq.region,
+			Rect:   rect,
+			Tiles:  tiles,
+		})
+	}
+	sort.Slice(plan.Placements, func(i, j int) bool {
+		return plan.Placements[i].Region < plan.Placements[j].Region
+	})
+	return plan, nil
+}
+
+// findRect searches row bands top-to-bottom and columns left-to-right for
+// the first free rectangle satisfying the requirement. Row height grows
+// from the minimum that could satisfy the need; column span grows until
+// the enclosed tile mix suffices.
+func findRect(dev *device.Device, occupied [][]bool, need resource.Vector) (Rect, resource.Vector, bool) {
+	nCols := len(dev.Columns)
+	for h := 1; h <= dev.Rows; h++ {
+		for row0 := 0; row0+h <= dev.Rows; row0++ {
+			for col0 := 0; col0 < nCols; col0++ {
+				var got resource.Vector
+				for col1 := col0; col1 < nCols; col1++ {
+					if colBlocked(occupied, row0, row0+h-1, col1) {
+						break
+					}
+					got = got.Add(colTiles(dev, col1, h))
+					if need.FitsIn(got) {
+						return Rect{Row0: row0, Col0: col0, Row1: row0 + h - 1, Col1: col1}, got, true
+					}
+				}
+			}
+		}
+	}
+	return Rect{}, resource.Vector{}, false
+}
+
+func colBlocked(occupied [][]bool, row0, row1, col int) bool {
+	for r := row0; r <= row1; r++ {
+		if occupied[r][col] {
+			return true
+		}
+	}
+	return false
+}
+
+// colTiles returns the tiles one column contributes over h rows.
+func colTiles(dev *device.Device, col, h int) resource.Vector {
+	return resource.Vector{}.Set(dev.Columns[col], h)
+}
+
+// Utilisation returns the fraction of device tiles covered by regions.
+func (p *Plan) Utilisation() float64 {
+	total := p.Device.Rows * len(p.Device.Columns)
+	if total == 0 {
+		return 0
+	}
+	used := 0
+	for _, pl := range p.Placements {
+		used += pl.Rect.Width() * pl.Rect.Height()
+	}
+	return float64(used) / float64(total)
+}
+
+// Validate re-checks the plan invariants: rectangles in bounds, disjoint,
+// and each covering its region's tile requirement.
+func (p *Plan) Validate(s *scheme.Scheme) error {
+	var errs []error
+	if len(p.Placements) != len(s.Regions) {
+		errs = append(errs, fmt.Errorf("floorplan: %d placements for %d regions",
+			len(p.Placements), len(s.Regions)))
+	}
+	for i, a := range p.Placements {
+		if a.Rect.Row0 < 0 || a.Rect.Col0 < 0 ||
+			a.Rect.Row1 >= p.Device.Rows || a.Rect.Col1 >= len(p.Device.Columns) ||
+			a.Rect.Row0 > a.Rect.Row1 || a.Rect.Col0 > a.Rect.Col1 {
+			errs = append(errs, fmt.Errorf("floorplan: placement %d out of bounds: %+v", i, a.Rect))
+			continue
+		}
+		if a.Region >= 0 && a.Region < len(s.Regions) {
+			var got resource.Vector
+			for c := a.Rect.Col0; c <= a.Rect.Col1; c++ {
+				got = got.Add(colTiles(p.Device, c, a.Rect.Height()))
+			}
+			if !s.Regions[a.Region].Tiles().FitsIn(got) {
+				errs = append(errs, fmt.Errorf("floorplan: region %d rectangle provides %v tiles, needs %v",
+					a.Region, got, s.Regions[a.Region].Tiles()))
+			}
+		}
+		for j := i + 1; j < len(p.Placements); j++ {
+			if overlap(a.Rect, p.Placements[j].Rect) {
+				errs = append(errs, fmt.Errorf("floorplan: placements %d and %d overlap", i, j))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func overlap(a, b Rect) bool {
+	return a.Row0 <= b.Row1 && b.Row0 <= a.Row1 && a.Col0 <= b.Col1 && b.Col0 <= a.Col1
+}
+
+// String renders a coarse ASCII map of the floorplan (rows × columns,
+// one letter per placed region, '.' for free tiles).
+func (p *Plan) String() string {
+	var b strings.Builder
+	grid := make([][]byte, p.Device.Rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", len(p.Device.Columns)))
+	}
+	for _, pl := range p.Placements {
+		ch := byte('A' + pl.Region%26)
+		for r := pl.Rect.Row0; r <= pl.Rect.Row1; r++ {
+			for c := pl.Rect.Col0; c <= pl.Rect.Col1; c++ {
+				grid[r][c] = ch
+			}
+		}
+	}
+	fmt.Fprintf(&b, "floorplan on %s (%d rows x %d cols):\n", p.Device.Name, p.Device.Rows, len(p.Device.Columns))
+	for r := len(grid) - 1; r >= 0; r-- {
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

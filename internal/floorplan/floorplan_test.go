@@ -1,0 +1,211 @@
+package floorplan
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/partition"
+	"prpart/internal/resource"
+)
+
+var (
+	csOnce sync.Once
+	csRes  *partition.Result
+	csErr  error
+)
+
+func caseStudy(t *testing.T) *partition.Result {
+	t.Helper()
+	csOnce.Do(func() {
+		csRes, csErr = partition.Solve(design.VideoReceiver(),
+			partition.Options{Budget: design.CaseStudyBudget()})
+	})
+	if csErr != nil {
+		t.Fatal(csErr)
+	}
+	return csRes
+}
+
+func TestPlaceCaseStudyOnFX70T(t *testing.T) {
+	res := caseStudy(t)
+	dev, err := device.ByName("FX70T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Place(res.Scheme, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(res.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Placements) != len(res.Scheme.Regions) {
+		t.Fatalf("placements = %d, want %d", len(plan.Placements), len(res.Scheme.Regions))
+	}
+	if u := plan.Utilisation(); u <= 0 || u > 1 {
+		t.Errorf("utilisation = %g out of (0,1]", u)
+	}
+}
+
+func TestPlaceModularBaseline(t *testing.T) {
+	d := design.VideoReceiver()
+	dev, _ := device.ByName("FX70T")
+	plan, err := Place(partition.Modular(d), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(partition.Modular(d)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceTooBigFails(t *testing.T) {
+	d := design.VideoReceiver()
+	dev, _ := device.ByName("LX20T") // far too small
+	_, err := Place(partition.Modular(d), dev)
+	if !errors.Is(err, ErrUnplaceable) {
+		t.Fatalf("err = %v, want ErrUnplaceable", err)
+	}
+}
+
+func TestPlacementsDisjointAndInBounds(t *testing.T) {
+	res := caseStudy(t)
+	dev, _ := device.ByName("FX70T")
+	plan, err := Place(res.Scheme, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range plan.Placements {
+		if a.Rect.Row0 < 0 || a.Rect.Row1 >= dev.Rows ||
+			a.Rect.Col0 < 0 || a.Rect.Col1 >= len(dev.Columns) {
+			t.Errorf("placement %d out of bounds: %+v", i, a.Rect)
+		}
+		for j := i + 1; j < len(plan.Placements); j++ {
+			if overlap(a.Rect, plan.Placements[j].Rect) {
+				t.Errorf("placements %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestPlacementCoversRegionTiles(t *testing.T) {
+	res := caseStudy(t)
+	dev, _ := device.ByName("FX70T")
+	plan, err := Place(res.Scheme, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range plan.Placements {
+		need := res.Scheme.Regions[pl.Region].Tiles()
+		if !need.FitsIn(pl.Tiles) {
+			t.Errorf("region %d: rect provides %v, needs %v", pl.Region, pl.Tiles, need)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	res := caseStudy(t)
+	dev, _ := device.ByName("FX70T")
+	plan, err := Place(res.Scheme, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force an overlap.
+	if len(plan.Placements) >= 2 {
+		plan.Placements[1].Rect = plan.Placements[0].Rect
+		if err := plan.Validate(res.Scheme); err == nil {
+			t.Error("overlapping plan validated")
+		}
+	}
+	// Out-of-bounds rectangle.
+	plan2, _ := Place(res.Scheme, dev)
+	plan2.Placements[0].Rect.Row1 = dev.Rows + 5
+	if err := plan2.Validate(res.Scheme); err == nil {
+		t.Error("out-of-bounds plan validated")
+	}
+}
+
+func TestStringMap(t *testing.T) {
+	res := caseStudy(t)
+	dev, _ := device.ByName("FX70T")
+	plan, err := Place(res.Scheme, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "FX70T") {
+		t.Errorf("map missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != dev.Rows+1 {
+		t.Errorf("map rows = %d, want %d", len(lines)-1, dev.Rows)
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	r := Rect{Row0: 1, Col0: 2, Row1: 3, Col1: 5}
+	if r.Width() != 4 || r.Height() != 3 {
+		t.Errorf("width/height = %d/%d", r.Width(), r.Height())
+	}
+	if !overlap(r, Rect{Row0: 3, Col0: 5, Row1: 9, Col1: 9}) {
+		t.Error("corner-touching rectangles overlap (inclusive coords)")
+	}
+	if overlap(r, Rect{Row0: 4, Col0: 0, Row1: 5, Col1: 9}) {
+		t.Error("disjoint rows reported overlapping")
+	}
+}
+
+func TestPlaceOnEmptyDeviceFails(t *testing.T) {
+	res := caseStudy(t)
+	bad := &device.Device{Name: "empty", Rows: 0}
+	if _, err := Place(res.Scheme, bad); err == nil {
+		t.Error("empty device accepted")
+	}
+}
+
+func TestPlaceZeroRegionScheme(t *testing.T) {
+	// A fully static scheme has nothing to place: empty plan, no error.
+	d := design.VideoReceiver()
+	s := partition.FullyStatic(d)
+	dev, _ := device.ByName("FX70T")
+	plan, err := Place(s, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Placements) != 0 {
+		t.Errorf("placements = %d, want 0", len(plan.Placements))
+	}
+	if err := plan.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTightPacking(t *testing.T) {
+	// Regions that exactly tile a tiny device must all place.
+	dev := &device.Device{
+		Name: "tiny", Rows: 2,
+		Capacity: resource.New(160, 0, 0),
+		Columns: []resource.Kind{
+			resource.CLB, resource.CLB, resource.CLB, resource.CLB,
+		},
+	}
+	// Two modular regions of 2 CLB tiles each exactly fill half the grid.
+	d2 := design.TwoModuleExample()
+	for _, m := range d2.Modules {
+		for i := range m.Modes {
+			m.Modes[i].Resources = resource.New(40, 0, 0) // 2 tiles
+		}
+	}
+	s := partition.Modular(d2)
+	plan, err := Place(s, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}

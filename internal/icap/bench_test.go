@@ -1,0 +1,64 @@
+package icap
+
+import (
+	"testing"
+
+	"prpart/internal/bitstream"
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/partition"
+)
+
+func benchBitstreams(b *testing.B) *bitstream.Set {
+	b.Helper()
+	res, err := partition.Solve(design.VideoReceiver(),
+		partition.Options{Budget: design.CaseStudyBudget()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := device.ByName("FX70T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := floorplan.Place(res.Scheme, dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := bitstream.Assemble(res.Scheme, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+func BenchmarkLoadLargestBitstream(b *testing.B) {
+	set := benchBitstreams(b)
+	largest := set.PerRegion[0][0]
+	for _, region := range set.PerRegion {
+		for _, bs := range region {
+			if bs.Bytes() > largest.Bytes() {
+				largest = bs
+			}
+		}
+	}
+	p := New(32, 100_000_000)
+	b.SetBytes(int64(largest.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Load(largest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	set := benchBitstreams(b)
+	bs := set.PerRegion[0][0]
+	payload := bs.Words[6 : len(bs.Words)-4]
+	b.SetBytes(int64(len(payload) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bitstream.Checksum(payload)
+	}
+}

@@ -1,0 +1,65 @@
+package icap
+
+import (
+	"testing"
+
+	"prpart/internal/bitstream"
+)
+
+// FuzzLoad feeds arbitrary word streams to the ICAP parser: it must
+// reject malformed input with an error, never panic, and never write
+// frames from a stream whose CRC does not verify.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid bitstream and targeted corruptions.
+	bs := buildSeed()
+	f.Add(wordsToBytes(bs))
+	corrupted := append([]uint32(nil), bs...)
+	corrupted[10]++
+	f.Add(wordsToBytes(corrupted))
+	f.Add([]byte{0xFF, 0xFF})
+	f.Add(wordsToBytes([]uint32{bitstream.DummyWord, bitstream.SyncWord}))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		words := make([]uint32, len(raw)/4)
+		for i := range words {
+			words[i] = uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 |
+				uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+		}
+		p := New(32, 100_000_000)
+		in := &bitstream.Bitstream{Words: words}
+		if _, err := p.Load(in); err != nil {
+			if p.Memory().FrameCount() != 0 {
+				t.Fatal("failed load wrote frames")
+			}
+		}
+	})
+}
+
+// buildSeed assembles a tiny structurally valid packet stream.
+func buildSeed() []uint32 {
+	payload := make([]uint32, 41) // one frame
+	for i := range payload {
+		payload[i] = uint32(i) * 2654435761
+	}
+	words := []uint32{
+		bitstream.DummyWord, bitstream.SyncWord,
+		bitstream.CmdWriteFAR, bitstream.FAR{Row: 1, Major: 2}.Pack(),
+		bitstream.CmdWriteFDRI, bitstream.Type2Hdr | uint32(len(payload)),
+	}
+	words = append(words, payload...)
+	words = append(words,
+		bitstream.CmdWriteCRC, bitstream.Checksum(payload),
+		bitstream.CmdDesync, bitstream.DesyncValue)
+	return words
+}
+
+func wordsToBytes(words []uint32) []byte {
+	out := make([]byte, len(words)*4)
+	for i, w := range words {
+		out[4*i] = byte(w)
+		out[4*i+1] = byte(w >> 8)
+		out[4*i+2] = byte(w >> 16)
+		out[4*i+3] = byte(w >> 24)
+	}
+	return out
+}

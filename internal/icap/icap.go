@@ -1,0 +1,163 @@
+// Package icap simulates the internal configuration access port and the
+// configuration memory behind it — the runtime half of partial
+// reconfiguration (§III-A, standing in for the authors' open-source ICAP
+// controller [15]). It parses the packet format produced by
+// internal/bitstream, writes frames into a configuration-memory model,
+// verifies the CRC, and accounts transfer time from the port's width and
+// clock, which is how frame counts become seconds (eq. 9).
+package icap
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"prpart/internal/bitstream"
+	"prpart/internal/device"
+)
+
+// ErrBadBitstream reports a malformed packet stream.
+var ErrBadBitstream = errors.New("icap: malformed bitstream")
+
+// ErrCRC reports a checksum mismatch.
+var ErrCRC = errors.New("icap: CRC mismatch")
+
+// Port models the ICAP configuration interface.
+type Port struct {
+	// WidthBits is the port data width (8, 16 or 32 on Virtex-5).
+	WidthBits int
+	// ClockHz is the configuration clock (100 MHz max on Virtex-5).
+	ClockHz int
+	// OverheadCycles is the fixed per-bitstream cost (sync, command
+	// decode, bitstream fetch setup).
+	OverheadCycles int
+
+	mem     *ConfigMemory
+	stats   Stats
+	storage *Storage
+}
+
+// Stats accumulates the port's activity.
+type Stats struct {
+	// Loads is the number of bitstreams processed.
+	Loads int
+	// Words and Frames total the configuration data written.
+	Words, Frames int
+	// Busy is the cumulative transfer time.
+	Busy time.Duration
+}
+
+// New returns a port with the given geometry attached to a fresh
+// configuration memory. Zero width/clock default to the fastest Virtex-5
+// configuration: 32 bits at 100 MHz.
+func New(widthBits, clockHz int) *Port {
+	if widthBits == 0 {
+		widthBits = 32
+	}
+	if clockHz == 0 {
+		clockHz = 100_000_000
+	}
+	return &Port{
+		WidthBits:      widthBits,
+		ClockHz:        clockHz,
+		OverheadCycles: 64,
+		mem:            NewConfigMemory(),
+	}
+}
+
+// Memory exposes the configuration memory model.
+func (p *Port) Memory() *ConfigMemory { return p.mem }
+
+// Stats returns a copy of the accumulated statistics.
+func (p *Port) Stats() Stats { return p.stats }
+
+// TransferTime returns the time to clock n words through the port.
+func (p *Port) TransferTime(words int) time.Duration {
+	cycles := words*(32/p.WidthBits) + p.OverheadCycles
+	return time.Duration(float64(cycles) / float64(p.ClockHz) * float64(time.Second))
+}
+
+// FrameTime returns the time to write n frames (eq. 9's proportionality
+// constant for this port).
+func (p *Port) FrameTime(frames int) time.Duration {
+	return p.TransferTime(frames * device.WordsPerFrame)
+}
+
+// Load parses a partial bitstream, writes its frames to configuration
+// memory, verifies the CRC, and returns the transfer time.
+func (p *Port) Load(bs *bitstream.Bitstream) (time.Duration, error) {
+	w := bs.Words
+	if len(w) < 8 || w[0] != bitstream.DummyWord || w[1] != bitstream.SyncWord {
+		return 0, fmt.Errorf("%w: missing sync header", ErrBadBitstream)
+	}
+	if w[2] != bitstream.CmdWriteFAR {
+		return 0, fmt.Errorf("%w: expected FAR write", ErrBadBitstream)
+	}
+	far := bitstream.UnpackFAR(w[3])
+	if w[4] != bitstream.CmdWriteFDRI {
+		return 0, fmt.Errorf("%w: expected FDRI write", ErrBadBitstream)
+	}
+	count := int(w[5] & 0x07FFFFFF)
+	if count%device.WordsPerFrame != 0 {
+		return 0, fmt.Errorf("%w: FDRI count %d not a whole number of frames", ErrBadBitstream, count)
+	}
+	if len(w) < 6+count+4 {
+		return 0, fmt.Errorf("%w: truncated payload", ErrBadBitstream)
+	}
+	payload := w[6 : 6+count]
+	rest := w[6+count:]
+	if rest[0] != bitstream.CmdWriteCRC {
+		return 0, fmt.Errorf("%w: expected CRC write", ErrBadBitstream)
+	}
+	if got := bitstream.Checksum(payload); got != rest[1] {
+		return 0, fmt.Errorf("%w: got %08x, want %08x", ErrCRC, got, rest[1])
+	}
+	if rest[2] != bitstream.CmdDesync || rest[3] != bitstream.DesyncValue {
+		return 0, fmt.Errorf("%w: missing desync", ErrBadBitstream)
+	}
+	frames := count / device.WordsPerFrame
+	p.mem.WriteFrames(far, payload)
+	p.stats.Loads++
+	p.stats.Words += len(w)
+	p.stats.Frames += frames
+	d := p.LoadTime(bs)
+	p.stats.Busy += d
+	return d, nil
+}
+
+// ConfigMemory models the device configuration memory as frames indexed
+// by address.
+type ConfigMemory struct {
+	frames map[frameKey][]uint32
+}
+
+type frameKey struct {
+	far   bitstream.FAR
+	minor int
+}
+
+// NewConfigMemory returns an empty configuration memory.
+func NewConfigMemory() *ConfigMemory {
+	return &ConfigMemory{frames: map[frameKey][]uint32{}}
+}
+
+// WriteFrames stores a payload of whole frames starting at far.
+func (m *ConfigMemory) WriteFrames(far bitstream.FAR, payload []uint32) {
+	for i := 0; i*device.WordsPerFrame < len(payload); i++ {
+		frame := payload[i*device.WordsPerFrame : (i+1)*device.WordsPerFrame]
+		cp := append([]uint32(nil), frame...)
+		m.frames[frameKey{far: far, minor: i}] = cp
+	}
+}
+
+// ReadFrame returns the frame at (far, minor), or nil when never written.
+func (m *ConfigMemory) ReadFrame(far bitstream.FAR, minor int) []uint32 {
+	f := m.frames[frameKey{far: far, minor: minor}]
+	if f == nil {
+		return nil
+	}
+	return append([]uint32(nil), f...)
+}
+
+// FrameCount returns the number of distinct frames ever written.
+func (m *ConfigMemory) FrameCount() int { return len(m.frames) }

@@ -1,0 +1,32 @@
+package modeset_test
+
+import (
+	"fmt"
+
+	"prpart/internal/design"
+	"prpart/internal/modeset"
+)
+
+// Sets are canonical: order and duplicates in the input do not matter,
+// and labels resolve against a design.
+func ExampleNew() {
+	d := design.PaperExample()
+	a3 := design.ModeRef{Module: 0, Mode: 3}
+	b2 := design.ModeRef{Module: 1, Mode: 2}
+	s := modeset.New(b2, a3, b2)
+	fmt.Println(s.Label(d))
+	fmt.Println(s.Len())
+	// Output:
+	// {A.3, B.2}
+	// 2
+}
+
+// Compatibility questions reduce to set intersection.
+func ExampleSet_Intersects() {
+	a := modeset.New(design.ModeRef{Module: 0, Mode: 1})
+	b := modeset.New(design.ModeRef{Module: 0, Mode: 1}, design.ModeRef{Module: 1, Mode: 1})
+	c := modeset.New(design.ModeRef{Module: 2, Mode: 1})
+	fmt.Println(a.Intersects(b), a.Intersects(c), a.SubsetOf(b))
+	// Output:
+	// true false true
+}

@@ -1,0 +1,139 @@
+// Package modeset provides an immutable, canonically ordered set of mode
+// references. Base partitions, regions and configurations are all mode
+// sets; giving them one canonical representation makes deduplication,
+// comparison and map keying trivial across the pipeline.
+package modeset
+
+import (
+	"sort"
+	"strings"
+
+	"prpart/internal/design"
+)
+
+// Set is a canonically sorted, duplicate-free list of mode references.
+// The zero value is the empty set. Sets are value types: operations return
+// new sets and never mutate their inputs.
+type Set struct {
+	refs []design.ModeRef
+}
+
+// New builds a set from the given references, sorting and deduplicating.
+func New(refs ...design.ModeRef) Set {
+	out := append([]design.ModeRef(nil), refs...)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	out = dedupe(out)
+	return Set{refs: out}
+}
+
+func less(a, b design.ModeRef) bool {
+	if a.Module != b.Module {
+		return a.Module < b.Module
+	}
+	return a.Mode < b.Mode
+}
+
+func dedupe(refs []design.ModeRef) []design.ModeRef {
+	w := 0
+	for i, r := range refs {
+		if i == 0 || refs[w-1] != r {
+			refs[w] = r
+			w++
+		}
+	}
+	return refs[:w]
+}
+
+// Len returns the number of modes in the set.
+func (s Set) Len() int { return len(s.refs) }
+
+// IsEmpty reports whether the set has no modes.
+func (s Set) IsEmpty() bool { return len(s.refs) == 0 }
+
+// Refs returns the modes in canonical order. The caller must not modify
+// the returned slice contents of the set; a fresh copy is returned.
+func (s Set) Refs() []design.ModeRef {
+	return append([]design.ModeRef(nil), s.refs...)
+}
+
+// Contains reports whether r is a member of the set.
+func (s Set) Contains(r design.ModeRef) bool {
+	i := sort.Search(len(s.refs), func(i int) bool { return !less(s.refs[i], r) })
+	return i < len(s.refs) && s.refs[i] == r
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	return New(append(s.Refs(), t.refs...)...)
+}
+
+// Intersects reports whether s and t share at least one mode.
+func (s Set) Intersects(t Set) bool {
+	i, j := 0, 0
+	for i < len(s.refs) && j < len(t.refs) {
+		switch {
+		case s.refs[i] == t.refs[j]:
+			return true
+		case less(s.refs[i], t.refs[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every mode of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	i, j := 0, 0
+	for i < len(s.refs) {
+		if j >= len(t.refs) {
+			return false
+		}
+		switch {
+		case s.refs[i] == t.refs[j]:
+			i++
+			j++
+		case less(t.refs[j], s.refs[i]):
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same modes.
+func (s Set) Equal(t Set) bool {
+	if len(s.refs) != len(t.refs) {
+		return false
+	}
+	for i := range s.refs {
+		if s.refs[i] != t.refs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string usable as a map key.
+func (s Set) Key() string {
+	parts := make([]string, len(s.refs))
+	for i, r := range s.refs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Label renders the set with human-readable mode names from d, in the
+// paper's "{A1, B2}" style.
+func (s Set) Label(d *design.Design) string {
+	parts := make([]string, len(s.refs))
+	for i, r := range s.refs {
+		parts[i] = d.ModeName(r)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// String renders the set with positional mode references.
+func (s Set) String() string { return "{" + s.Key() + "}" }

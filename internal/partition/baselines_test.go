@@ -1,0 +1,173 @@
+package partition
+
+import (
+	"testing"
+
+	"prpart/internal/cost"
+	"prpart/internal/design"
+	"prpart/internal/resource"
+)
+
+func TestModularVideoReceiver(t *testing.T) {
+	d := design.VideoReceiver()
+	s := Modular(d)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Regions) != 5 {
+		t.Fatalf("regions = %d, want 5", len(s.Regions))
+	}
+	// Tile-quantised totals from Table II per-module maxima:
+	// CLB 6700 (820+320+100+760+4700), BRAM 60 (0+4+0+16+40),
+	// DSP 144 (40+16+8+8+72) — the DSP figure matches the paper's 144.
+	if got := s.TotalResources(); got != resource.New(6700, 60, 144) {
+		t.Errorf("modular resources = %v, want {6700, 60, 144}", got)
+	}
+	m, sum := cost.Evaluate(s)
+	_ = m
+	// Region frames: F 1616, R 662, M 208, D 1516, V 9012; transition
+	// differ counts 16/19/7/13/21 -> total 248850 (paper: 244872).
+	if sum.Total != 248850 {
+		t.Errorf("modular total = %d frames, want 248850", sum.Total)
+	}
+	// Worst transition must be bounded by the sum of all region frames.
+	allFrames := 0
+	for i := range s.Regions {
+		allFrames += s.Regions[i].Frames()
+	}
+	if sum.Worst > allFrames {
+		t.Errorf("worst %d exceeds all-region sum %d", sum.Worst, allFrames)
+	}
+}
+
+func TestModularSkipsUnusedModesAndModules(t *testing.T) {
+	d := design.VideoReceiver()
+	s := Modular(d)
+	// R.None is unused: region R must have 3 parts, not 4.
+	if got := len(s.Regions[1].Parts); got != 3 {
+		t.Errorf("R region parts = %d, want 3", got)
+	}
+	// A module never used by any configuration gets no region.
+	d2 := design.VideoReceiver()
+	d2.Modules = append(d2.Modules, &design.Module{
+		Name:  "X",
+		Modes: []design.Mode{{Name: "1", Resources: resource.New(10, 0, 0)}},
+	})
+	for ci := range d2.Configurations {
+		d2.Configurations[ci].Modes = append(d2.Configurations[ci].Modes, 0)
+	}
+	s2 := Modular(d2)
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Regions) != 5 {
+		t.Errorf("unused module created a region: %d regions", len(s2.Regions))
+	}
+}
+
+func TestModularAbsentModuleInactive(t *testing.T) {
+	d := design.SingleModeExample()
+	s := Modular(d)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, sum := cost.Evaluate(s)
+	// The two configurations are disjoint; every region is don't-care on
+	// one side, so the single transition is free.
+	if sum.Total != 0 {
+		t.Errorf("total = %d, want 0 for disjoint configurations", sum.Total)
+	}
+}
+
+func TestSingleRegionVideoReceiver(t *testing.T) {
+	d := design.VideoReceiver()
+	s := SingleRegion(d)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Regions) != 1 || len(s.Regions[0].Parts) != 8 {
+		t.Fatalf("shape: %d regions, %d parts", len(s.Regions), len(s.Regions[0].Parts))
+	}
+	// Region holds the largest configuration: per-resource max over
+	// config sums. Config 0 dominates CLB (6321) and BRAM (42); DSP max
+	// is config 3 (F2 R1 M2 D3 V1): 34+13+4+0+65 = 116.
+	want := d.LargestConfiguration()
+	if got := s.Regions[0].MaxResources(); got != want {
+		t.Errorf("single region resources = %v, want %v", got, want)
+	}
+	m, sum := cost.Evaluate(s)
+	fr := s.Regions[0].Frames()
+	n := len(d.Configurations)
+	if sum.Total != fr*n*(n-1)/2 {
+		t.Errorf("total = %d, want %d", sum.Total, fr*n*(n-1)/2)
+	}
+	if sum.Worst != fr {
+		t.Errorf("worst = %d, want %d", sum.Worst, fr)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && m[i][j] != fr {
+				t.Fatalf("t(%d,%d) = %d, want %d", i, j, m[i][j], fr)
+			}
+		}
+	}
+}
+
+func TestFullyStaticVideoReceiver(t *testing.T) {
+	d := design.VideoReceiver()
+	s := FullyStatic(d)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Regions) != 0 {
+		t.Fatalf("static scheme has %d regions", len(s.Regions))
+	}
+	// Area: sum of every mode (14 modes incl. unused R.None).
+	if got := s.TotalResources(); got != resource.New(15751, 83, 204) {
+		t.Errorf("static resources = %v", got)
+	}
+	_, sum := cost.Evaluate(s)
+	if sum.Total != 0 || sum.Worst != 0 {
+		t.Errorf("static scheme must have zero reconfiguration time: %+v", sum)
+	}
+	// Table IV shape: static exceeds the case-study budget.
+	if s.FitsIn(design.CaseStudyBudget()) {
+		t.Error("fully static implementation must exceed the case-study budget")
+	}
+}
+
+func TestBaselineOrderingInvariant(t *testing.T) {
+	// On every canned design: area(single) <= area(modular) <= area(static)
+	// and total(single) >= total(modular) (the single region reconfigures
+	// everything on every transition).
+	for _, d := range []*design.Design{
+		design.PaperExample(), design.VideoReceiver(),
+		design.VideoReceiverModified(), design.TwoModuleExample(),
+		design.SingleModeExample(),
+	} {
+		single, modular, static := SingleRegion(d), Modular(d), FullyStatic(d)
+		if err := single.Validate(); err != nil {
+			t.Fatalf("%s single: %v", d.Name, err)
+		}
+		if err := modular.Validate(); err != nil {
+			t.Fatalf("%s modular: %v", d.Name, err)
+		}
+		if err := static.Validate(); err != nil {
+			t.Fatalf("%s static: %v", d.Name, err)
+		}
+		as, am, at := single.TotalResources(), modular.TotalResources(), static.TotalResources()
+		if as.CLB > am.CLB {
+			t.Errorf("%s: single CLB %d > modular %d", d.Name, as.CLB, am.CLB)
+		}
+		// Static is an unquantised sum; compare against the quantised
+		// modular generously (quantisation can exceed the raw sum).
+		if am.CLB > at.CLB+20*len(d.Modules) {
+			t.Errorf("%s: modular CLB %d far above static %d", d.Name, am.CLB, at.CLB)
+		}
+		_, ss := cost.Evaluate(single)
+		_, sm := cost.Evaluate(modular)
+		if ss.Total < sm.Total {
+			t.Errorf("%s: single total %d below modular %d", d.Name, ss.Total, sm.Total)
+		}
+	}
+}

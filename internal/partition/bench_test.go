@@ -1,0 +1,44 @@
+package partition
+
+import (
+	"testing"
+
+	"prpart/internal/cost"
+	"prpart/internal/design"
+	"prpart/internal/synthetic"
+)
+
+func BenchmarkSolveCaseStudy(b *testing.B) {
+	d := design.VideoReceiver()
+	opts := Options{Budget: design.CaseStudyBudget()}
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(d, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSyntheticMedian(b *testing.B) {
+	designs := synthetic.Generate(1, 8)
+	budgets := make([]Options, len(designs))
+	for i, d := range designs {
+		budgets[i] = Options{Budget: Modular(d).TotalResources()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := designs[i%len(designs)]
+		if _, err := Solve(d, budgets[i%len(designs)]); err != nil &&
+			err != ErrNoScheme && err != ErrInfeasible {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	d := design.VideoReceiver()
+	for i := 0; i < b.N; i++ {
+		_, _ = cost.Evaluate(Modular(d))
+		_, _ = cost.Evaluate(SingleRegion(d))
+		_, _ = cost.Evaluate(FullyStatic(d))
+	}
+}

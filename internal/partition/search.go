@@ -1,0 +1,355 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"prpart/internal/cluster"
+	"prpart/internal/compat"
+	"prpart/internal/connmat"
+	"prpart/internal/cost"
+	"prpart/internal/cover"
+	"prpart/internal/design"
+	"prpart/internal/modeset"
+	"prpart/internal/resource"
+	"prpart/internal/scheme"
+)
+
+// ErrInfeasible reports that no partitioning of the design fits the
+// budget — not even a single region sized for the largest configuration.
+var ErrInfeasible = errors.New("partition: design does not fit the budget")
+
+// ErrNoScheme reports that the search found no feasible multi-region
+// scheme; the single-region fallback fits, but the paper's flow treats
+// this as "re-iterate with a larger FPGA".
+var ErrNoScheme = errors.New("partition: no feasible scheme other than a single region")
+
+// Options tunes the search. The zero value (plus a Budget) runs the full
+// algorithm with default bounds.
+type Options struct {
+	// Budget is the total device resources available, including the
+	// design's fixed static logic.
+	Budget resource.Vector
+	// NoStatic disables promotion of base partitions into static logic
+	// (ablation A1). The paper's algorithm has it enabled.
+	NoStatic bool
+	// GreedyOnly restricts the search to a single greedy descent on the
+	// first candidate partition set (ablation A2).
+	GreedyOnly bool
+	// NoQuantize guides the search with idealised, non-tile-quantised
+	// frame counts (ablation A3). Final metrics are always quantised.
+	NoQuantize bool
+	// MaxCandidateSets bounds the outer candidate-set iteration:
+	// 0 = default (16), negative = unlimited.
+	MaxCandidateSets int
+	// MaxFirstMoves bounds the restart breadth per candidate set:
+	// 0 = default (32), negative = unlimited.
+	MaxFirstMoves int
+	// Workers sets the number of candidate partition sets searched
+	// concurrently: 0 or 1 = serial, negative = GOMAXPROCS. The result
+	// is deterministic regardless of parallelism (per-set bests are
+	// reduced in candidate-set order).
+	Workers int
+	// PinnedStatic lists modes the designer requires in static logic
+	// (e.g. a mode that must never incur reconfiguration latency). Every
+	// candidate part containing a pinned mode starts — and stays — in the
+	// static region. Incompatible with NoStatic.
+	PinnedStatic []design.ModeRef
+	// CoverDescending reverses the covering order (largest base
+	// partitions first) — ablation A5, showing the value of the paper's
+	// ascending ordering.
+	CoverDescending bool
+	// TransitionWeights optionally weights configuration pairs in the
+	// search objective — the transition-probability extension the
+	// paper's §V closing remarks anticipate. Entry [i][j] scales the
+	// cost charged when a region must be reconfigured between
+	// configurations i and j (only i<j entries are read; the matrix is
+	// treated as symmetric). Nil means uniform weighting, the paper's
+	// eq. (7). Final Summary metrics are always uniform so schemes stay
+	// comparable; evaluate weighted expectations with cost.Matrix.Weighted.
+	TransitionWeights [][]float64
+}
+
+const (
+	defaultMaxCandidateSets = 16
+	defaultMaxFirstMoves    = 32
+)
+
+func (o Options) maxSets() int {
+	switch {
+	case o.MaxCandidateSets == 0:
+		return defaultMaxCandidateSets
+	case o.MaxCandidateSets < 0:
+		return int(^uint(0) >> 1)
+	}
+	return o.MaxCandidateSets
+}
+
+func (o Options) maxFirst() int {
+	switch {
+	case o.MaxFirstMoves == 0:
+		return defaultMaxFirstMoves
+	case o.MaxFirstMoves < 0:
+		return int(^uint(0) >> 1)
+	}
+	return o.MaxFirstMoves
+}
+
+// Result is the outcome of a successful search.
+type Result struct {
+	// Scheme is the best feasible scheme found, named "proposed".
+	Scheme *scheme.Scheme
+	// Summary carries its headline metrics.
+	Summary cost.Summary
+	// CandidateSets is the number of candidate partition sets explored.
+	CandidateSets int
+	// States is the number of search states evaluated.
+	States int
+	// Trace lists the merge/promote moves that produced the best scheme
+	// from its candidate set's all-separate start, in order.
+	Trace []string
+}
+
+// Solve runs the paper's algorithm: build the connectivity matrix,
+// cluster into base partitions, iterate candidate partition sets, and for
+// each one search region allocations by compatible merging and static
+// promotion, keeping the feasible scheme with the lowest total
+// reconfiguration time.
+//
+// With TransitionWeights set, the search is additionally run under the
+// uniform objective and the scheme with the lower weighted expectation is
+// returned — greedy guidance under a skewed objective can land in a worse
+// basin, and the uniform descent is a cheap strong candidate.
+func Solve(d *design.Design, opts Options) (*Result, error) {
+	if w := opts.TransitionWeights; w != nil {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("partition: invalid design: %w", err)
+		}
+		if err := checkWeights(w, len(d.Configurations)); err != nil {
+			return nil, err
+		}
+		weighted, werr := solveOnce(d, opts)
+		plain := opts
+		plain.TransitionWeights = nil
+		uniform, uerr := solveOnce(d, plain)
+		switch {
+		case werr != nil && uerr != nil:
+			return nil, werr
+		case werr != nil:
+			return uniform, nil
+		case uerr != nil:
+			return weighted, nil
+		}
+		score := func(r *Result) float64 {
+			m := cost.Transitions(r.Scheme)
+			v, err := m.Weighted(w)
+			if err != nil {
+				return 0
+			}
+			return v
+		}
+		if score(uniform) < score(weighted) {
+			uniform.States += weighted.States
+			return uniform, nil
+		}
+		weighted.States += uniform.States
+		return weighted, nil
+	}
+	return solveOnce(d, opts)
+}
+
+// solveOnce is one search run under a single objective.
+func solveOnce(d *design.Design, opts Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: invalid design: %w", err)
+	}
+	if len(opts.PinnedStatic) > 0 {
+		if opts.NoStatic {
+			return nil, errors.New("partition: PinnedStatic conflicts with NoStatic")
+		}
+		used := make(map[design.ModeRef]bool)
+		for _, r := range d.UsedModes() {
+			used[r] = true
+		}
+		for _, r := range opts.PinnedStatic {
+			if !used[r] {
+				return nil, fmt.Errorf("partition: pinned mode %s is not used by any configuration", d.ModeName(r))
+			}
+		}
+	}
+	m := connmat.New(d)
+
+	// Feasibility pre-check (§IV-C): the minimum possible area is the
+	// largest configuration in a single region.
+	if !SingleRegion(d).FitsIn(opts.Budget) {
+		return nil, ErrInfeasible
+	}
+
+	parts, err := cluster.BasePartitions(m)
+	if err != nil {
+		return nil, err
+	}
+	ordered := cover.Order(parts)
+	if opts.CoverDescending {
+		for i, j := 0, len(ordered)-1; i < j; i, j = i+1, j-1 {
+			ordered[i], ordered[j] = ordered[j], ordered[i]
+		}
+	}
+	sets := cover.Sets(ordered, m)
+	if len(sets) > opts.maxSets() {
+		sets = sets[:opts.maxSets()]
+	}
+	if opts.GreedyOnly && len(sets) > 1 {
+		sets = sets[:1]
+	}
+
+	snaps := make([]*snapshot, len(sets))
+	counts := make([]int, len(sets))
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(sets) <= 1 {
+		for i, cs := range sets {
+			s := newSearcher(d, m, cs, opts)
+			snaps[i], counts[i] = s.run()
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					s := newSearcher(d, m, sets[i], opts)
+					snaps[i], counts[i] = s.run()
+				}
+			}()
+		}
+		for i := range sets {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	var best *snapshot
+	states := 0
+	for i, snap := range snaps {
+		states += counts[i]
+		if snap != nil && (best == nil || snap.better(best)) {
+			best = snap
+		}
+	}
+	if best == nil {
+		return nil, ErrNoScheme
+	}
+	sch, err := best.scheme("proposed")
+	if err != nil {
+		return nil, err
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: internal error: best scheme invalid: %w", err)
+	}
+	_, sum := cost.Evaluate(sch)
+	return &Result{
+		Scheme:        sch,
+		Summary:       sum,
+		CandidateSets: len(sets),
+		States:        states,
+		Trace:         best.trace(),
+	}, nil
+}
+
+// group is one region under construction: a set of pairwise compatible
+// candidate parts.
+type group struct {
+	parts   []int           // indices into searcher.parts
+	res     resource.Vector // raw per-resource max over parts
+	area    resource.Vector // tile-quantised capacity
+	frames  int64           // search-cost frames (scaled by frameScale)
+	active  int             // number of configurations that activate the group
+	sumSq   int64           // Σ over parts of (activation count)²
+	act     []int32         // per config: active part + 1 (weighted mode only)
+	contrib int64           // frames × (weighted) differing-pair mass
+}
+
+// diffPairs is the number of configuration pairs whose transition
+// reconfigures the group: both sides active with different parts.
+func (g *group) diffPairs() int64 {
+	a := int64(g.active)
+	return (a*a - g.sumSq) / 2
+}
+
+// frameScale keeps quantised and idealised frame counts in a common
+// integer unit (1/20th of a frame).
+const frameScale = 20
+
+type searcher struct {
+	d    *design.Design
+	cs   *cover.CandidateSet
+	opts Options
+	tab  *compat.Table
+
+	partRes []resource.Vector // per part: raw resources
+	partAct []int             // per part: number of configs activating it
+	// weights[i][j] is the scaled symmetric pair weight (nil = uniform).
+	weights [][]int64
+}
+
+// weightScale converts float transition weights into integer cost units.
+const weightScale = 1 << 20
+
+// checkWeights validates a transition-weight matrix.
+func checkWeights(w [][]float64, n int) error {
+	if len(w) != n {
+		return fmt.Errorf("partition: transition weights have %d rows for %d configurations", len(w), n)
+	}
+	for i, row := range w {
+		if len(row) != n {
+			return fmt.Errorf("partition: transition weight row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("partition: negative transition weight w(%d,%d) = %g", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+func newSearcher(d *design.Design, m *connmat.Matrix, cs *cover.CandidateSet, opts Options) *searcher {
+	s := &searcher{d: d, cs: cs, opts: opts}
+	sets := make([]modeset.Set, len(cs.Parts))
+	for i, p := range cs.Parts {
+		sets[i] = p.Set
+	}
+	s.tab = compat.NewTable(m, sets)
+	s.partRes = make([]resource.Vector, len(cs.Parts))
+	s.partAct = make([]int, len(cs.Parts))
+	for pi, p := range cs.Parts {
+		s.partRes[pi] = p.Resources
+		n := 0
+		for ci := range cs.Active {
+			if cs.Active[ci][pi] {
+				n++
+			}
+		}
+		s.partAct[pi] = n
+	}
+	if w := opts.TransitionWeights; w != nil {
+		nCfg := len(d.Configurations)
+		s.weights = make([][]int64, nCfg)
+		for i := 0; i < nCfg; i++ {
+			s.weights[i] = make([]int64, nCfg)
+			for j := 0; j < nCfg; j++ {
+				// Symmetrise: an unordered pair's weight is the mean of
+				// the two directed entries.
+				s.weights[i][j] = int64((w[i][j] + w[j][i]) / 2 * weightScale)
+			}
+		}
+	}
+	return s
+}

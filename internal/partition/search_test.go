@@ -1,0 +1,237 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+
+	"prpart/internal/cost"
+	"prpart/internal/design"
+	"prpart/internal/resource"
+)
+
+func solve(t *testing.T, d *design.Design, budget resource.Vector) *Result {
+	t.Helper()
+	res, err := Solve(d, Options{Budget: budget})
+	if err != nil {
+		t.Fatalf("%s: Solve: %v", d.Name, err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatalf("%s: scheme invalid: %v", d.Name, err)
+	}
+	if !res.Scheme.FitsIn(budget) {
+		t.Fatalf("%s: scheme %v exceeds budget %v", d.Name, res.Scheme.TotalResources(), budget)
+	}
+	return res
+}
+
+func TestSolveRejectsInvalidDesign(t *testing.T) {
+	d := design.PaperExample()
+	d.Configurations = nil
+	if _, err := Solve(d, Options{Budget: resource.New(1e6, 1e3, 1e3)}); err == nil {
+		t.Fatal("Solve accepted an invalid design")
+	}
+}
+
+func TestSolveInfeasibleBudget(t *testing.T) {
+	d := design.PaperExample()
+	_, err := Solve(d, Options{Budget: resource.New(10, 0, 0)})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveGenerousBudgetReachesZeroCost(t *testing.T) {
+	// With room for every mode in its own region, nothing ever needs to
+	// be reconfigured: the minimum total time is 0.
+	d := design.PaperExample()
+	res := solve(t, d, resource.New(100000, 1000, 1000))
+	if res.Summary.Total != 0 {
+		t.Errorf("total = %d, want 0 on an unconstrained device", res.Summary.Total)
+	}
+}
+
+func TestSolveTightBudgetStillBeatsSingleRegion(t *testing.T) {
+	d := design.PaperExample()
+	single := SingleRegion(d)
+	// Budget barely above the single-region minimum: the search must
+	// still find something feasible and no worse than single-region.
+	budget := single.TotalResources().Add(resource.New(200, 4, 8))
+	res, err := Solve(d, Options{Budget: budget})
+	if errors.Is(err, ErrNoScheme) {
+		t.Skip("no multi-region scheme fits this budget; single-region fallback applies")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ss := cost.Evaluate(single)
+	if res.Summary.Total > ss.Total {
+		t.Errorf("proposed %d worse than single-region %d", res.Summary.Total, ss.Total)
+	}
+}
+
+func TestSolveNeverWorseThanModularWhenModularFits(t *testing.T) {
+	for _, d := range []*design.Design{
+		design.PaperExample(), design.VideoReceiver(),
+		design.VideoReceiverModified(), design.TwoModuleExample(),
+		design.SingleModeExample(),
+	} {
+		modular := Modular(d)
+		budget := modular.TotalResources() // modular exactly fits
+		res, err := Solve(d, Options{Budget: budget})
+		if err != nil {
+			t.Errorf("%s: Solve: %v", d.Name, err)
+			continue
+		}
+		_, sm := cost.Evaluate(modular)
+		if res.Summary.Total > sm.Total {
+			t.Errorf("%s: proposed %d worse than modular %d on modular's own budget",
+				d.Name, res.Summary.Total, sm.Total)
+		}
+	}
+}
+
+func TestCaseStudyShape(t *testing.T) {
+	// Table IV shape on the FX70T budget: static infeasible, modular and
+	// proposed feasible, proposed total strictly below modular and far
+	// below single-region.
+	d := design.VideoReceiver()
+	budget := design.CaseStudyBudget()
+	if FullyStatic(d).FitsIn(budget) {
+		t.Error("static implementation should exceed the budget")
+	}
+	if !Modular(d).FitsIn(budget) {
+		t.Error("modular scheme should fit the budget")
+	}
+	res := solve(t, d, budget)
+	_, sm := cost.Evaluate(Modular(d))
+	_, ss := cost.Evaluate(SingleRegion(d))
+	if res.Summary.Total >= sm.Total {
+		t.Errorf("proposed total %d not below modular %d", res.Summary.Total, sm.Total)
+	}
+	if res.Summary.Total >= ss.Total {
+		t.Errorf("proposed total %d not below single-region %d", res.Summary.Total, ss.Total)
+	}
+	t.Logf("case study: proposed=%d modular=%d single=%d (improvement over modular %.1f%%)",
+		res.Summary.Total, sm.Total, ss.Total,
+		100*float64(sm.Total-res.Summary.Total)/float64(sm.Total))
+}
+
+func TestCaseStudyModifiedShape(t *testing.T) {
+	// Table V: on the modified configuration set the algorithm finds a
+	// scheme with static promotion and a much lower total than the
+	// 8-configuration case.
+	d := design.VideoReceiverModified()
+	budget := design.CaseStudyBudget()
+	res := solve(t, d, budget)
+	_, sm := cost.Evaluate(Modular(d))
+	if res.Summary.Total >= sm.Total {
+		t.Errorf("proposed total %d not below modular %d", res.Summary.Total, sm.Total)
+	}
+	t.Logf("modified case study: proposed=%d modular=%d, static parts=%d",
+		res.Summary.Total, sm.Total, len(res.Scheme.Static))
+}
+
+func TestStaticPromotionAblation(t *testing.T) {
+	// Disabling static promotion must never help.
+	d := design.VideoReceiverModified()
+	budget := design.CaseStudyBudget()
+	full := solve(t, d, budget)
+	noStatic, err := Solve(d, Options{Budget: budget, NoStatic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Summary.Total > noStatic.Summary.Total {
+		t.Errorf("static promotion made things worse: %d vs %d",
+			full.Summary.Total, noStatic.Summary.Total)
+	}
+	for _, p := range noStatic.Scheme.Static {
+		t.Errorf("NoStatic scheme promoted %s", p.Label(d))
+	}
+}
+
+func TestGreedyOnlyAblation(t *testing.T) {
+	d := design.VideoReceiver()
+	budget := design.CaseStudyBudget()
+	full := solve(t, d, budget)
+	greedy, err := Solve(d, Options{Budget: budget, GreedyOnly: true})
+	if errors.Is(err, ErrNoScheme) {
+		t.Log("greedy-only found no scheme (full search required)")
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Summary.Total > greedy.Summary.Total {
+		t.Errorf("full search (%d) worse than greedy-only (%d)",
+			full.Summary.Total, greedy.Summary.Total)
+	}
+}
+
+func TestNoQuantizeAblationStillValid(t *testing.T) {
+	d := design.VideoReceiver()
+	budget := design.CaseStudyBudget()
+	res, err := Solve(d, Options{Budget: budget, NoQuantize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Scheme.FitsIn(budget) {
+		t.Error("NoQuantize scheme exceeds budget (final areas must stay quantised)")
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	d := design.VideoReceiver()
+	budget := design.CaseStudyBudget()
+	a := solve(t, d, budget)
+	b := solve(t, d, budget)
+	if a.Summary != b.Summary {
+		t.Errorf("non-deterministic result: %+v vs %+v", a.Summary, b.Summary)
+	}
+	if len(a.Scheme.Regions) != len(b.Scheme.Regions) {
+		t.Error("non-deterministic region count")
+	}
+}
+
+func TestSingleConfigurationDesign(t *testing.T) {
+	d := design.PaperExample()
+	d.Configurations = d.Configurations[:1]
+	res := solve(t, d, resource.New(2000, 50, 50))
+	if res.Summary.Total != 0 || res.Summary.Worst != 0 {
+		t.Errorf("single configuration should cost nothing: %+v", res.Summary)
+	}
+}
+
+func TestSingleModeExampleSolve(t *testing.T) {
+	// §IV-D: two disjoint configurations. Even modest budgets admit a
+	// zero-cost arrangement because the two configurations can live in
+	// disjoint region sets (every region don't-care on one side).
+	d := design.SingleModeExample()
+	res := solve(t, d, resource.New(2000, 16, 24))
+	if res.Summary.Total != 0 {
+		t.Errorf("total = %d, want 0 for disjoint configurations", res.Summary.Total)
+	}
+}
+
+func TestOptionsBounds(t *testing.T) {
+	if (Options{}).maxSets() != defaultMaxCandidateSets {
+		t.Error("default maxSets wrong")
+	}
+	if (Options{MaxCandidateSets: -1}).maxSets() < 1<<30 {
+		t.Error("negative maxSets should be unlimited")
+	}
+	if (Options{MaxCandidateSets: 3}).maxSets() != 3 {
+		t.Error("explicit maxSets ignored")
+	}
+	if (Options{}).maxFirst() != defaultMaxFirstMoves {
+		t.Error("default maxFirst wrong")
+	}
+	if (Options{MaxFirstMoves: -1}).maxFirst() < 1<<30 {
+		t.Error("negative maxFirst should be unlimited")
+	}
+	if (Options{MaxFirstMoves: 5}).maxFirst() != 5 {
+		t.Error("explicit maxFirst ignored")
+	}
+}

@@ -1,0 +1,592 @@
+package partition
+
+import (
+	"sort"
+
+	"prpart/internal/cost"
+	"prpart/internal/device"
+	"prpart/internal/resource"
+	"prpart/internal/scheme"
+)
+
+// state is a point in the search space: candidate parts grouped into
+// regions, plus parts promoted to static.
+type state struct {
+	groups    []*group
+	static    []int // part indices promoted to static logic
+	staticRes resource.Vector
+	// path records the moves that produced this state, for Result.Trace.
+	path []pathStep
+}
+
+// pathStep is one recorded search move.
+type pathStep struct {
+	static bool  // promotion to static (b empty) vs merge
+	a, b   []int // part indices of the operand groups
+}
+
+// totalCost is the scheme's total reconfiguration time in scaled frames.
+func (st *state) totalCost() int64 {
+	var t int64
+	for _, g := range st.groups {
+		t += g.contrib
+	}
+	return t
+}
+
+// totalArea is the device resources the state consumes (fixed static
+// logic excluded; the searcher adds it when checking the budget).
+func (st *state) totalArea() resource.Vector {
+	v := st.staticRes
+	for _, g := range st.groups {
+		v = v.Add(g.area)
+	}
+	return v
+}
+
+func (st *state) clone() *state {
+	out := &state{
+		static:    append([]int(nil), st.static...),
+		staticRes: st.staticRes,
+		path:      st.path[:len(st.path):len(st.path)],
+	}
+	out.groups = make([]*group, len(st.groups))
+	for i, g := range st.groups {
+		cp := *g
+		cp.parts = append([]int(nil), g.parts...)
+		out.groups[i] = &cp
+	}
+	return out
+}
+
+// searchFrames converts a raw resource requirement into the search cost
+// unit: quantised frames × frameScale normally, or the idealised
+// (fractional-tile) equivalent under NoQuantize.
+func (s *searcher) searchFrames(res resource.Vector) int64 {
+	if s.opts.NoQuantize {
+		return int64(res.CLB)*device.FramesPerCLBTile*frameScale/device.CLBsPerTile +
+			int64(res.BRAM)*device.FramesPerBRAMTile*frameScale/device.BRAMsPerTile +
+			int64(res.DSP)*device.FramesPerDSPTile*frameScale/device.DSPsPerTile
+	}
+	return int64(device.Frames(res)) * frameScale
+}
+
+// newGroup builds a group holding the given parts.
+func (s *searcher) newGroup(parts ...int) *group {
+	g := &group{parts: parts}
+	for _, pi := range parts {
+		g.res = g.res.Max(s.partRes[pi])
+		n := int64(s.partAct[pi])
+		g.active += s.partAct[pi]
+		g.sumSq += n * n
+	}
+	g.area = device.TilesToPrimitives(device.Tiles(g.res))
+	g.frames = s.searchFrames(g.res)
+	if s.weights != nil {
+		g.act = s.activation(parts)
+		g.contrib = g.frames * s.weightedDiff(g.act)
+	} else {
+		g.contrib = g.frames * g.diffPairs()
+	}
+	return g
+}
+
+// activation maps each configuration to the active part of the group
+// (part index + 1; 0 = inactive). At most one part of a compatible group
+// is active per configuration.
+func (s *searcher) activation(parts []int) []int32 {
+	act := make([]int32, len(s.d.Configurations))
+	for _, pi := range parts {
+		for ci := range s.cs.Active {
+			if s.cs.Active[ci][pi] {
+				act[ci] = int32(pi) + 1
+			}
+		}
+	}
+	return act
+}
+
+// weightedDiff sums the pair weights of every configuration pair that
+// reconfigures the group (both active, different parts).
+func (s *searcher) weightedDiff(act []int32) int64 {
+	var t int64
+	for i := 0; i < len(act); i++ {
+		if act[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < len(act); j++ {
+			if act[j] != 0 && act[j] != act[i] {
+				t += s.weights[i][j]
+			}
+		}
+	}
+	return t
+}
+
+// pinned reports whether a candidate part contains a designer-pinned
+// mode and must live in static logic.
+func (s *searcher) pinned(pi int) bool {
+	for _, r := range s.opts.PinnedStatic {
+		if s.cs.Parts[pi].Set.Contains(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// initial builds the start state: every candidate part in its own region,
+// except designer-pinned parts, which start in static logic.
+func (s *searcher) initial() *state {
+	st := &state{}
+	for pi := range s.cs.Parts {
+		if s.pinned(pi) {
+			st.static = append(st.static, pi)
+			st.staticRes = st.staticRes.Add(s.partRes[pi])
+			continue
+		}
+		st.groups = append(st.groups, s.newGroup(pi))
+	}
+	return st
+}
+
+// move is one search step.
+type move struct {
+	// merge indices (into state.groups); j < 0 means "promote i to static".
+	i, j int
+	// part >= 0 turns the move into a transfer: part (an index into
+	// state.groups[i].parts) moves from group i to group j. Transfers
+	// never create or destroy groups beyond emptying i.
+	part int
+}
+
+// apply returns a new state with the move applied.
+func (s *searcher) apply(st *state, mv move) *state {
+	out := st.clone()
+	if mv.part >= 0 && mv.j >= 0 {
+		gi, gj := out.groups[mv.i], out.groups[mv.j]
+		pi := gi.parts[mv.part]
+		rest := make([]int, 0, len(gi.parts)-1)
+		for k, p := range gi.parts {
+			if k != mv.part {
+				rest = append(rest, p)
+			}
+		}
+		out.path = append(out.path, pathStep{a: []int{pi}, b: gj.parts})
+		merged := s.newGroup(append(append([]int(nil), gj.parts...), pi)...)
+		hi, lo := mv.i, mv.j
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		out.groups = append(out.groups[:hi], out.groups[hi+1:]...)
+		out.groups = append(out.groups[:lo], out.groups[lo+1:]...)
+		if len(rest) > 0 {
+			out.groups = append(out.groups, s.newGroup(rest...))
+		}
+		out.groups = append(out.groups, merged)
+		return out
+	}
+	if mv.j < 0 {
+		g := out.groups[mv.i]
+		out.path = append(out.path, pathStep{static: true, a: g.parts})
+		out.static = append(out.static, g.parts...)
+		for _, pi := range g.parts {
+			out.staticRes = out.staticRes.Add(s.partRes[pi])
+		}
+		out.groups = append(out.groups[:mv.i], out.groups[mv.i+1:]...)
+		return out
+	}
+	gi, gj := out.groups[mv.i], out.groups[mv.j]
+	out.path = append(out.path, pathStep{a: gi.parts, b: gj.parts})
+	merged := s.newGroup(append(append([]int(nil), gi.parts...), gj.parts...)...)
+	// Remove j first (j > i never guaranteed; normalise).
+	hi, lo := mv.i, mv.j
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	out.groups = append(out.groups[:hi], out.groups[hi+1:]...)
+	out.groups = append(out.groups[:lo], out.groups[lo+1:]...)
+	out.groups = append(out.groups, merged)
+	return out
+}
+
+// legalMoves enumerates the moves available from st: every compatible
+// group merge, every single-part transfer between groups (when
+// allowTransfers), and (when allowStatic) every static promotion.
+func (s *searcher) legalMoves(st *state, allowStatic, allowTransfers bool) []move {
+	var out []move
+	for i := 0; i < len(st.groups); i++ {
+		for j := i + 1; j < len(st.groups); j++ {
+			if s.tab.GroupCompatible(st.groups[i].parts, st.groups[j].parts) {
+				out = append(out, move{i: i, j: j, part: -1})
+			}
+		}
+		if allowStatic {
+			out = append(out, move{i: i, j: -1, part: -1})
+		}
+		// Transfers: moving the sole part of a group equals a merge, so
+		// only groups with two or more parts are sources.
+		if !allowTransfers || len(st.groups[i].parts) < 2 {
+			continue
+		}
+		for k, p := range st.groups[i].parts {
+			for j := 0; j < len(st.groups); j++ {
+				if j == i {
+					continue
+				}
+				if s.tab.GroupCompatible([]int{p}, st.groups[j].parts) {
+					out = append(out, move{i: i, j: j, part: k})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// moveDelta predicts the cost and area effect of a move without building
+// the new state.
+func (s *searcher) moveDelta(st *state, mv move) (dCost int64, newArea resource.Vector) {
+	area := st.totalArea()
+	if mv.part >= 0 && mv.j >= 0 {
+		gi, gj := st.groups[mv.i], st.groups[mv.j]
+		pi := gi.parts[mv.part]
+		rest := make([]int, 0, len(gi.parts)-1)
+		for k, p := range gi.parts {
+			if k != mv.part {
+				rest = append(rest, p)
+			}
+		}
+		dst := s.newGroup(append(append([]int(nil), gj.parts...), pi)...)
+		var src *group
+		srcContrib, srcArea := int64(0), resource.Vector{}
+		if len(rest) > 0 {
+			src = s.newGroup(rest...)
+			srcContrib, srcArea = src.contrib, src.area
+		}
+		dCost = dst.contrib + srcContrib - gi.contrib - gj.contrib
+		newArea = area.Sub(gi.area).Sub(gj.area).Add(dst.area).Add(srcArea)
+		return dCost, newArea
+	}
+	if mv.j < 0 {
+		g := st.groups[mv.i]
+		var raw resource.Vector
+		for _, pi := range g.parts {
+			raw = raw.Add(s.partRes[pi])
+		}
+		return -g.contrib, area.Sub(g.area).Add(raw)
+	}
+	gi, gj := st.groups[mv.i], st.groups[mv.j]
+	res := gi.res.Max(gj.res)
+	frames := s.searchFrames(res)
+	var contrib int64
+	if s.weights != nil {
+		merged := make([]int32, len(gi.act))
+		for ci := range merged {
+			// Compatibility guarantees at most one side is active.
+			if gi.act[ci] != 0 {
+				merged[ci] = gi.act[ci]
+			} else {
+				merged[ci] = gj.act[ci]
+			}
+		}
+		contrib = frames * s.weightedDiff(merged)
+	} else {
+		a := int64(gi.active + gj.active)
+		sq := gi.sumSq + gj.sumSq
+		contrib = frames * (a*a - sq) / 2
+	}
+	dCost = contrib - gi.contrib - gj.contrib
+	mergedArea := device.TilesToPrimitives(device.Tiles(res))
+	newArea = area.Sub(gi.area).Sub(gj.area).Add(mergedArea)
+	return dCost, newArea
+}
+
+func (s *searcher) feasible(area resource.Vector) bool {
+	return s.d.Static.Add(area).FitsIn(s.opts.Budget)
+}
+
+// snapshot freezes a feasible state for later comparison and extraction.
+type snapshot struct {
+	s    *searcher
+	st   *state
+	cost int64
+	area resource.Vector
+}
+
+func (s *searcher) snap(st *state) *snapshot {
+	return &snapshot{s: s, st: st.clone(), cost: st.totalCost(), area: st.totalArea()}
+}
+
+// better orders snapshots by total reconfiguration cost, then total area,
+// then fewer regions.
+func (a *snapshot) better(b *snapshot) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if at, bt := a.area.Total(), b.area.Total(); at != bt {
+		return at < bt
+	}
+	return len(a.st.groups) < len(b.st.groups)
+}
+
+// scheme materialises the snapshot as a validated scheme.Scheme.
+func (sn *snapshot) scheme(name string) (*scheme.Scheme, error) {
+	s := sn.s
+	out := &scheme.Scheme{Design: s.d, Name: name}
+	// Deterministic region order: largest frame count first, then by
+	// first part index (matches the paper's PRR numbering style).
+	groups := append([]*group(nil), sn.st.groups...)
+	sort.SliceStable(groups, func(i, j int) bool {
+		if groups[i].frames != groups[j].frames {
+			return groups[i].frames > groups[j].frames
+		}
+		return minInt(groups[i].parts) < minInt(groups[j].parts)
+	})
+	for _, g := range groups {
+		var reg scheme.Region
+		for _, pi := range g.parts {
+			reg.Parts = append(reg.Parts, s.cs.Parts[pi])
+		}
+		out.Regions = append(out.Regions, reg)
+	}
+	for _, pi := range sn.st.static {
+		out.Static = append(out.Static, s.cs.Parts[pi])
+	}
+	nCfg := len(s.d.Configurations)
+	out.Active = make([][]int, nCfg)
+	for ci := 0; ci < nCfg; ci++ {
+		row := make([]int, len(groups))
+		for ri, g := range groups {
+			row[ri] = scheme.Inactive
+			for slot, pi := range g.parts {
+				if s.cs.Active[ci][pi] {
+					row[ri] = slot
+					break
+				}
+			}
+		}
+		out.Active[ci] = row
+	}
+	return out, nil
+}
+
+// trace renders the snapshot's move path with human-readable labels.
+func (sn *snapshot) trace() []string {
+	s := sn.s
+	label := func(parts []int) string {
+		out := ""
+		for i, pi := range parts {
+			if i > 0 {
+				out += " + "
+			}
+			out += s.cs.Parts[pi].Label(s.d)
+		}
+		return out
+	}
+	steps := make([]string, 0, len(sn.st.path))
+	for _, p := range sn.st.path {
+		if p.static {
+			steps = append(steps, "promote "+label(p.a)+" to static")
+		} else {
+			steps = append(steps, "merge "+label(p.a)+" with "+label(p.b))
+		}
+	}
+	return steps
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// violation measures how far an area overshoots the budget, in idealised
+// frame units (the same weighting the search cost uses), summed over
+// resource kinds. Zero means feasible.
+func (s *searcher) violation(area resource.Vector) int64 {
+	over := s.d.Static.Add(area).SubFloor(s.opts.Budget)
+	return s.searchFrames(over)
+}
+
+// run searches one candidate partition set: a greedy descent from the
+// initial state, restarted once per distinct first move (the paper's
+// "distinct from those used to begin the previous iterations"), bounded
+// by MaxFirstMoves. It returns the best feasible snapshot and the number
+// of states evaluated.
+func (s *searcher) run() (*snapshot, int) {
+	base := s.initial()
+	states := 0
+	var best *snapshot
+	record := func(st *state) {
+		states++
+		if !s.feasible(st.totalArea()) {
+			return
+		}
+		sn := s.snap(st)
+		if best == nil || sn.better(best) {
+			best = sn
+		}
+	}
+	record(base)
+
+	// Seed the one-module-per-region grouping when the candidate set is
+	// all singletons (always true for the first set): this guarantees the
+	// search result is never worse than the modular baseline when the
+	// baseline fits, and gives static promotion a strong starting point.
+	if !s.opts.GreedyOnly {
+		if seed := s.moduleGrouped(); seed != nil {
+			record(seed)
+			s.descend(seed, record)
+		}
+	}
+
+	// The plain descent (no forced first move) ...
+	s.descend(base, record)
+
+	if !s.opts.GreedyOnly {
+		// ... and one descent per distinct first move, most promising
+		// (lowest cost increase per violation removed) first.
+		firsts := s.legalMoves(base, !s.opts.NoStatic, false)
+		type scored struct {
+			mv move
+			d  int64
+		}
+		sc := make([]scored, len(firsts))
+		for i, mv := range firsts {
+			d, _ := s.moveDelta(base, mv)
+			sc[i] = scored{mv, d}
+		}
+		sort.SliceStable(sc, func(i, j int) bool { return sc[i].d < sc[j].d })
+		if maxFirst := s.opts.maxFirst(); len(sc) > maxFirst {
+			sc = sc[:maxFirst]
+		}
+		for _, c := range sc {
+			st := s.apply(base, c.mv)
+			record(st)
+			s.descend(st, record)
+		}
+	}
+	return best, states
+}
+
+// descend runs the greedy policy from st under several move vocabularies:
+// each extra move family (static promotion, transfers) can steer the
+// descent onto a worse trajectory as easily as a better one, so the
+// restricted descents keep the smaller search spaces covered and the
+// recorded-state set grows monotonically with each family.
+func (s *searcher) descend(st *state, record func(*state)) {
+	statics := []bool{false}
+	if !s.opts.NoStatic {
+		statics = append(statics, true)
+	}
+	for _, withStatic := range statics {
+		s.greedy(st, withStatic, false, record)
+		s.greedy(st, withStatic, true, record)
+	}
+}
+
+// moduleGrouped builds the state that groups singleton parts by module —
+// the candidate-set equivalent of the one-module-per-region scheme — or
+// nil when the candidate set contains multi-mode parts.
+func (s *searcher) moduleGrouped() *state {
+	byModule := make(map[int][]int)
+	var order []int
+	for pi, p := range s.cs.Parts {
+		if p.Set.Len() != 1 {
+			return nil
+		}
+		mi := p.Set.Refs()[0].Module
+		if _, ok := byModule[mi]; !ok {
+			order = append(order, mi)
+		}
+		byModule[mi] = append(byModule[mi], pi)
+	}
+	sort.Ints(order)
+	st := &state{}
+	for _, mi := range order {
+		var free []int
+		for _, pi := range byModule[mi] {
+			if s.pinned(pi) {
+				st.static = append(st.static, pi)
+				st.staticRes = st.staticRes.Add(s.partRes[pi])
+				continue
+			}
+			free = append(free, pi)
+		}
+		if len(free) > 0 {
+			st.groups = append(st.groups, s.newGroup(free...))
+		}
+	}
+	return st
+}
+
+// greedy repeatedly applies the best move. While the state is infeasible
+// it picks the move with the lowest reconfiguration-cost increase per
+// unit of budget violation removed (merging trades time for area in this
+// model; it can never reduce cost). Once feasible it applies
+// cost-improving moves — in practice static promotions — until none
+// remain.
+func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record func(*state)) {
+	cur := st.clone()
+	for {
+		moves := s.legalMoves(cur, allowStatic, allowTransfers)
+		if len(moves) == 0 {
+			return
+		}
+		curArea := cur.totalArea()
+		curViol := s.violation(curArea)
+		bestIdx := -1
+		var bestCost, bestViol, bestSaved int64
+		for i, mv := range moves {
+			d, area := s.moveDelta(cur, mv)
+			if curViol == 0 {
+				// Feasible: accept strict cost improvements, or
+				// cost-neutral area reductions that make room for later
+				// static promotions.
+				v := s.violation(area)
+				if v > 0 {
+					continue
+				}
+				if d > 0 || (d == 0 && area.Total() >= curArea.Total()) {
+					continue
+				}
+				saved := int64(curArea.Total() - area.Total())
+				if bestIdx < 0 || d < bestCost || (d == bestCost && saved > bestSaved) {
+					bestIdx, bestCost, bestSaved = i, d, saved
+				}
+			} else {
+				v := s.violation(area)
+				saved := curViol - v
+				if saved <= 0 {
+					continue
+				}
+				// Lower dCost per violation removed wins; cross-multiply
+				// to stay in integers (saved > 0 on both sides).
+				if bestIdx < 0 || d*bestSaved < bestCost*saved ||
+					(d*bestSaved == bestCost*saved && v < bestViol) {
+					bestIdx, bestCost, bestViol, bestSaved = i, d, v, saved
+				}
+			}
+		}
+		if bestIdx < 0 {
+			return
+		}
+		cur = s.apply(cur, moves[bestIdx])
+		record(cur)
+	}
+}
+
+// evaluate is a debugging helper: it materialises and evaluates a state
+// without registering it.
+func (s *searcher) evaluate(st *state) (cost.Summary, error) {
+	sn := s.snap(st)
+	sch, err := sn.scheme("debug")
+	if err != nil {
+		return cost.Summary{}, err
+	}
+	_, sum := cost.Evaluate(sch)
+	return sum, nil
+}

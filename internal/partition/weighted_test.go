@@ -1,0 +1,133 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"prpart/internal/cost"
+	"prpart/internal/design"
+	"prpart/internal/resource"
+)
+
+// uniformWeights builds an all-ones weight matrix.
+func uniformWeights(n int) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			if i != j {
+				w[i][j] = 1
+			}
+		}
+	}
+	return w
+}
+
+func TestWeightedUniformMatchesUnweighted(t *testing.T) {
+	// All-ones weights must reproduce the uniform objective's choice.
+	d := design.VideoReceiver()
+	budget := design.CaseStudyBudget()
+	plain, err := Solve(d, Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Solve(d, Options{
+		Budget:            budget,
+		TransitionWeights: uniformWeights(len(d.Configurations)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Summary.Total != weighted.Summary.Total {
+		t.Errorf("uniform weights changed the result: %d vs %d",
+			plain.Summary.Total, weighted.Summary.Total)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	d := design.PaperExample()
+	budget := resource.New(100000, 1000, 1000)
+	if _, err := Solve(d, Options{Budget: budget, TransitionWeights: [][]float64{{0}}}); err == nil ||
+		!strings.Contains(err.Error(), "rows") {
+		t.Errorf("short matrix: %v", err)
+	}
+	bad := uniformWeights(len(d.Configurations))
+	bad[1] = bad[1][:2]
+	if _, err := Solve(d, Options{Budget: budget, TransitionWeights: bad}); err == nil ||
+		!strings.Contains(err.Error(), "entries") {
+		t.Errorf("ragged matrix: %v", err)
+	}
+	neg := uniformWeights(len(d.Configurations))
+	neg[0][1] = -1
+	if _, err := Solve(d, Options{Budget: budget, TransitionWeights: neg}); err == nil ||
+		!strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative weight: %v", err)
+	}
+}
+
+func TestWeightedSearchFavoursHotTransitions(t *testing.T) {
+	// The case study under a distribution where almost all switching
+	// happens between configurations 0 and 3 (V1<->"F2 R1 M2 D3 V1").
+	// The weighted search must produce a scheme whose weighted expected
+	// cost is no worse than the uniform search's scheme under the same
+	// distribution.
+	d := design.VideoReceiver()
+	budget := design.CaseStudyBudget()
+	n := len(d.Configurations)
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			if i != j {
+				w[i][j] = 0.001
+			}
+		}
+	}
+	w[0][3], w[3][0] = 1, 1
+
+	plain, err := Solve(d, Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Solve(d, Options{Budget: budget, TransitionWeights: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := func(r *Result) float64 {
+		m := cost.Transitions(r.Scheme)
+		v, err := m.Weighted(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	pe, we := expected(plain), expected(weighted)
+	if we > pe {
+		t.Errorf("weighted search (%.0f expected frames) worse than uniform search (%.0f) under the hot distribution",
+			we, pe)
+	}
+	t.Logf("hot 0<->3 distribution: uniform-objective scheme %.0f, weighted-objective scheme %.0f expected frames", pe, we)
+}
+
+func TestWeightedZeroMatrixStillSolves(t *testing.T) {
+	// A zero matrix makes every scheme cost zero; the search must still
+	// return some feasible scheme (ties broken by area).
+	d := design.TwoModuleExample()
+	budget := Modular(d).TotalResources()
+	n := len(d.Configurations)
+	res, err := Solve(d, Options{Budget: budget, TransitionWeights: make2d(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func make2d(n int) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return w
+}

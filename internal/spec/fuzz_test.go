@@ -1,0 +1,46 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+)
+
+// FuzzParseDesign checks that arbitrary XML never panics the parser and
+// that anything it accepts is a valid design that round-trips.
+func FuzzParseDesign(f *testing.F) {
+	f.Add(sample)
+	var b bytes.Buffer
+	if err := WriteDesign(&b, design.PaperExample(), Constraints{Device: "FX70T"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.String())
+	f.Add("<prdesign/>")
+	f.Add("<prdesign name='x'><module name='A'/></prdesign>")
+	f.Add("not xml at all")
+	f.Add(`<prdesign name="x"><static clb="-1"/></prdesign>`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, con, err := ParseDesign(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted designs must be valid and re-encodable.
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ParseDesign accepted an invalid design: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := WriteDesign(&out, d, con); werr != nil {
+			t.Fatalf("accepted design failed to re-encode: %v", werr)
+		}
+		d2, _, rerr := ParseDesign(&out)
+		if rerr != nil {
+			t.Fatalf("re-encoded design failed to parse: %v", rerr)
+		}
+		if len(d2.Modules) != len(d.Modules) || len(d2.Configurations) != len(d.Configurations) {
+			t.Fatal("round trip changed design shape")
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Package spec implements the XML design-description format of the
+// proposed tool flow (§III-B, Fig. 2): the designer provides the module
+// and mode inventory (with design files or known utilisations), the list
+// of valid configurations, and implementation constraints (target device,
+// resource budget, clock). ParseDesign returns the internal design model
+// plus the constraints for the downstream steps.
+package spec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"prpart/internal/design"
+	"prpart/internal/resource"
+)
+
+// File is the root XML element.
+type File struct {
+	XMLName xml.Name  `xml:"prdesign"`
+	Name    string    `xml:"name,attr"`
+	Static  *Res      `xml:"static"`
+	Modules []XModule `xml:"module"`
+	Configs []XConfig `xml:"configuration"`
+	Constr  *XConstr  `xml:"constraints"`
+}
+
+// Res is a resource triple used in several elements.
+type Res struct {
+	CLB  int `xml:"clb,attr"`
+	BRAM int `xml:"bram,attr"`
+	DSP  int `xml:"dsp,attr"`
+}
+
+// Vector converts to the internal resource vector.
+func (r *Res) Vector() resource.Vector {
+	if r == nil {
+		return resource.Vector{}
+	}
+	return resource.New(r.CLB, r.BRAM, r.DSP)
+}
+
+// XModule is a reconfigurable module declaration.
+type XModule struct {
+	Name  string  `xml:"name,attr"`
+	Modes []XMode `xml:"mode"`
+}
+
+// XMode is one mode of a module. Either the utilisation attributes or a
+// source file (to be synthesised) must be present; this package only
+// consumes the utilisation numbers.
+type XMode struct {
+	Name string `xml:"name,attr"`
+	CLB  int    `xml:"clb,attr"`
+	BRAM int    `xml:"bram,attr"`
+	DSP  int    `xml:"dsp,attr"`
+	Src  string `xml:"src,attr,omitempty"`
+}
+
+// XConfig is one valid configuration.
+type XConfig struct {
+	Name   string    `xml:"name,attr,omitempty"`
+	Active []XActive `xml:"active"`
+}
+
+// XActive activates one module mode within a configuration. Modules not
+// listed are absent (mode 0, §IV-D).
+type XActive struct {
+	Module string `xml:"module,attr"`
+	Mode   string `xml:"mode,attr"`
+}
+
+// XConstr carries the implementation constraints.
+type XConstr struct {
+	Device   string  `xml:"device,attr,omitempty"`
+	ClockMHz float64 `xml:"clockMHz,attr,omitempty"`
+	Budget   *Res    `xml:"budget"`
+}
+
+// Constraints is the parsed constraint set.
+type Constraints struct {
+	// Device names the target FPGA ("" = pick the smallest).
+	Device string
+	// Budget overrides the device capacity when non-zero.
+	Budget resource.Vector
+	// ClockMHz is the timing target (0 = unconstrained).
+	ClockMHz float64
+}
+
+// ParseDesign reads and validates a design description.
+func ParseDesign(r io.Reader) (*design.Design, Constraints, error) {
+	var f File
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, Constraints{}, fmt.Errorf("spec: decoding XML: %w", err)
+	}
+	d := &design.Design{Name: f.Name, Static: f.Static.Vector()}
+	modIdx := map[string]int{}
+	modeIdx := map[string]map[string]int{}
+	for _, xm := range f.Modules {
+		m := &design.Module{Name: xm.Name}
+		modeIdx[xm.Name] = map[string]int{}
+		for ki, xmd := range xm.Modes {
+			m.Modes = append(m.Modes, design.Mode{
+				Name:      xmd.Name,
+				Resources: resource.New(xmd.CLB, xmd.BRAM, xmd.DSP),
+			})
+			modeIdx[xm.Name][xmd.Name] = ki + 1
+		}
+		modIdx[xm.Name] = len(d.Modules)
+		d.Modules = append(d.Modules, m)
+	}
+	for ci, xc := range f.Configs {
+		c := design.Configuration{Name: xc.Name, Modes: make([]int, len(d.Modules))}
+		for _, a := range xc.Active {
+			mi, ok := modIdx[a.Module]
+			if !ok {
+				return nil, Constraints{}, fmt.Errorf("spec: configuration %d activates unknown module %q", ci, a.Module)
+			}
+			ki, ok := modeIdx[a.Module][a.Mode]
+			if !ok {
+				return nil, Constraints{}, fmt.Errorf("spec: configuration %d: module %q has no mode %q", ci, a.Module, a.Mode)
+			}
+			if c.Modes[mi] != 0 {
+				return nil, Constraints{}, fmt.Errorf("spec: configuration %d activates module %q twice", ci, a.Module)
+			}
+			c.Modes[mi] = ki
+		}
+		d.Configurations = append(d.Configurations, c)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, Constraints{}, fmt.Errorf("spec: invalid design %q: %w", d.Name, err)
+	}
+	con := Constraints{}
+	if f.Constr != nil {
+		con.Device = f.Constr.Device
+		con.ClockMHz = f.Constr.ClockMHz
+		con.Budget = f.Constr.Budget.Vector()
+	}
+	return d, con, nil
+}
+
+// WriteDesign renders a design (and constraints) back to the XML format.
+func WriteDesign(w io.Writer, d *design.Design, con Constraints) error {
+	f := File{
+		Name:   d.Name,
+		Static: &Res{CLB: d.Static.CLB, BRAM: d.Static.BRAM, DSP: d.Static.DSP},
+	}
+	for _, m := range d.Modules {
+		xm := XModule{Name: m.Name}
+		for _, md := range m.Modes {
+			xm.Modes = append(xm.Modes, XMode{
+				Name: md.Name,
+				CLB:  md.Resources.CLB, BRAM: md.Resources.BRAM, DSP: md.Resources.DSP,
+			})
+		}
+		f.Modules = append(f.Modules, xm)
+	}
+	for ci, c := range d.Configurations {
+		xc := XConfig{Name: c.Name}
+		for mi, k := range c.Modes {
+			if k == 0 {
+				continue
+			}
+			if k < 1 || k > len(d.Modules[mi].Modes) {
+				return fmt.Errorf("spec: configuration %d: mode index %d out of range", ci, k)
+			}
+			xc.Active = append(xc.Active, XActive{
+				Module: d.Modules[mi].Name,
+				Mode:   d.Modules[mi].Modes[k-1].Name,
+			})
+		}
+		f.Configs = append(f.Configs, xc)
+	}
+	if con != (Constraints{}) {
+		f.Constr = &XConstr{Device: con.Device, ClockMHz: con.ClockMHz}
+		if !con.Budget.IsZero() {
+			f.Constr.Budget = &Res{CLB: con.Budget.CLB, BRAM: con.Budget.BRAM, DSP: con.Budget.DSP}
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("spec: encoding XML: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

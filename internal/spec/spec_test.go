@@ -1,0 +1,138 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/resource"
+)
+
+const sample = `<?xml version="1.0"?>
+<prdesign name="demo">
+  <static clb="90" bram="8" dsp="0"/>
+  <module name="A">
+    <mode name="fast" clb="200" bram="2" dsp="4" src="rtl/a_fast.v"/>
+    <mode name="slow" clb="100" bram="0" dsp="1"/>
+  </module>
+  <module name="B">
+    <mode name="only" clb="300" bram="4" dsp="0"/>
+  </module>
+  <configuration name="boot">
+    <active module="A" mode="fast"/>
+    <active module="B" mode="only"/>
+  </configuration>
+  <configuration>
+    <active module="A" mode="slow"/>
+  </configuration>
+  <constraints device="FX70T" clockMHz="100">
+    <budget clb="6800" bram="64" dsp="150"/>
+  </constraints>
+</prdesign>`
+
+func TestParseDesign(t *testing.T) {
+	d, con, err := ParseDesign(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "demo" || len(d.Modules) != 2 || len(d.Configurations) != 2 {
+		t.Fatalf("parsed shape wrong: %+v", d)
+	}
+	if d.Static != resource.New(90, 8, 0) {
+		t.Errorf("static = %v", d.Static)
+	}
+	if d.Modules[0].Modes[0].Resources != resource.New(200, 2, 4) {
+		t.Errorf("A.fast = %v", d.Modules[0].Modes[0].Resources)
+	}
+	// Config 1 omits B: mode 0.
+	if got := d.Configurations[1].Modes; !reflect.DeepEqual(got, []int{2, 0}) {
+		t.Errorf("config 1 modes = %v, want [2 0]", got)
+	}
+	if d.Configurations[0].Name != "boot" {
+		t.Errorf("config 0 name = %q", d.Configurations[0].Name)
+	}
+	if con.Device != "FX70T" || con.ClockMHz != 100 {
+		t.Errorf("constraints = %+v", con)
+	}
+	if con.Budget != resource.New(6800, 64, 150) {
+		t.Errorf("budget = %v", con.Budget)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, xml, want string
+	}{
+		{"garbage", "not xml", "decoding"},
+		{"unknown module", `<prdesign name="x">
+			<module name="A"><mode name="m" clb="1"/></module>
+			<configuration><active module="Z" mode="m"/></configuration>
+		  </prdesign>`, "unknown module"},
+		{"unknown mode", `<prdesign name="x">
+			<module name="A"><mode name="m" clb="1"/></module>
+			<configuration><active module="A" mode="z"/></configuration>
+		  </prdesign>`, "no mode"},
+		{"double activation", `<prdesign name="x">
+			<module name="A"><mode name="m" clb="1"/><mode name="n" clb="1"/></module>
+			<configuration><active module="A" mode="m"/><active module="A" mode="n"/></configuration>
+		  </prdesign>`, "twice"},
+		{"invalid design", `<prdesign name="x">
+			<module name="A"><mode name="m" clb="1"/></module>
+		  </prdesign>`, "invalid design"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := ParseDesign(strings.NewReader(c.xml))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, d := range []*design.Design{
+		design.PaperExample(), design.VideoReceiver(), design.SingleModeExample(),
+	} {
+		con := Constraints{Device: "FX70T", ClockMHz: 100, Budget: design.CaseStudyBudget()}
+		var b strings.Builder
+		if err := WriteDesign(&b, d, con); err != nil {
+			t.Fatalf("%s: write: %v", d.Name, err)
+		}
+		got, gotCon, err := ParseDesign(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", d.Name, err, b.String())
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Errorf("%s: round trip mismatch", d.Name)
+		}
+		if gotCon != con {
+			t.Errorf("%s: constraints %+v != %+v", d.Name, gotCon, con)
+		}
+	}
+}
+
+func TestWriteWithoutConstraints(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDesign(&b, design.PaperExample(), Constraints{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<constraints") {
+		t.Error("empty constraints element emitted")
+	}
+	if !strings.HasPrefix(b.String(), xmlHeader) {
+		t.Errorf("missing XML header: %.40q", b.String())
+	}
+}
+
+const xmlHeader = `<?xml version="1.0" encoding="UTF-8"?>`
+
+func TestWriteRejectsCorruptDesign(t *testing.T) {
+	d := design.PaperExample()
+	d.Configurations[0].Modes[0] = 99
+	var b strings.Builder
+	if err := WriteDesign(&b, d, Constraints{}); err == nil {
+		t.Error("corrupt design encoded")
+	}
+}

@@ -1,0 +1,309 @@
+// Package synth stands in for the vendor synthesis step of the proposed
+// tool flow (§III-B step 1, Xilinx XST): it turns high-level component
+// specifications into post-synthesis resource estimates, and can emit a
+// matching structural netlist for the downstream wrapper/floorplan steps.
+//
+// Two sources of utilisation are supported, mirroring the paper:
+//
+//   - analytic models for parameterised RTL blocks (filters, FFTs, FEC
+//     decoders, modulators), calibrated roughly against published Xilinx
+//     IP datasheet figures, and
+//   - an IP-core library with known utilisations ("resource usage is
+//     often available up front"), preloaded with the paper's Table II.
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"prpart/internal/netlist"
+	"prpart/internal/resource"
+)
+
+// Spec is a synthesisable component specification.
+type Spec interface {
+	// SpecName identifies the component.
+	SpecName() string
+	// Estimate returns the post-synthesis resource utilisation.
+	Estimate() resource.Vector
+}
+
+// FIRFilter is a direct-form FIR filter.
+type FIRFilter struct {
+	Name      string
+	Taps      int
+	DataWidth int
+	// Folding is the number of taps sharing one multiplier (1 = fully
+	// parallel).
+	Folding int
+}
+
+// SpecName implements Spec.
+func (f FIRFilter) SpecName() string { return f.Name }
+
+// Estimate implements Spec: one DSP slice per Folding taps, plus
+// registers and adder logic in CLBs.
+func (f FIRFilter) Estimate() resource.Vector {
+	fold := f.Folding
+	if fold < 1 {
+		fold = 1
+	}
+	dsps := ceilDiv(f.Taps, fold)
+	clbs := ceilDiv(f.Taps*f.DataWidth, 64) // delay line + adder tree
+	if fold > 1 {
+		clbs += ceilDiv(f.Taps*f.DataWidth, 128) // coefficient sequencing
+	}
+	return resource.New(clbs, 0, dsps)
+}
+
+// FFT is a pipelined streaming FFT.
+type FFT struct {
+	Name   string
+	Points int
+	Width  int
+}
+
+// SpecName implements Spec.
+func (f FFT) SpecName() string { return f.Name }
+
+// Estimate implements Spec: log2(N) butterfly stages, each a complex
+// multiplier (3 DSPs) with BRAM delay lines for larger stages.
+func (f FFT) Estimate() resource.Vector {
+	stages := log2ceil(f.Points)
+	dsps := 3 * stages
+	brams := 0
+	if f.Points >= 512 {
+		brams = stages - 8
+		if brams < 0 {
+			brams = 0
+		}
+		brams += 2
+	}
+	clbs := stages * ceilDiv(f.Width*12, 8)
+	return resource.New(clbs, brams, dsps)
+}
+
+// ViterbiDecoder is a convolutional FEC decoder.
+type ViterbiDecoder struct {
+	Name           string
+	ConstraintLen  int // K, typically 7
+	TracebackDepth int
+}
+
+// SpecName implements Spec.
+func (v ViterbiDecoder) SpecName() string { return v.Name }
+
+// Estimate implements Spec: 2^(K-1) ACS butterflies in logic, traceback
+// memory in BRAM.
+func (v ViterbiDecoder) Estimate() resource.Vector {
+	states := 1 << (v.ConstraintLen - 1)
+	clbs := states * 9
+	brams := ceilDiv(states*v.TracebackDepth, 16384)
+	return resource.New(clbs, brams, 0)
+}
+
+// TurboDecoder is an iterative FEC decoder.
+type TurboDecoder struct {
+	Name       string
+	BlockSize  int
+	Iterations int
+}
+
+// SpecName implements Spec.
+func (t TurboDecoder) SpecName() string { return t.Name }
+
+// Estimate implements Spec: two SISO decoders plus interleaver memory
+// proportional to the block size.
+func (t TurboDecoder) Estimate() resource.Vector {
+	clbs := 600 + 18*t.Iterations
+	brams := ceilDiv(t.BlockSize*8, 4096)
+	return resource.New(clbs, brams, 4)
+}
+
+// Modulator is a PSK/QAM (de)modulator.
+type Modulator struct {
+	Name string
+	// BitsPerSymbol: 1 = BPSK, 2 = QPSK, 4 = 16-QAM, ...
+	BitsPerSymbol int
+}
+
+// SpecName implements Spec.
+func (m Modulator) SpecName() string { return m.Name }
+
+// Estimate implements Spec.
+func (m Modulator) Estimate() resource.Vector {
+	return resource.New(25*m.BitsPerSymbol+25, 0, 2*m.BitsPerSymbol)
+}
+
+// GenericLogic is an explicitly sized block for components with no model.
+type GenericLogic struct {
+	Name      string
+	Resources resource.Vector
+}
+
+// SpecName implements Spec.
+func (g GenericLogic) SpecName() string { return g.Name }
+
+// Estimate implements Spec.
+func (g GenericLogic) Estimate() resource.Vector { return g.Resources }
+
+// Library is a catalog of pre-characterised IP cores.
+type Library struct {
+	cores map[string]resource.Vector
+}
+
+// NewLibrary returns a library preloaded with the paper's Table II
+// utilisations, keyed "<module>/<mode>" (e.g. "Decoder/Viterbi").
+func NewLibrary() *Library {
+	l := &Library{cores: map[string]resource.Vector{}}
+	for k, v := range map[string]resource.Vector{
+		"MatchedFilter/Filter1": resource.New(818, 0, 28),
+		"MatchedFilter/Filter2": resource.New(500, 0, 34),
+		"Recovery/Fine":         resource.New(318, 1, 13),
+		"Recovery/Coarse1":      resource.New(195, 1, 5),
+		"Recovery/Coarse2":      resource.New(123, 0, 8),
+		"Demodulator/BPSK":      resource.New(50, 0, 2),
+		"Demodulator/QPSK":      resource.New(97, 0, 4),
+		"Decoder/Viterbi":       resource.New(630, 2, 0),
+		"Decoder/Turbo":         resource.New(748, 15, 4),
+		"Decoder/DPC":           resource.New(234, 2, 0),
+		"Video/MPEG4":           resource.New(4700, 40, 65),
+		"Video/MPEG2":           resource.New(4558, 16, 32),
+		"Video/JPEG":            resource.New(2780, 6, 9),
+	} {
+		l.cores[k] = v
+	}
+	return l
+}
+
+// Register adds or replaces a core.
+func (l *Library) Register(name string, v resource.Vector) { l.cores[name] = v }
+
+// Lookup returns the utilisation of a core.
+func (l *Library) Lookup(name string) (resource.Vector, error) {
+	v, ok := l.cores[name]
+	if !ok {
+		return resource.Vector{}, fmt.Errorf("synth: IP core %q not in library", name)
+	}
+	return v, nil
+}
+
+// Names lists the registered cores, sorted.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.cores))
+	for k := range l.cores {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IPCore is a Spec backed by a library entry.
+type IPCore struct {
+	Name string
+	Lib  *Library
+}
+
+// SpecName implements Spec.
+func (c IPCore) SpecName() string { return c.Name }
+
+// Estimate implements Spec; unknown cores estimate to zero (Synthesize
+// reports the error).
+func (c IPCore) Estimate() resource.Vector {
+	v, err := c.Lib.Lookup(c.Name)
+	if err != nil {
+		return resource.Vector{}
+	}
+	return v
+}
+
+// Result is the outcome of synthesising one spec.
+type Result struct {
+	Name      string
+	Resources resource.Vector
+	// Netlist is a structural netlist whose primitive counts reproduce
+	// the estimate (LUT/FF pairs per CLB, one instance per BRAM/DSP).
+	Netlist *netlist.Module
+}
+
+// Synthesize estimates a spec and emits a matching netlist. The netlist
+// is deterministic for a given spec name.
+func Synthesize(s Spec) (*Result, error) {
+	if c, ok := s.(IPCore); ok {
+		if _, err := c.Lib.Lookup(c.Name); err != nil {
+			return nil, err
+		}
+	}
+	res := s.Estimate()
+	if !res.IsNonNegative() {
+		return nil, fmt.Errorf("synth: spec %q estimated negative resources %v", s.SpecName(), res)
+	}
+	return &Result{
+		Name:      s.SpecName(),
+		Resources: res,
+		Netlist:   emit(s.SpecName(), res),
+	}, nil
+}
+
+// emit builds a flat netlist realising the resource estimate.
+func emit(name string, res resource.Vector) *netlist.Module {
+	m := &netlist.Module{
+		Name: sanitize(name),
+		Ports: []netlist.Port{
+			{Name: "clk", Dir: netlist.Input, Width: 1},
+			{Name: "rst", Dir: netlist.Input, Width: 1},
+			{Name: "s_data", Dir: netlist.Input, Width: 32},
+			{Name: "s_valid", Dir: netlist.Input, Width: 1},
+			{Name: "m_data", Dir: netlist.Output, Width: 32},
+			{Name: "m_valid", Dir: netlist.Output, Width: 1},
+		},
+	}
+	add := func(prim netlist.Primitive, n int, prefix string) {
+		for i := 0; i < n; i++ {
+			m.Instances = append(m.Instances, netlist.Instance{
+				Name: fmt.Sprintf("%s_%d", prefix, i),
+				Prim: prim,
+				Conns: map[string]string{
+					"C": "clk",
+				},
+			})
+		}
+	}
+	add(netlist.LUT, res.CLB*8, "lut")
+	add(netlist.FF, res.CLB*8, "ff")
+	add(netlist.BRAMPrim, res.BRAM, "bram")
+	add(netlist.DSPPrim, res.DSP, "dsp")
+	return m
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "unnamed"
+	}
+	return string(out)
+}
+
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+func log2ceil(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}

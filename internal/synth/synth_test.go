@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/netlist"
+	"prpart/internal/resource"
+)
+
+func TestFIRFilterModel(t *testing.T) {
+	full := FIRFilter{Name: "fir", Taps: 32, DataWidth: 16, Folding: 1}
+	r := full.Estimate()
+	if r.DSP != 32 {
+		t.Errorf("parallel FIR DSPs = %d, want 32", r.DSP)
+	}
+	folded := FIRFilter{Name: "fir", Taps: 32, DataWidth: 16, Folding: 8}
+	rf := folded.Estimate()
+	if rf.DSP != 4 {
+		t.Errorf("folded FIR DSPs = %d, want 4", rf.DSP)
+	}
+	if rf.CLB <= r.CLB {
+		// Folding adds sequencing logic.
+		t.Errorf("folded CLBs %d not above parallel %d", rf.CLB, r.CLB)
+	}
+	// Zero folding behaves as fully parallel.
+	if (FIRFilter{Taps: 8, DataWidth: 8}).Estimate().DSP != 8 {
+		t.Error("Folding=0 should mean fully parallel")
+	}
+}
+
+func TestFFTModel(t *testing.T) {
+	small := FFT{Name: "fft256", Points: 256, Width: 16}.Estimate()
+	if small.BRAM != 0 {
+		t.Errorf("256-pt FFT BRAM = %d, want 0", small.BRAM)
+	}
+	if small.DSP != 24 { // 8 stages * 3
+		t.Errorf("256-pt FFT DSP = %d, want 24", small.DSP)
+	}
+	big := FFT{Name: "fft4k", Points: 4096, Width: 16}.Estimate()
+	if big.BRAM == 0 {
+		t.Error("4k FFT should use BRAM")
+	}
+	if big.CLB <= small.CLB {
+		t.Error("bigger FFT should use more CLBs")
+	}
+}
+
+func TestViterbiAndTurboModels(t *testing.T) {
+	v := ViterbiDecoder{Name: "vit", ConstraintLen: 7, TracebackDepth: 96}.Estimate()
+	if v.CLB != 576 { // 64 states * 9
+		t.Errorf("Viterbi CLB = %d, want 576", v.CLB)
+	}
+	if v.BRAM == 0 {
+		t.Error("Viterbi needs traceback BRAM")
+	}
+	tu := TurboDecoder{Name: "turbo", BlockSize: 6144, Iterations: 8}.Estimate()
+	if tu.BRAM != 12 {
+		t.Errorf("Turbo BRAM = %d, want 12", tu.BRAM)
+	}
+	if tu.DSP != 4 {
+		t.Errorf("Turbo DSP = %d, want 4", tu.DSP)
+	}
+}
+
+func TestModulatorModel(t *testing.T) {
+	b := Modulator{Name: "bpsk", BitsPerSymbol: 1}.Estimate()
+	q := Modulator{Name: "qpsk", BitsPerSymbol: 2}.Estimate()
+	if b.CLB != 50 || b.DSP != 2 {
+		t.Errorf("BPSK = %v, want {50,0,2} (Table II calibration)", b)
+	}
+	if q.CLB <= b.CLB || q.DSP <= b.DSP {
+		t.Error("QPSK should be larger than BPSK")
+	}
+}
+
+func TestGenericLogic(t *testing.T) {
+	g := GenericLogic{Name: "x", Resources: resource.New(1, 2, 3)}
+	if g.Estimate() != resource.New(1, 2, 3) {
+		t.Error("GenericLogic must echo its resources")
+	}
+}
+
+func TestLibraryTable2(t *testing.T) {
+	lib := NewLibrary()
+	if len(lib.Names()) != 13 {
+		t.Fatalf("library size = %d, want 13 (Table II)", len(lib.Names()))
+	}
+	// Library entries must agree with the canned case-study design.
+	d := design.VideoReceiver()
+	keys := map[string]string{
+		"F": "MatchedFilter", "R": "Recovery", "M": "Demodulator",
+		"D": "Decoder", "V": "Video",
+	}
+	for _, m := range d.Modules {
+		for _, md := range m.Modes {
+			if m.Name == "R" && md.Name == "None" {
+				continue // the empty mode is not an IP core
+			}
+			key := keys[m.Name] + "/" + md.Name
+			v, err := lib.Lookup(key)
+			if err != nil {
+				t.Errorf("library missing %s", key)
+				continue
+			}
+			if v != md.Resources {
+				t.Errorf("%s: library %v != design %v", key, v, md.Resources)
+			}
+		}
+	}
+}
+
+func TestLibraryLookupAndRegister(t *testing.T) {
+	lib := NewLibrary()
+	if _, err := lib.Lookup("nope"); err == nil {
+		t.Error("unknown core should error")
+	}
+	lib.Register("custom/one", resource.New(9, 9, 9))
+	v, err := lib.Lookup("custom/one")
+	if err != nil || v != resource.New(9, 9, 9) {
+		t.Errorf("registered core lookup: %v, %v", v, err)
+	}
+}
+
+func TestSynthesizeEmitsMatchingNetlist(t *testing.T) {
+	lib := NewLibrary()
+	res, err := Synthesize(IPCore{Name: "Decoder/Viterbi", Lib: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resources != resource.New(630, 2, 0) {
+		t.Errorf("resources = %v", res.Resources)
+	}
+	nd := netlist.NewDesign(res.Netlist.Name)
+	nd.AddModule(res.Netlist)
+	got, err := nd.Resources(res.Netlist.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.Resources {
+		t.Errorf("netlist folds to %v, estimate %v", got, res.Resources)
+	}
+}
+
+func TestSynthesizeUnknownIPCore(t *testing.T) {
+	if _, err := Synthesize(IPCore{Name: "ghost", Lib: NewLibrary()}); err == nil {
+		t.Error("unknown IP core should fail synthesis")
+	}
+}
+
+func TestSynthesizeRejectsNegative(t *testing.T) {
+	g := GenericLogic{Name: "neg", Resources: resource.New(-1, 0, 0)}
+	if _, err := Synthesize(g); err == nil {
+		t.Error("negative estimate should fail")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	res, err := Synthesize(GenericLogic{Name: "Decoder/Viterbi v2!", Resources: resource.New(1, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(res.Netlist.Name, "/ !") {
+		t.Errorf("netlist name not sanitised: %q", res.Netlist.Name)
+	}
+	res2, err := Synthesize(GenericLogic{Name: "", Resources: resource.New(1, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Netlist.Name == "" {
+		t.Error("empty name should get a placeholder")
+	}
+}
+
+func TestVerilogFromSynth(t *testing.T) {
+	res, err := Synthesize(Modulator{Name: "qpsk", BitsPerSymbol: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Netlist.Verilog()
+	if !strings.Contains(v, "module qpsk") || !strings.Contains(v, "DSP48E") {
+		t.Errorf("Verilog malformed:\n%.200s", v)
+	}
+}

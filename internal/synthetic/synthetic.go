@@ -1,0 +1,172 @@
+// Package synthetic generates the random PR designs of the paper's §V
+// evaluation: equal numbers of logic-intensive, memory-intensive,
+// DSP-intensive and DSP-and-memory-intensive circuits, each with 2-6
+// modules of 2-4 modes, 25-4000 CLBs per mode (other resources drawn from
+// class-dependent ranges tied to the CLB count), a 90-CLB/8-BRAM static
+// region, and random configurations generated until every mode is used at
+// least once.
+//
+// Generation is fully deterministic for a given seed, so the 1000-design
+// corpus of Figs. 7-9 is reproducible bit-for-bit.
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prpart/internal/design"
+	"prpart/internal/resource"
+)
+
+// Class is the resource flavour of a synthetic circuit.
+type Class int
+
+const (
+	// Logic circuits are CLB-dominated with few BRAMs or DSPs.
+	Logic Class = iota
+	// Memory circuits carry a high BRAM-to-CLB ratio.
+	Memory
+	// DSP circuits carry a high DSP-to-CLB ratio.
+	DSP
+	// DSPMemory circuits are heavy in both BRAM and DSP.
+	DSPMemory
+
+	// NumClasses is the number of circuit classes.
+	NumClasses
+)
+
+// String names the class as in the paper's §V.
+func (c Class) String() string {
+	switch c {
+	case Logic:
+		return "logic-intensive"
+	case Memory:
+		return "memory-intensive"
+	case DSP:
+		return "DSP-intensive"
+	case DSPMemory:
+		return "DSP-and-memory-intensive"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Distribution parameters from §V.
+const (
+	MinModules = 2
+	MaxModules = 6
+	MinModes   = 2
+	MaxModes   = 4
+	MinCLBs    = 25
+	MaxCLBs    = 4000
+
+	// StaticCLBs and StaticBRAMs are the fixed static-region overhead
+	// (the paper's custom ICAP controller and associated logic).
+	StaticCLBs  = 90
+	StaticBRAMs = 8
+
+	// maxConfigAttempts bounds the rejection sampling of configurations.
+	maxConfigAttempts = 10000
+)
+
+// modeResources draws a mode utilisation for the class: CLBs uniform in
+// [MinCLBs, MaxCLBs], BRAM/DSP from ranges proportional to the CLB count.
+func modeResources(rng *rand.Rand, c Class) resource.Vector {
+	clb := MinCLBs + rng.Intn(MaxCLBs-MinCLBs+1)
+	bramLo, bramHi, dspLo, dspHi := 0, 0, 0, 0
+	switch c {
+	case Logic:
+		bramHi = clb / 400
+		dspHi = clb / 400
+	case Memory:
+		bramLo, bramHi = clb/150, clb/50
+		dspHi = clb / 400
+	case DSP:
+		bramHi = clb / 400
+		dspLo, dspHi = clb/100, clb/40
+	case DSPMemory:
+		bramLo, bramHi = clb/150, clb/50
+		dspLo, dspHi = clb/100, clb/40
+	}
+	return resource.New(clb, uniform(rng, bramLo, bramHi), uniform(rng, dspLo, dspHi))
+}
+
+func uniform(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// One generates a single synthetic design of the given class.
+func One(rng *rand.Rand, c Class, name string) *design.Design {
+	d := &design.Design{
+		Name:   name,
+		Static: resource.New(StaticCLBs, StaticBRAMs, 0),
+	}
+	nModules := MinModules + rng.Intn(MaxModules-MinModules+1)
+	for mi := 0; mi < nModules; mi++ {
+		m := &design.Module{Name: fmt.Sprintf("M%d", mi)}
+		nModes := MinModes + rng.Intn(MaxModes-MinModes+1)
+		for k := 0; k < nModes; k++ {
+			m.Modes = append(m.Modes, design.Mode{
+				Name:      fmt.Sprintf("%d", k+1),
+				Resources: modeResources(rng, c),
+			})
+		}
+		d.Modules = append(d.Modules, m)
+	}
+
+	// Random configurations until every mode appears at least once.
+	// A module is absent (mode 0) from a configuration with low
+	// probability, exercising the §IV-D special case; at least one module
+	// must be active.
+	used := make(map[design.ModeRef]bool)
+	total := 0
+	for _, m := range d.Modules {
+		total += len(m.Modes)
+	}
+	seen := make(map[string]bool)
+	for attempt := 0; len(used) < total && attempt < maxConfigAttempts; attempt++ {
+		cfg := design.Configuration{Modes: make([]int, nModules)}
+		active := 0
+		for mi, m := range d.Modules {
+			if rng.Float64() < 0.1 && nModules > 1 {
+				cfg.Modes[mi] = 0
+				continue
+			}
+			cfg.Modes[mi] = 1 + rng.Intn(len(m.Modes))
+			active++
+		}
+		if active == 0 {
+			continue
+		}
+		key := fmt.Sprint(cfg.Modes)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		d.Configurations = append(d.Configurations, cfg)
+		for mi, k := range cfg.Modes {
+			if k != 0 {
+				used[design.ModeRef{Module: mi, Mode: k}] = true
+			}
+		}
+	}
+	return d
+}
+
+// Generate produces n designs with classes cycling through the four
+// flavours (equal shares, as in the paper) from a deterministic stream.
+func Generate(seed int64, n int) []*design.Design {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*design.Design, n)
+	for i := range out {
+		c := Class(i % int(NumClasses))
+		out[i] = One(rng, c, fmt.Sprintf("syn-%04d-%s", i, c))
+	}
+	return out
+}
+
+// ClassOf recovers the class a generated design was drawn from (designs
+// are named "syn-NNNN-<class>").
+func ClassOf(i int) Class { return Class(i % int(NumClasses)) }

@@ -1,0 +1,158 @@
+package synthetic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1, 20)
+	b := Generate(1, 20)
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Configurations) != len(b[i].Configurations) {
+			t.Fatalf("design %d differs across identical seeds", i)
+		}
+		for ci := range a[i].Configurations {
+			am, bm := a[i].Configurations[ci].Modes, b[i].Configurations[ci].Modes
+			for k := range am {
+				if am[k] != bm[k] {
+					t.Fatalf("design %d config %d differs", i, ci)
+				}
+			}
+		}
+	}
+	c := Generate(2, 20)
+	same := true
+	for i := range a {
+		if len(a[i].Configurations) != len(c[i].Configurations) ||
+			len(a[i].Modules) != len(c[i].Modules) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced structurally identical corpora (suspicious)")
+	}
+}
+
+func TestGeneratedDesignsValid(t *testing.T) {
+	for i, d := range Generate(7, 100) {
+		if err := d.Validate(); err != nil {
+			t.Errorf("design %d (%s): %v", i, d.Name, err)
+		}
+	}
+}
+
+func TestDistributionBounds(t *testing.T) {
+	for _, d := range Generate(3, 200) {
+		if n := len(d.Modules); n < MinModules || n > MaxModules {
+			t.Errorf("%s: %d modules out of [%d,%d]", d.Name, n, MinModules, MaxModules)
+		}
+		for _, m := range d.Modules {
+			if n := len(m.Modes); n < MinModes || n > MaxModes {
+				t.Errorf("%s/%s: %d modes out of [%d,%d]", d.Name, m.Name, n, MinModes, MaxModes)
+			}
+			for _, md := range m.Modes {
+				if md.Resources.CLB < MinCLBs || md.Resources.CLB > MaxCLBs {
+					t.Errorf("%s/%s/%s: CLB %d out of [%d,%d]",
+						d.Name, m.Name, md.Name, md.Resources.CLB, MinCLBs, MaxCLBs)
+				}
+				if !md.Resources.IsNonNegative() {
+					t.Errorf("%s: negative resources %v", d.Name, md.Resources)
+				}
+			}
+		}
+		if d.Static.CLB != StaticCLBs || d.Static.BRAM != StaticBRAMs {
+			t.Errorf("%s: static %v", d.Name, d.Static)
+		}
+	}
+}
+
+func TestEveryModeUsed(t *testing.T) {
+	for _, d := range Generate(11, 100) {
+		if got, want := len(d.UsedModes()), len(d.AllModes()); got != want {
+			t.Errorf("%s: %d/%d modes used", d.Name, got, want)
+		}
+	}
+}
+
+func TestClassMixAndCharacter(t *testing.T) {
+	const n = 400
+	designs := Generate(5, n)
+	// Aggregate BRAM/CLB and DSP/CLB ratios per class; memory classes
+	// must be clearly BRAM-richer than logic, DSP classes DSP-richer.
+	ratio := make([]struct{ bram, dsp, clb float64 }, NumClasses)
+	for i, d := range designs {
+		c := ClassOf(i)
+		for _, m := range d.Modules {
+			for _, md := range m.Modes {
+				ratio[c].bram += float64(md.Resources.BRAM)
+				ratio[c].dsp += float64(md.Resources.DSP)
+				ratio[c].clb += float64(md.Resources.CLB)
+			}
+		}
+	}
+	bramRatio := func(c Class) float64 { return ratio[c].bram / ratio[c].clb }
+	dspRatio := func(c Class) float64 { return ratio[c].dsp / ratio[c].clb }
+	if bramRatio(Memory) < 3*bramRatio(Logic) {
+		t.Errorf("memory class not BRAM-rich: %g vs logic %g", bramRatio(Memory), bramRatio(Logic))
+	}
+	if dspRatio(DSP) < 3*dspRatio(Logic) {
+		t.Errorf("DSP class not DSP-rich: %g vs logic %g", dspRatio(DSP), dspRatio(Logic))
+	}
+	if bramRatio(DSPMemory) < 3*bramRatio(Logic) || dspRatio(DSPMemory) < 3*dspRatio(Logic) {
+		t.Error("DSP+memory class not rich in both")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		Logic:     "logic-intensive",
+		Memory:    "memory-intensive",
+		DSP:       "DSP-intensive",
+		DSPMemory: "DSP-and-memory-intensive",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Error("out-of-range class string")
+	}
+}
+
+func TestOneUsesModeZero(t *testing.T) {
+	// Over a few hundred designs, some configuration should exercise the
+	// mode-0 (absent module) path.
+	rng := rand.New(rand.NewSource(42))
+	sawZero := false
+	for i := 0; i < 300 && !sawZero; i++ {
+		d := One(rng, Class(i%int(NumClasses)), "x")
+		for _, c := range d.Configurations {
+			for _, k := range c.Modes {
+				if k == 0 {
+					sawZero = true
+				}
+			}
+		}
+	}
+	if !sawZero {
+		t.Error("no generated configuration ever omitted a module")
+	}
+}
+
+func TestConfigurationsUnique(t *testing.T) {
+	for _, d := range Generate(13, 50) {
+		seen := map[string]bool{}
+		for _, c := range d.Configurations {
+			k := ""
+			for _, m := range c.Modes {
+				k += string(rune('0' + m))
+			}
+			if seen[k] {
+				t.Fatalf("%s: duplicate configuration %v", d.Name, c.Modes)
+			}
+			seen[k] = true
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package ucf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ParsedGroup is one AREA_GROUP reconstructed from a UCF.
+type ParsedGroup struct {
+	// Name is the pblock name ("pblock_prr1").
+	Name string
+	// Inst is the constrained instance ("prr1").
+	Inst string
+	// Ranges holds the raw RANGE strings.
+	Ranges []string
+	// Reconfigurable reports RECONFIG_MODE = TRUE.
+	Reconfigurable bool
+}
+
+// ParsedFile is the reconstructed constraint set.
+type ParsedFile struct {
+	// ClockName and PeriodNs capture the TIMESPEC, when present.
+	ClockName string
+	PeriodNs  float64
+	// Groups are the area groups in file order.
+	Groups []ParsedGroup
+}
+
+var (
+	instRe     = regexp.MustCompile(`^INST\s+"([^"]+)"\s+AREA_GROUP\s*=\s*"([^"]+)"\s*;`)
+	rangeRe    = regexp.MustCompile(`^AREA_GROUP\s+"([^"]+)"\s+RANGE\s*=\s*([^;]+);`)
+	reconfigRe = regexp.MustCompile(`^AREA_GROUP\s+"([^"]+)"\s+RECONFIG_MODE\s*=\s*TRUE\s*;`)
+	timespecRe = regexp.MustCompile(`^TIMESPEC\s+"TS_([^"]+)"\s*=\s*PERIOD\s+"[^"]+"\s+([0-9.]+)\s*ns`)
+)
+
+// Parse reads a UCF produced by Generate back into structured form. It
+// exists for round-trip validation and for tooling that post-processes
+// the constraints; unknown lines are ignored, like the vendor tools do
+// with constraints they do not own.
+func Parse(r io.Reader) (*ParsedFile, error) {
+	out := &ParsedFile{}
+	groups := map[string]*ParsedGroup{}
+	order := []string{}
+	get := func(name string) *ParsedGroup {
+		if g, ok := groups[name]; ok {
+			return g
+		}
+		g := &ParsedGroup{Name: name}
+		groups[name] = g
+		order = append(order, name)
+		return g
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case instRe.MatchString(line):
+			m := instRe.FindStringSubmatch(line)
+			g := get(m[2])
+			g.Inst = m[1]
+		case rangeRe.MatchString(line):
+			m := rangeRe.FindStringSubmatch(line)
+			g := get(m[1])
+			g.Ranges = append(g.Ranges, strings.TrimSpace(m[2]))
+		case reconfigRe.MatchString(line):
+			m := reconfigRe.FindStringSubmatch(line)
+			get(m[1]).Reconfigurable = true
+		case timespecRe.MatchString(line):
+			m := timespecRe.FindStringSubmatch(line)
+			out.ClockName = m[1]
+			p, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("ucf: line %d: bad period %q", lineNo, m[2])
+			}
+			out.PeriodNs = p
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ucf: reading: %w", err)
+	}
+	for _, name := range order {
+		out.Groups = append(out.Groups, *groups[name])
+	}
+	return out, nil
+}
+
+// sliceRangeRe captures SLICE_XaYb:SLICE_XcYd coordinates.
+var sliceRangeRe = regexp.MustCompile(`^SLICE_X(\d+)Y(\d+):SLICE_X(\d+)Y(\d+)$`)
+
+// SliceExtent decodes a SLICE range into (x0, y0, x1, y1).
+func SliceExtent(rng string) (x0, y0, x1, y1 int, err error) {
+	m := sliceRangeRe.FindStringSubmatch(rng)
+	if m == nil {
+		return 0, 0, 0, 0, fmt.Errorf("ucf: %q is not a SLICE range", rng)
+	}
+	x0, _ = strconv.Atoi(m[1])
+	y0, _ = strconv.Atoi(m[2])
+	x1, _ = strconv.Atoi(m[3])
+	y1, _ = strconv.Atoi(m[4])
+	return x0, y0, x1, y1, nil
+}

@@ -1,0 +1,200 @@
+package ucf
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/partition"
+	"prpart/internal/resource"
+)
+
+func testPlan(t *testing.T) (*floorplan.Plan, *partition.Result) {
+	t.Helper()
+	res, err := partition.Solve(design.VideoReceiver(),
+		partition.Options{Budget: design.CaseStudyBudget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.ByName("FX70T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := floorplan.Place(res.Scheme, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, res
+}
+
+func TestGenerate(t *testing.T) {
+	plan, res := testPlan(t)
+	var b strings.Builder
+	err := Generate(&b, res.Scheme, plan, Constraints{ClockName: "clk", ClockMHz: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"TIMESPEC", "PERIOD", "10.000 ns",
+		"AREA_GROUP \"pblock_prr1\"", "RECONFIG_MODE = TRUE",
+		"SLICE_X",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("UCF missing %q:\n%s", want, out)
+		}
+	}
+	// One AREA_GROUP INST line per region.
+	if got := strings.Count(out, "RECONFIG_MODE"); got != len(res.Scheme.Regions) {
+		t.Errorf("RECONFIG_MODE lines = %d, want %d", got, len(res.Scheme.Regions))
+	}
+}
+
+func TestGenerateNoClock(t *testing.T) {
+	plan, res := testPlan(t)
+	var b strings.Builder
+	if err := Generate(&b, res.Scheme, plan, Constraints{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "TIMESPEC") {
+		t.Error("TIMESPEC emitted without a clock")
+	}
+}
+
+func TestGenerateRejectsBadPlan(t *testing.T) {
+	plan, res := testPlan(t)
+	plan.Placements = plan.Placements[:1]
+	var b strings.Builder
+	if err := Generate(&b, res.Scheme, plan, Constraints{}); err == nil {
+		t.Error("truncated plan accepted")
+	}
+}
+
+func TestRangesCoordinates(t *testing.T) {
+	dev := &device.Device{
+		Name: "toy", Rows: 4,
+		Columns: []resource.Kind{
+			resource.CLB, resource.CLB, resource.BRAM, resource.CLB, resource.DSP,
+		},
+	}
+	// Rect covering everything.
+	r := floorplan.Rect{Row0: 1, Col0: 0, Row1: 2, Col1: 4}
+	ranges := Ranges(dev, r)
+	if len(ranges) != 3 {
+		t.Fatalf("ranges = %v", ranges)
+	}
+	// CLB columns 0,1,3 -> kind indices 0..2 -> SLICE_X0..X5; rows 1..2
+	// -> Y20..Y59.
+	if ranges[0] != "SLICE_X0Y20:SLICE_X5Y59" {
+		t.Errorf("slice range = %s", ranges[0])
+	}
+	if ranges[1] != "RAMB36_X0Y4:RAMB36_X0Y11" {
+		t.Errorf("bram range = %s", ranges[1])
+	}
+	if ranges[2] != "DSP48_X0Y8:DSP48_X0Y23" {
+		t.Errorf("dsp range = %s", ranges[2])
+	}
+	// CLB-only rectangle yields one range.
+	only := Ranges(dev, floorplan.Rect{Row0: 0, Col0: 0, Row1: 0, Col1: 1})
+	if len(only) != 1 || !strings.HasPrefix(only[0], "SLICE_X0Y0:") {
+		t.Errorf("clb-only ranges = %v", only)
+	}
+}
+
+func TestKindColIndex(t *testing.T) {
+	dev := &device.Device{
+		Columns: []resource.Kind{
+			resource.CLB, resource.BRAM, resource.CLB, resource.BRAM, resource.CLB,
+		},
+	}
+	wants := []int{0, 0, 1, 1, 2}
+	for c, want := range wants {
+		if got := kindColIndex(dev, c); got != want {
+			t.Errorf("kindColIndex(%d) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	plan, res := testPlan(t)
+	var b strings.Builder
+	if err := Generate(&b, res.Scheme, plan, Constraints{ClockName: "clk", ClockMHz: 100}); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.ClockName != "clk" || parsed.PeriodNs != 10 {
+		t.Errorf("timespec = %q %g", parsed.ClockName, parsed.PeriodNs)
+	}
+	if len(parsed.Groups) != len(res.Scheme.Regions) {
+		t.Fatalf("groups = %d, want %d", len(parsed.Groups), len(res.Scheme.Regions))
+	}
+	for i, g := range parsed.Groups {
+		if !g.Reconfigurable {
+			t.Errorf("group %s not marked reconfigurable", g.Name)
+		}
+		if g.Inst == "" || len(g.Ranges) == 0 {
+			t.Errorf("group %s incomplete: %+v", g.Name, g)
+		}
+		// The SLICE range must cover at least the region's CLB tiles:
+		// slices = 2 per CLB column * 20 rows per tile row.
+		for _, rng := range g.Ranges {
+			if !strings.HasPrefix(rng, "SLICE_") {
+				continue
+			}
+			x0, y0, x1, y1, err := SliceExtent(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols := (x1 - x0 + 1) / 2
+			rows := (y1 - y0 + 1) / 20
+			tiles := cols * rows
+			need := res.Scheme.Regions[parsed.Groups[i].regionIndex(t)].Tiles().CLB
+			if tiles < need {
+				t.Errorf("%s: SLICE range holds %d CLB tiles, region needs %d", g.Name, tiles, need)
+			}
+		}
+	}
+}
+
+// regionIndex recovers the region number from a pblock name.
+func (g ParsedGroup) regionIndex(t *testing.T) int {
+	t.Helper()
+	var n int
+	if _, err := fmt.Sscanf(g.Name, "pblock_prr%d", &n); err != nil {
+		t.Fatalf("unparseable group name %q", g.Name)
+	}
+	return n - 1
+}
+
+func TestParseIgnoresUnknownLines(t *testing.T) {
+	const ucf = `# comment
+NET "clk" LOC = AB12;
+INST "prr1" AREA_GROUP = "pblock_prr1";
+AREA_GROUP "pblock_prr1" RANGE = SLICE_X0Y0:SLICE_X1Y19;
+AREA_GROUP "pblock_prr1" RECONFIG_MODE = TRUE;
+some garbage line
+`
+	parsed, err := Parse(strings.NewReader(ucf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Groups) != 1 || !parsed.Groups[0].Reconfigurable {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestSliceExtent(t *testing.T) {
+	x0, y0, x1, y1, err := SliceExtent("SLICE_X2Y40:SLICE_X9Y79")
+	if err != nil || x0 != 2 || y0 != 40 || x1 != 9 || y1 != 79 {
+		t.Errorf("extent = %d,%d,%d,%d (%v)", x0, y0, x1, y1, err)
+	}
+	if _, _, _, _, err := SliceExtent("RAMB36_X0Y0:RAMB36_X0Y3"); err == nil {
+		t.Error("non-SLICE range accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package viz renders the partitioner's data structures as Graphviz DOT
+// documents: the mode co-occurrence graph the clustering works on, and
+// the final partitioning with regions as clusters. The output is plain
+// text a designer can feed to dot(1); nothing here affects the flow.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prpart/internal/connmat"
+	"prpart/internal/design"
+	"prpart/internal/scheme"
+)
+
+// ConnectivityDOT renders the co-occurrence graph of a design: one node
+// per used mode (labelled with its node weight) and one edge per
+// co-occurring pair (labelled and weighted by the edge weight).
+func ConnectivityDOT(d *design.Design) string {
+	m := connmat.New(d)
+	modes := m.Modes()
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", dotID(d.Name))
+	b.WriteString("  layout=neato;\n  overlap=false;\n  node [shape=circle];\n")
+	for _, r := range modes {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\nw=%d\"];\n",
+			d.ModeName(r), d.ModeName(r), m.NodeWeight(r))
+	}
+	for i := 0; i < len(modes); i++ {
+		for j := i + 1; j < len(modes); j++ {
+			w := m.EdgeWeight(modes[i], modes[j])
+			if w == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %q -- %q [label=%d, penwidth=%d];\n",
+				d.ModeName(modes[i]), d.ModeName(modes[j]), w, w)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SchemeDOT renders a partitioning: one cluster per region (labelled
+// with its frame cost), one box per base partition, and a distinct
+// cluster for promoted static parts.
+func SchemeDOT(s *scheme.Scheme) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", dotID(s.Design.Name+"-"+s.Name))
+	b.WriteString("  node [shape=box];\n")
+	for ri := range s.Regions {
+		reg := &s.Regions[ri]
+		fmt.Fprintf(&b, "  subgraph cluster_prr%d {\n", ri+1)
+		fmt.Fprintf(&b, "    label=\"PRR%d (%d frames)\";\n", ri+1, reg.Frames())
+		for pi, p := range reg.Parts {
+			fmt.Fprintf(&b, "    %q;\n", nodeName(s.Design, ri, pi, p.Label(s.Design)))
+		}
+		b.WriteString("  }\n")
+	}
+	if len(s.Static) > 0 {
+		b.WriteString("  subgraph cluster_static {\n    label=\"static (0 frames)\";\n    style=dashed;\n")
+		for i, p := range s.Static {
+			fmt.Fprintf(&b, "    %q;\n", fmt.Sprintf("s%d %s", i, p.Label(s.Design)))
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeName(d *design.Design, ri, pi int, label string) string {
+	return fmt.Sprintf("r%d.%d %s", ri+1, pi, label)
+}
+
+// ActivationDOT renders the configuration-to-region activation as a
+// bipartite graph: which base partition each configuration loads where.
+func ActivationDOT(s *scheme.Scheme) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", dotID(s.Design.Name+"-activation"))
+	b.WriteString("  node [shape=box];\n")
+	var cfgs []string
+	for ci := range s.Design.Configurations {
+		name := s.Design.ConfigName(ci)
+		cfgs = append(cfgs, name)
+		fmt.Fprintf(&b, "  %q [shape=ellipse];\n", name)
+		for ri, pi := range s.Active[ci] {
+			if pi == scheme.Inactive {
+				continue
+			}
+			p := s.Regions[ri].Parts[pi]
+			fmt.Fprintf(&b, "  %q -> %q;\n", name,
+				nodeName(s.Design, ri, pi, p.Label(s.Design)))
+		}
+	}
+	sort.Strings(cfgs)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotID(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

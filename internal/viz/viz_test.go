@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/partition"
+)
+
+var (
+	once sync.Once
+	res  *partition.Result
+	serr error
+)
+
+func caseStudy(t *testing.T) *partition.Result {
+	t.Helper()
+	once.Do(func() {
+		res, serr = partition.Solve(design.VideoReceiver(),
+			partition.Options{Budget: design.CaseStudyBudget()})
+	})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	return res
+}
+
+func TestConnectivityDOT(t *testing.T) {
+	out := ConnectivityDOT(design.PaperExample())
+	for _, want := range []string{
+		"graph \"paper-example\"",
+		`"A.3" -- "B.2" [label=2`,
+		`"B.2" [label="B.2\nw=4"]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Modes of the same module never co-occur: no A.1 -- A.2 edge.
+	if strings.Contains(out, `"A.1" -- "A.2"`) {
+		t.Error("intra-module edge emitted")
+	}
+}
+
+func TestSchemeDOT(t *testing.T) {
+	r := caseStudy(t)
+	out := SchemeDOT(r.Scheme)
+	if !strings.Contains(out, "cluster_prr1") {
+		t.Errorf("missing region cluster:\n%.400s", out)
+	}
+	if len(r.Scheme.Static) > 0 && !strings.Contains(out, "cluster_static") {
+		t.Error("missing static cluster")
+	}
+	if !strings.Contains(out, "frames)") {
+		t.Error("missing frame annotations")
+	}
+}
+
+func TestActivationDOT(t *testing.T) {
+	r := caseStudy(t)
+	out := ActivationDOT(r.Scheme)
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "rankdir=LR") {
+		t.Errorf("activation DOT malformed:\n%.200s", out)
+	}
+	// Every configuration appears.
+	for ci := range r.Scheme.Design.Configurations {
+		name := r.Scheme.Design.ConfigName(ci)
+		if !strings.Contains(out, name) {
+			t.Errorf("configuration %q missing", name)
+		}
+	}
+}
+
+func TestDotIDSanitisation(t *testing.T) {
+	if got := dotID("a b/c:d"); got != "a_b_c_d" {
+		t.Errorf("dotID = %q", got)
+	}
+}
