@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -71,6 +72,59 @@ func TestSimCompactFlashSlower(t *testing.T) {
 	}
 }
 
+func TestSimFaultInjectionRecovers(t *testing.T) {
+	// The acceptance scenario in miniature: the video receiver under a
+	// 1e-5 word-error rate must complete the whole workload — recovering
+	// through retries, scrubs and fallbacks — and report the fault table.
+	in := designFile(t, design.VideoReceiver(), spec.Constraints{
+		Device: "FX70T", Budget: design.CaseStudyBudget(),
+	})
+	var out strings.Builder
+	err := run([]string{
+		"-in", in, "-events", "100",
+		"-fault-rate", "1e-5", "-fault-seed", "7", "-retries", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("faulty workload aborted: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fault injection & recovery", "Retries", "Scrubs", "Fallbacks"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// At this rate over the video receiver's loads, every scheme must see
+	// faults and recovery work; a zero Injected cell means injection is
+	// dead. The fault table is the second one; its rows repeat the scheme
+	// names with the injected count as the second column.
+	tail := s[strings.Index(s, "Fault injection & recovery"):]
+	if regexp.MustCompile(`(?m)^(proposed|modular|single-region)\s+0\s`).MatchString(tail) {
+		t.Errorf("a scheme saw no injected faults:\n%s", s)
+	}
+}
+
+func TestSimFaultSeedReproducible(t *testing.T) {
+	in := designFile(t, design.SingleModeExample(), spec.Constraints{})
+	runOnce := func(seed string) string {
+		var out strings.Builder
+		err := run([]string{
+			"-in", in, "-events", "80",
+			"-fault-rate", "2e-4", "-fault-seed", seed, "-retries", "2",
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := runOnce("11"), runOnce("11")
+	if a != b {
+		t.Errorf("same fault seed produced different reports:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	if c := runOnce("12"); a == c {
+		t.Error("different fault seeds produced identical reports")
+	}
+}
+
 func TestSimErrors(t *testing.T) {
 	if err := run([]string{}, &strings.Builder{}); err == nil {
 		t.Error("missing -in accepted")
@@ -81,5 +135,8 @@ func TestSimErrors(t *testing.T) {
 	}
 	if err := run([]string{"-in", in, "-storage", "zzz"}, &strings.Builder{}); err == nil {
 		t.Error("unknown storage accepted")
+	}
+	if err := run([]string{"-in", in, "-fault-rate", "-1"}, &strings.Builder{}); err == nil {
+		t.Error("negative fault rate accepted")
 	}
 }

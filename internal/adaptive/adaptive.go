@@ -34,22 +34,60 @@ type Manager struct {
 	current int   // current configuration, -1 before Boot
 	loaded  []int // per region: part index currently in the fabric
 
+	rec      Recovery
+	degraded bool
+
 	stats Stats
+}
+
+// Recovery configures how the manager survives failed loads. The policy
+// NewManager installs (no retries, no scrubbing, SafeConfig -1) is
+// fail-fast: any load error aborts the switch with that error.
+type Recovery struct {
+	// MaxRetries is how many times a failed region load is re-attempted
+	// before the switch gives up on the region.
+	MaxRetries int
+	// Scrub enables readback verification after every load; a mismatch
+	// (e.g. a configuration upset) triggers a scrub — reloading the
+	// bitstream — charged against the same retry budget.
+	Scrub bool
+	// SafeConfig designates the degraded-mode fallback: when a switch
+	// exhausts its retries, the manager abandons the target and drives
+	// the fabric toward this configuration instead of failing. Negative
+	// disables the fallback.
+	SafeConfig int
 }
 
 // Stats accumulates runtime behaviour.
 type Stats struct {
-	// Switches counts configuration changes requested (including Boot).
+	// Switches counts configuration changes completed (including Boot and
+	// successful degraded-mode fallbacks).
 	Switches int
 	// RegionLoads counts partial bitstreams loaded.
 	RegionLoads int
 	// Frames counts configuration frames written.
 	Frames int
 	// ReconfigTime is the cumulative time spent reconfiguring on the
-	// critical path (SwitchTo).
+	// critical path (SwitchTo), including failed attempts, retries,
+	// readback verification and fallback loads.
 	ReconfigTime time.Duration
 	// PrefetchTime is the cumulative background loading time (Prefetch).
 	PrefetchTime time.Duration
+
+	// Retries counts re-attempted loads after transfer errors; RetryTime
+	// is the port time the failed attempts wasted.
+	Retries   int
+	RetryTime time.Duration
+	// Scrubs counts reloads forced by readback-verification mismatches;
+	// ScrubTime is the time lost to the upset loads and the readbacks
+	// that caught them.
+	Scrubs    int
+	ScrubTime time.Duration
+	// Fallbacks counts degraded-mode entries: switches that exhausted
+	// their retries and fell back to the safe configuration.
+	Fallbacks int
+	// LoadFailures counts region loads abandoned after the retry budget.
+	LoadFailures int
 }
 
 // NewManager validates the inputs and returns a manager with all regions
@@ -72,8 +110,20 @@ func NewManager(s *scheme.Scheme, bits *bitstream.Set, port *icap.Port) (*Manage
 	for i := range loaded {
 		loaded[i] = unloaded
 	}
-	return &Manager{sch: s, bits: bits, port: port, current: -1, loaded: loaded}, nil
+	return &Manager{
+		sch: s, bits: bits, port: port,
+		current: -1, loaded: loaded,
+		rec: Recovery{SafeConfig: -1},
+	}, nil
 }
+
+// SetRecovery installs the fault-recovery policy.
+func (m *Manager) SetRecovery(r Recovery) { m.rec = r }
+
+// Degraded reports whether the manager is in degraded mode: the last
+// requested switch exhausted its retries and fell back to the safe
+// configuration. The next fully successful switch clears it.
+func (m *Manager) Degraded() bool { return m.degraded }
 
 // Current returns the active configuration index, or -1 before Boot.
 func (m *Manager) Current() int { return m.current }
@@ -87,7 +137,15 @@ func (m *Manager) Stats() Stats { return m.stats }
 // SwitchTo reconfigures the system into the target configuration: every
 // region the configuration activates with a part other than its current
 // contents is reloaded; don't-care regions are left untouched. It returns
-// the reconfiguration time of this switch.
+// the realised reconfiguration time of this switch, including any failed
+// attempts, retries, scrubs and fallback loads the recovery policy spent.
+//
+// When a region load exhausts the retry budget and Recovery.SafeConfig is
+// set, the manager enters degraded mode: the target is abandoned and the
+// fabric is driven toward the safe configuration instead, without
+// returning an error. Without a safe configuration the error propagates
+// and the failed region is left marked unloaded, so a later switch
+// reloads it rather than trusting corrupt fabric state.
 func (m *Manager) SwitchTo(config int) (time.Duration, error) {
 	if config < 0 || config >= len(m.sch.Design.Configurations) {
 		return 0, fmt.Errorf("%w: %d", ErrNoConfig, config)
@@ -95,26 +153,114 @@ func (m *Manager) SwitchTo(config int) (time.Duration, error) {
 	if config == m.current {
 		return 0, nil
 	}
+	total, err := m.configure(config)
+	m.stats.ReconfigTime += total
+	if err == nil {
+		m.current = config
+		m.degraded = false
+		m.stats.Switches++
+		return total, nil
+	}
+	if m.rec.SafeConfig < 0 {
+		return total, err
+	}
+	// Degraded mode: abandon the target, drive toward the safe
+	// configuration best-effort.
+	m.stats.Fallbacks++
+	m.degraded = true
+	ft := m.fallback(m.rec.SafeConfig)
+	m.stats.ReconfigTime += ft
+	return total + ft, nil
+}
+
+// configure loads every region the target activates with a part other
+// than its current contents, stopping at the first region that exhausts
+// its retry budget.
+func (m *Manager) configure(config int) (time.Duration, error) {
 	var total time.Duration
 	for ri := range m.sch.Regions {
 		want := m.sch.Active[config][ri]
 		if want == scheme.Inactive || m.loaded[ri] == want {
 			continue
 		}
-		bs := m.bits.PerRegion[ri][want]
-		d, err := m.port.Load(bs)
-		if err != nil {
-			return total, fmt.Errorf("adaptive: loading %s: %w", bs.Name, err)
-		}
-		m.loaded[ri] = want
-		m.stats.RegionLoads++
-		m.stats.Frames += bs.Frames
+		d, err := m.loadRegion(ri, want)
 		total += d
+		if err != nil {
+			return total, err
+		}
 	}
-	m.current = config
-	m.stats.Switches++
-	m.stats.ReconfigTime += total
 	return total, nil
+}
+
+// fallback drives the fabric toward the safe configuration without ever
+// failing: a region that still cannot be loaded is left unloaded for a
+// later switch to repair. When every region lands the safe configuration
+// becomes current; otherwise the current configuration is unknown (-1)
+// and the next SwitchTo rebuilds from the per-region truth in loaded.
+func (m *Manager) fallback(safe int) time.Duration {
+	var total time.Duration
+	ok := true
+	for ri := range m.sch.Regions {
+		want := m.sch.Active[safe][ri]
+		if want == scheme.Inactive || m.loaded[ri] == want {
+			continue
+		}
+		d, err := m.loadRegion(ri, want)
+		total += d
+		if err != nil {
+			ok = false
+		}
+	}
+	if ok {
+		m.current = safe
+		m.stats.Switches++
+	} else {
+		m.current = -1
+	}
+	return total
+}
+
+// loadRegion loads part want into region ri under the recovery policy and
+// returns the realised time: failed attempts, retries, scrub reloads and
+// readback verification all included. On any failure the region is marked
+// unloaded — the fabric may hold a partial or upset write — so that a
+// retry or a later switch rewrites it instead of trusting stale state.
+func (m *Manager) loadRegion(ri, want int) (time.Duration, error) {
+	bs := m.bits.PerRegion[ri][want]
+	var total time.Duration
+	for attempt := 0; ; attempt++ {
+		d, err := m.port.Load(bs)
+		attemptTime := d
+		scrub := false
+		if err == nil && m.rec.Scrub {
+			vd, verr := m.port.Verify(bs)
+			attemptTime += vd
+			if verr != nil {
+				err = verr
+				scrub = true
+			}
+		}
+		total += attemptTime
+		if err == nil {
+			m.loaded[ri] = want
+			m.stats.RegionLoads++
+			m.stats.Frames += bs.Frames
+			return total, nil
+		}
+		m.loaded[ri] = unloaded
+		if attempt >= m.rec.MaxRetries {
+			m.stats.LoadFailures++
+			return total, fmt.Errorf("adaptive: loading %s: %w (gave up after %d attempts)",
+				bs.Name, err, attempt+1)
+		}
+		if scrub {
+			m.stats.Scrubs++
+			m.stats.ScrubTime += attemptTime
+		} else {
+			m.stats.Retries++
+			m.stats.RetryTime += attemptTime
+		}
+	}
 }
 
 // Prefetch loads, ahead of time, every region that the anticipated
@@ -124,6 +270,10 @@ func (m *Manager) SwitchTo(config int) (time.Duration, error) {
 // returned duration is the background loading time; a later SwitchTo to
 // the anticipated configuration then skips those regions. Regions the
 // current configuration actively uses are never touched.
+//
+// Prefetching is opportunistic: a region whose load fails even after the
+// recovery policy's retries is simply left unloaded for the critical-path
+// switch to (re)try, not reported as an error.
 func (m *Manager) Prefetch(config int) (time.Duration, error) {
 	if config < 0 || config >= len(m.sch.Design.Configurations) {
 		return 0, fmt.Errorf("%w: %d", ErrNoConfig, config)
@@ -137,14 +287,7 @@ func (m *Manager) Prefetch(config int) (time.Duration, error) {
 		if m.current >= 0 && m.sch.Active[m.current][ri] != scheme.Inactive {
 			continue // region is live; cannot be reconfigured underneath
 		}
-		bs := m.bits.PerRegion[ri][want]
-		d, err := m.port.Load(bs)
-		if err != nil {
-			return total, fmt.Errorf("adaptive: prefetching %s: %w", bs.Name, err)
-		}
-		m.loaded[ri] = want
-		m.stats.RegionLoads++
-		m.stats.Frames += bs.Frames
+		d, _ := m.loadRegion(ri, want)
 		m.stats.PrefetchTime += d
 		total += d
 	}

@@ -77,6 +77,28 @@ type Bitstream struct {
 // Bytes returns the bitstream size in bytes.
 func (b *Bitstream) Bytes() int { return len(b.Words) * 4 }
 
+// PayloadWords returns the length of the FDRI frame-data payload.
+func (b *Bitstream) PayloadWords() int { return b.Frames * device.WordsPerFrame }
+
+// Payload returns the FDRI frame-data words (between the type-2 header
+// and the CRC word), or nil when the packet stream is too short to hold
+// them. The slice aliases Words; callers must not mutate it.
+func (b *Bitstream) Payload() []uint32 {
+	n := b.PayloadWords()
+	if n <= 0 || len(b.Words) < 6+n {
+		return nil
+	}
+	return b.Words[6 : 6+n]
+}
+
+// Clone returns a deep copy whose Words can be mutated without affecting
+// the original — the hook fault injection and corruption tests rely on.
+func (b *Bitstream) Clone() *Bitstream {
+	cp := *b
+	cp.Words = append([]uint32(nil), b.Words...)
+	return &cp
+}
+
 // Set is the collection of partial bitstreams for a scheme.
 type Set struct {
 	// PerRegion[ri][pi] is the bitstream for part pi of region ri.

@@ -167,3 +167,33 @@ func TestNames(t *testing.T) {
 		t.Errorf("name = %q", set.PerRegion[0][0].Name)
 	}
 }
+
+func TestFaultHelpersCloneAndPayload(t *testing.T) {
+	set, _, _ := assembled(t)
+	bs := set.PerRegion[0][0]
+
+	if got := bs.PayloadWords(); got != bs.Frames*device.WordsPerFrame {
+		t.Errorf("PayloadWords = %d, want %d", got, bs.Frames*device.WordsPerFrame)
+	}
+	payload := bs.Payload()
+	if len(payload) != bs.PayloadWords() {
+		t.Fatalf("Payload length %d, want %d", len(payload), bs.PayloadWords())
+	}
+	if Checksum(payload) != bs.Words[6+len(payload)+1] {
+		t.Error("Payload does not checksum against the embedded CRC word")
+	}
+
+	cp := bs.Clone()
+	cp.Words[10]++
+	if bs.Words[10] == cp.Words[10] {
+		t.Error("Clone shares Words with the original")
+	}
+	if cp.Name != bs.Name || cp.Frames != bs.Frames || cp.Addr != bs.Addr {
+		t.Error("Clone dropped metadata")
+	}
+
+	short := &Bitstream{Frames: 2, Words: make([]uint32, 10)}
+	if short.Payload() != nil {
+		t.Error("truncated bitstream returned a payload")
+	}
+}

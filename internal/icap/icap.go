@@ -14,6 +14,7 @@ import (
 
 	"prpart/internal/bitstream"
 	"prpart/internal/device"
+	"prpart/internal/faults"
 )
 
 // ErrBadBitstream reports a malformed packet stream.
@@ -21,6 +22,14 @@ var ErrBadBitstream = errors.New("icap: malformed bitstream")
 
 // ErrCRC reports a checksum mismatch.
 var ErrCRC = errors.New("icap: CRC mismatch")
+
+// ErrFetch reports a storage read failure: the bitstream never reached
+// the port.
+var ErrFetch = errors.New("icap: bitstream fetch failed")
+
+// ErrVerify reports a readback-verification mismatch between a loaded
+// bitstream and the configuration memory.
+var ErrVerify = errors.New("icap: readback verification mismatch")
 
 // Port models the ICAP configuration interface.
 type Port struct {
@@ -35,16 +44,40 @@ type Port struct {
 	mem     *ConfigMemory
 	stats   Stats
 	storage *Storage
+	inj     *faults.Injector
+	windows map[int]Window
 }
 
 // Stats accumulates the port's activity.
 type Stats struct {
-	// Loads is the number of bitstreams processed.
+	// Loads is the number of bitstreams processed successfully.
 	Loads int
 	// Words and Frames total the configuration data written.
 	Words, Frames int
-	// Busy is the cumulative transfer time.
+	// Busy is the cumulative time the port spent clocking data, including
+	// failed and verified loads.
 	Busy time.Duration
+
+	// FailedLoads counts loads that returned an error, broken down by
+	// cause in the per-cause counters below.
+	FailedLoads int
+	// FetchErrors counts storage read failures (ErrFetch).
+	FetchErrors int
+	// FormatErrors counts malformed packet streams — truncations, bad
+	// headers, out-of-range FDRI counts (ErrBadBitstream except FAR
+	// range violations).
+	FormatErrors int
+	// RangeErrors counts FAR targets outside the region's placement
+	// window (ErrBadBitstream via Restrict/RestrictToPlan).
+	RangeErrors int
+	// CRCErrors counts checksum mismatches (ErrCRC).
+	CRCErrors int
+	// Readbacks counts Verify calls; VerifyErrors counts the mismatches
+	// among them (ErrVerify).
+	Readbacks, VerifyErrors int
+	// FaultTime is the port time consumed by loads that failed — the
+	// wasted transfers behind the retry accounting upstream.
+	FaultTime time.Duration
 }
 
 // New returns a port with the given geometry attached to a fresh
@@ -84,45 +117,122 @@ func (p *Port) FrameTime(frames int) time.Duration {
 }
 
 // Load parses a partial bitstream, writes its frames to configuration
-// memory, verifies the CRC, and returns the transfer time.
+// memory, verifies the CRC, and returns the transfer time. On failure it
+// returns the time the port spent before detecting the fault — the
+// aborted transfer is still paid for — alongside the error, and records
+// the failure in the per-cause Stats counters. With an injector attached
+// (AttachInjector), the transfer may be corrupted, truncated or failed
+// according to the injector's plan; the caller's bitstream is never
+// mutated.
 func (p *Port) Load(bs *bitstream.Bitstream) (time.Duration, error) {
 	w := bs.Words
+	var dec faults.Decision
+	if p.inj != nil {
+		dec = p.inj.PlanLoad(bs.PayloadWords())
+	}
+	switch dec.Kind {
+	case faults.FetchFail:
+		d := p.fetchAbortTime()
+		p.fail(&p.stats.FetchErrors, d)
+		return d, fmt.Errorf("%w: injected storage fault", ErrFetch)
+	case faults.BitFlip:
+		if i := 6 + dec.Word; i < len(w) {
+			w = append([]uint32(nil), w...)
+			w[i] ^= 1 << dec.Bit
+		}
+	case faults.Truncate:
+		if dec.Word < len(w) {
+			w = w[:dec.Word]
+		}
+	}
 	if len(w) < 8 || w[0] != bitstream.DummyWord || w[1] != bitstream.SyncWord {
-		return 0, fmt.Errorf("%w: missing sync header", ErrBadBitstream)
+		d := p.abortTime(len(w))
+		p.fail(&p.stats.FormatErrors, d)
+		return d, fmt.Errorf("%w: missing sync header", ErrBadBitstream)
 	}
 	if w[2] != bitstream.CmdWriteFAR {
-		return 0, fmt.Errorf("%w: expected FAR write", ErrBadBitstream)
+		d := p.abortTime(3)
+		p.fail(&p.stats.FormatErrors, d)
+		return d, fmt.Errorf("%w: expected FAR write", ErrBadBitstream)
 	}
 	far := bitstream.UnpackFAR(w[3])
+	if p.windows != nil {
+		win, ok := p.windows[bs.Region]
+		if !ok || !win.contains(far) {
+			d := p.abortTime(4)
+			p.fail(&p.stats.RangeErrors, d)
+			return d, fmt.Errorf("%w: FAR (row %d, major %d) outside region %d placement",
+				ErrBadBitstream, far.Row, far.Major, bs.Region)
+		}
+	}
 	if w[4] != bitstream.CmdWriteFDRI {
-		return 0, fmt.Errorf("%w: expected FDRI write", ErrBadBitstream)
+		d := p.abortTime(5)
+		p.fail(&p.stats.FormatErrors, d)
+		return d, fmt.Errorf("%w: expected FDRI write", ErrBadBitstream)
 	}
 	count := int(w[5] & 0x07FFFFFF)
 	if count%device.WordsPerFrame != 0 {
-		return 0, fmt.Errorf("%w: FDRI count %d not a whole number of frames", ErrBadBitstream, count)
+		d := p.abortTime(6)
+		p.fail(&p.stats.FormatErrors, d)
+		return d, fmt.Errorf("%w: FDRI count %d not a whole number of frames", ErrBadBitstream, count)
 	}
 	if len(w) < 6+count+4 {
-		return 0, fmt.Errorf("%w: truncated payload", ErrBadBitstream)
+		d := p.abortTime(len(w))
+		p.fail(&p.stats.FormatErrors, d)
+		return d, fmt.Errorf("%w: truncated payload", ErrBadBitstream)
 	}
 	payload := w[6 : 6+count]
 	rest := w[6+count:]
 	if rest[0] != bitstream.CmdWriteCRC {
-		return 0, fmt.Errorf("%w: expected CRC write", ErrBadBitstream)
+		d := p.abortTime(6 + count + 1)
+		p.fail(&p.stats.FormatErrors, d)
+		return d, fmt.Errorf("%w: expected CRC write", ErrBadBitstream)
 	}
 	if got := bitstream.Checksum(payload); got != rest[1] {
-		return 0, fmt.Errorf("%w: got %08x, want %08x", ErrCRC, got, rest[1])
+		// The CRC register is checked only after the full transfer: the
+		// whole (possibly fetched) load is wasted.
+		d := p.LoadTime(bs)
+		p.fail(&p.stats.CRCErrors, d)
+		return d, fmt.Errorf("%w: got %08x, want %08x", ErrCRC, got, rest[1])
 	}
 	if rest[2] != bitstream.CmdDesync || rest[3] != bitstream.DesyncValue {
-		return 0, fmt.Errorf("%w: missing desync", ErrBadBitstream)
+		d := p.abortTime(len(w))
+		p.fail(&p.stats.FormatErrors, d)
+		return d, fmt.Errorf("%w: missing desync", ErrBadBitstream)
 	}
 	frames := count / device.WordsPerFrame
 	p.mem.WriteFrames(far, payload)
+	if dec.Kind == faults.SEU {
+		p.mem.FlipBit(far, (dec.Word%count)/device.WordsPerFrame,
+			(dec.Word%count)%device.WordsPerFrame, dec.Bit)
+	}
 	p.stats.Loads++
 	p.stats.Words += len(w)
 	p.stats.Frames += frames
 	d := p.LoadTime(bs)
 	p.stats.Busy += d
 	return d, nil
+}
+
+// fail records a failed load of the given cause and duration.
+func (p *Port) fail(cause *int, d time.Duration) {
+	*cause++
+	p.stats.FailedLoads++
+	p.stats.FaultTime += d
+	p.stats.Busy += d
+}
+
+// abortTime is the port time consumed before a fault is detected n words
+// into the stream.
+func (p *Port) abortTime(n int) time.Duration { return p.TransferTime(n) }
+
+// fetchAbortTime is the time lost to a failed storage fetch: the access
+// latency when storage is attached, otherwise just the setup overhead.
+func (p *Port) fetchAbortTime() time.Duration {
+	if p.storage != nil {
+		return p.storage.Latency
+	}
+	return p.TransferTime(0)
 }
 
 // ConfigMemory models the device configuration memory as frames indexed
@@ -161,3 +271,14 @@ func (m *ConfigMemory) ReadFrame(far bitstream.FAR, minor int) []uint32 {
 
 // FrameCount returns the number of distinct frames ever written.
 func (m *ConfigMemory) FrameCount() int { return len(m.frames) }
+
+// FlipBit inverts one bit of a stored frame — the configuration-memory
+// upset (SEU) model behind injected post-load faults and scrubbing tests.
+// Never-written frames are left untouched.
+func (m *ConfigMemory) FlipBit(far bitstream.FAR, minor, word, bit int) {
+	f := m.frames[frameKey{far: far, minor: minor}]
+	if f == nil || word < 0 || word >= len(f) {
+		return
+	}
+	f[word] ^= 1 << (bit & 31)
+}

@@ -18,6 +18,7 @@ var (
 	once sync.Once
 	set  *bitstream.Set
 	res  *partition.Result
+	plan *floorplan.Plan
 	serr error
 )
 
@@ -34,9 +35,8 @@ func bitstreams(t *testing.T) *bitstream.Set {
 			serr = err
 			return
 		}
-		plan, err := floorplan.Place(res.Scheme, dev)
-		if err != nil {
-			serr = err
+		plan, serr = floorplan.Place(res.Scheme, dev)
+		if serr != nil {
 			return
 		}
 		set, serr = bitstream.Assemble(res.Scheme, plan)
@@ -45,6 +45,13 @@ func bitstreams(t *testing.T) *bitstream.Set {
 		t.Fatal(serr)
 	}
 	return set
+}
+
+// planOf returns the floorplan behind the shared bitstream fixture.
+func planOf(t *testing.T) *floorplan.Plan {
+	t.Helper()
+	bitstreams(t)
+	return plan
 }
 
 func TestLoadWritesFrames(t *testing.T) {

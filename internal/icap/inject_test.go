@@ -1,0 +1,231 @@
+package icap
+
+import (
+	"errors"
+	"testing"
+
+	"prpart/internal/bitstream"
+	"prpart/internal/faults"
+)
+
+func TestFaultBitFlipRejectedByCRC(t *testing.T) {
+	bs := bitstreams(t).PerRegion[0][0]
+	p := New(32, 100_000_000)
+	inj := faults.New(1, faults.Rates{})
+	inj.ScheduleAt(0, faults.BitFlip)
+	p.AttachInjector(inj)
+
+	d, err := p.Load(bs)
+	if !errors.Is(err, ErrCRC) {
+		t.Fatalf("err = %v, want ErrCRC", err)
+	}
+	if d <= 0 {
+		t.Error("failed load reported zero elapsed time")
+	}
+	st := p.Stats()
+	if st.CRCErrors != 1 || st.FailedLoads != 1 || st.Loads != 0 {
+		t.Errorf("stats %+v: want 1 CRC error, 1 failed load, 0 loads", st)
+	}
+	if st.FaultTime != d || st.Busy != d {
+		t.Errorf("fault time %v / busy %v, want %v", st.FaultTime, st.Busy, d)
+	}
+	if p.Memory().FrameCount() != 0 {
+		t.Error("rejected load wrote frames")
+	}
+	// The caller's bitstream must be untouched: a retry succeeds.
+	if _, err := p.Load(bs); err != nil {
+		t.Fatalf("retry after injected flip failed: %v", err)
+	}
+	if got := p.Stats().Loads; got != 1 {
+		t.Errorf("Loads = %d after clean retry, want 1", got)
+	}
+}
+
+func TestFaultTruncationRejected(t *testing.T) {
+	bs := bitstreams(t).PerRegion[0][0]
+	p := New(32, 100_000_000)
+	inj := faults.New(2, faults.Rates{})
+	inj.ScheduleAt(0, faults.Truncate)
+	p.AttachInjector(inj)
+
+	d, err := p.Load(bs)
+	if !errors.Is(err, ErrBadBitstream) {
+		t.Fatalf("err = %v, want ErrBadBitstream", err)
+	}
+	full := p.TransferTime(len(bs.Words))
+	if d <= 0 || d >= full {
+		t.Errorf("aborted transfer cost %v, want in (0, %v)", d, full)
+	}
+	if st := p.Stats(); st.FormatErrors != 1 || st.FailedLoads != 1 {
+		t.Errorf("stats %+v: want 1 format error", st)
+	}
+	if len(bs.Words) < 8+bs.PayloadWords() {
+		t.Error("injected truncation mutated the shared bitstream")
+	}
+}
+
+func TestFaultFetchFailure(t *testing.T) {
+	bs := bitstreams(t).PerRegion[0][0]
+	p := New(32, 100_000_000)
+	p.AttachStorage(CompactFlash())
+	inj := faults.New(3, faults.Rates{})
+	inj.ScheduleAt(0, faults.FetchFail)
+	p.AttachInjector(inj)
+
+	d, err := p.Load(bs)
+	if !errors.Is(err, ErrFetch) {
+		t.Fatalf("err = %v, want ErrFetch", err)
+	}
+	if d != CompactFlash().Latency {
+		t.Errorf("fetch abort cost %v, want storage latency %v", d, CompactFlash().Latency)
+	}
+	if st := p.Stats(); st.FetchErrors != 1 {
+		t.Errorf("stats %+v: want 1 fetch error", st)
+	}
+}
+
+func TestFaultSEUCaughtByVerify(t *testing.T) {
+	bs := bitstreams(t).PerRegion[0][0]
+	p := New(32, 100_000_000)
+	inj := faults.New(4, faults.Rates{})
+	inj.ScheduleAt(0, faults.SEU)
+	p.AttachInjector(inj)
+
+	// The load itself succeeds: the upset happens after the CRC check.
+	if _, err := p.Load(bs); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Verify(bs)
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("Verify err = %v, want ErrVerify", err)
+	}
+	if d <= 0 {
+		t.Error("readback cost no time")
+	}
+	st := p.Stats()
+	if st.Readbacks != 1 || st.VerifyErrors != 1 {
+		t.Errorf("stats %+v: want 1 readback, 1 verify error", st)
+	}
+	// Scrubbing: a clean reload restores the region and Verify passes.
+	if _, err := p.Load(bs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Verify(bs); err != nil {
+		t.Errorf("Verify after scrub reload: %v", err)
+	}
+}
+
+func TestFaultVerifyCleanLoad(t *testing.T) {
+	bs := bitstreams(t).PerRegion[0][0]
+	p := New(32, 100_000_000)
+	if _, err := p.Load(bs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Verify(bs); err != nil {
+		t.Errorf("clean load failed verification: %v", err)
+	}
+	// A never-loaded region fails verification outright.
+	fresh := New(32, 100_000_000)
+	if _, err := fresh.Verify(bs); !errors.Is(err, ErrVerify) {
+		t.Errorf("verify of unwritten region: %v, want ErrVerify", err)
+	}
+	// Direct memory upsets (no injector) are caught too.
+	p.Memory().FlipBit(bs.Addr, 0, 5, 3)
+	if _, err := p.Verify(bs); !errors.Is(err, ErrVerify) {
+		t.Errorf("verify after FlipBit: %v, want ErrVerify", err)
+	}
+}
+
+func TestFaultFARWindowEnforced(t *testing.T) {
+	set := bitstreams(t)
+	bs := set.PerRegion[0][0]
+	p := New(32, 100_000_000)
+	// A window that cannot contain the bitstream's FAR.
+	p.Restrict(bs.Region, Window{
+		Row0: bs.Addr.Row + 1, Col0: bs.Addr.Major + 1,
+		Row1: bs.Addr.Row + 2, Col1: bs.Addr.Major + 2,
+	})
+	d, err := p.Load(bs)
+	if !errors.Is(err, ErrBadBitstream) {
+		t.Fatalf("out-of-window FAR: err = %v, want ErrBadBitstream", err)
+	}
+	if d <= 0 {
+		t.Error("range abort cost no time")
+	}
+	if st := p.Stats(); st.RangeErrors != 1 {
+		t.Errorf("stats %+v: want 1 range error", st)
+	}
+	if p.Memory().FrameCount() != 0 {
+		t.Error("out-of-window load wrote frames")
+	}
+	// A region with no registered window is rejected once any window exists.
+	other := set.PerRegion[len(set.PerRegion)-1][0]
+	if other.Region != bs.Region {
+		if _, err := p.Load(other); !errors.Is(err, ErrBadBitstream) {
+			t.Errorf("windowless region: err = %v, want ErrBadBitstream", err)
+		}
+	}
+	// Widening the window to include the FAR admits the load.
+	p.Restrict(bs.Region, Window{
+		Row0: bs.Addr.Row, Col0: bs.Addr.Major,
+		Row1: bs.Addr.Row, Col1: bs.Addr.Major,
+	})
+	if _, err := p.Load(bs); err != nil {
+		t.Errorf("in-window load rejected: %v", err)
+	}
+}
+
+func TestFaultRestrictToPlanAdmitsAssembledSet(t *testing.T) {
+	// Every bitstream assembled from a floorplan must pass its own plan's
+	// windows — the restriction only rejects foreign or corrupt FARs.
+	set := bitstreams(t)
+	p := New(32, 100_000_000)
+	p.RestrictToPlan(planOf(t))
+	for _, region := range set.PerRegion {
+		for _, bs := range region {
+			if _, err := p.Load(bs); err != nil {
+				t.Fatalf("assembled bitstream %s rejected: %v", bs.Name, err)
+			}
+		}
+	}
+	// A bitstream whose FAR was corrupted out of its region is rejected.
+	bad := set.PerRegion[0][0].Clone()
+	bad.Addr = bitstream.FAR{Row: 200, Major: 200}
+	bad.Words[3] = bad.Addr.Pack()
+	if _, err := p.Load(bad); !errors.Is(err, ErrBadBitstream) {
+		t.Errorf("corrupt FAR: err = %v, want ErrBadBitstream", err)
+	}
+}
+
+func TestFaultInjectionReproducible(t *testing.T) {
+	// The same seed against the same load sequence must fail the same
+	// loads for the same causes with the same realised times.
+	set := bitstreams(t)
+	run := func() (Stats, faults.Stats) {
+		p := New(32, 100_000_000)
+		inj := faults.New(42, faults.Uniform(5e-5))
+		p.AttachInjector(inj)
+		for round := 0; round < 30; round++ {
+			for _, region := range set.PerRegion {
+				for _, bs := range region {
+					p.Load(bs) // errors are the point
+				}
+			}
+		}
+		return p.Stats(), inj.Stats()
+	}
+	p1, i1 := run()
+	p2, i2 := run()
+	if p1 != p2 {
+		t.Errorf("port stats diverged:\n%+v\n%+v", p1, p2)
+	}
+	if i1 != i2 {
+		t.Errorf("injector stats diverged:\n%+v\n%+v", i1, i2)
+	}
+	if i1.Total() == 0 {
+		t.Error("5e-5 over 30 rounds injected nothing")
+	}
+	if p1.FailedLoads == 0 {
+		t.Error("injected faults caused no failed loads")
+	}
+}

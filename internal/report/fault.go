@@ -1,0 +1,33 @@
+package report
+
+import "time"
+
+// FaultRow summarises fault injection and recovery for one scheme's
+// simulated run: what was injected, how the loads failed, and what the
+// recovery policy spent putting things right.
+type FaultRow struct {
+	// Scheme names the partitioning scheme the run replayed.
+	Scheme string
+	// Injected is the number of faults the injector produced.
+	Injected int
+	// CRC, Fetch, Format and Verify count failed loads by detected cause.
+	CRC, Fetch, Format, Verify int
+	// Retries, Scrubs and Fallbacks count the recovery actions taken.
+	Retries, Scrubs, Fallbacks int
+	// RetryTime and ScrubTime are the realised costs of those actions.
+	RetryTime, ScrubTime time.Duration
+}
+
+// FaultRecoveryTable renders the per-scheme fault and recovery summary —
+// the runtime-reliability counterpart of the realised-cost table.
+func FaultRecoveryTable(rows ...FaultRow) *Table {
+	t := NewTable("Fault injection & recovery",
+		"Scheme", "Injected", "CRC", "Fetch", "Format", "Verify",
+		"Retries", "Scrubs", "Fallbacks", "Retry time", "Scrub time")
+	for _, r := range rows {
+		t.AddRowf(r.Scheme, r.Injected, r.CRC, r.Fetch, r.Format, r.Verify,
+			r.Retries, r.Scrubs, r.Fallbacks,
+			r.RetryTime.Round(time.Microsecond), r.ScrubTime.Round(time.Microsecond))
+	}
+	return t
+}

@@ -1,0 +1,30 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultRecoveryTable(t *testing.T) {
+	tbl := FaultRecoveryTable(
+		FaultRow{
+			Scheme: "proposed", Injected: 12, CRC: 7, Fetch: 1, Format: 2, Verify: 2,
+			Retries: 10, Scrubs: 2, Fallbacks: 1,
+			RetryTime: 1500 * time.Microsecond, ScrubTime: 300 * time.Microsecond,
+		},
+		FaultRow{Scheme: "modular"},
+	)
+	out := tbl.String()
+	for _, want := range []string{
+		"Fault injection & recovery", "Scheme", "Injected", "Retries",
+		"Scrubs", "Fallbacks", "proposed", "modular", "1.5ms", "300µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Tiered verification for the repo.
+#
+#   scripts/verify.sh          # tier 1 only: build + tests (the CI gate)
+#   scripts/verify.sh all      # tiers 1-3: + vet/race, + fault determinism
+#
+# Tier 1  go build + go test             — must always pass (ROADMAP gate)
+# Tier 2  go vet + go test -race         — static checks and race detection
+# Tier 3  go test -run Fault -count=5    — re-runs every fault-injection
+#         test five times over the packages that consume the seeded
+#         injector, so injection stays seed-stable: any hidden source of
+#         nondeterminism (map order, shared RNG, time dependence) shows
+#         up as a flaky -count run.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + test =="
+go build ./...
+go test ./...
+
+if [ "$1" = "all" ]; then
+	echo "== tier 2: vet + race =="
+	go vet ./...
+	go test -race ./...
+
+	echo "== tier 3: fault-injection determinism (x5) =="
+	go test -run Fault -count=5 ./internal/faults/ ./internal/icap/ ./internal/adaptive/ ./cmd/prsim/
+fi
+
+echo "verify: OK"
