@@ -15,10 +15,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
+	"prpart/internal/benchfmt"
 	"prpart/internal/design"
 	"prpart/internal/experiments"
+	"prpart/internal/obs"
 	"prpart/internal/partition"
 	"prpart/internal/report"
 	"prpart/internal/synthetic"
@@ -38,8 +41,10 @@ type env struct {
 	seed    int64
 	workers int
 	md      bool
+	obs     *obs.Obs
 
 	sweepOnce bool
+	sweepNs   int64
 	outs      []*experiments.Outcome
 }
 
@@ -52,10 +57,29 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "directory for CSV dumps (optional)")
 	md := fs.Bool("md", false, "render tables as Markdown instead of aligned text")
 	ablN := fs.Int("abl-n", 100, "ablation corpus size")
+	jsonOut := fs.Bool("json", false, "write a benchmark-regression report (BENCH_<rev>.json) instead of tables")
+	rev := fs.String("rev", "dev", "revision label for the -json report")
+	jsonPath := fs.String("o", "", "output path for the -json report (default BENCH_<rev>.json)")
+	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	e := &env{out: out, csvDir: *csvDir, n: *n, seed: *seed, workers: *workers, md: *md}
+	o, stopObs, err := ofl.Start(out)
+	if err != nil {
+		return err
+	}
+	e := &env{out: out, csvDir: *csvDir, n: *n, seed: *seed, workers: *workers, md: *md, obs: o}
+	if *jsonOut {
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_" + *rev + ".json"
+		}
+		err := e.benchJSON(*rev, path)
+		if serr := stopObs(); serr != nil && err == nil {
+			err = serr
+		}
+		return err
+	}
 
 	runners := map[string]func() error{
 		"table1":   e.table1,
@@ -72,24 +96,30 @@ func run(args []string, out io.Writer) error {
 		"weighted": e.weighted,
 		"ablation": func() error { return e.ablation(*ablN) },
 	}
-	if *exp == "all" {
-		for _, name := range []string{
-			"table1", "table2", "table3", "table4", "table5",
-			"fig7", "fig8", "fig9", "claims", "classes", "gallery",
-			"ablation", "weighted",
-		} {
-			if err := runners[name](); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+	runErr := func() error {
+		if *exp == "all" {
+			for _, name := range []string{
+				"table1", "table2", "table3", "table4", "table5",
+				"fig7", "fig8", "fig9", "claims", "classes", "gallery",
+				"ablation", "weighted",
+			} {
+				if err := runners[name](); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				fmt.Fprintln(out)
 			}
-			fmt.Fprintln(out)
+			return nil
 		}
-		return nil
+		r, ok := runners[*exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		return r()
+	}()
+	if serr := stopObs(); serr != nil && runErr == nil {
+		runErr = serr
 	}
-	r, ok := runners[*exp]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", *exp)
-	}
-	return r()
+	return runErr
 }
 
 func (e *env) sweep() ([]*experiments.Outcome, error) {
@@ -98,14 +128,106 @@ func (e *env) sweep() ([]*experiments.Outcome, error) {
 	}
 	start := time.Now()
 	designs := synthetic.Generate(e.seed, e.n)
-	outs, err := experiments.Sweep(designs, partition.Options{}, e.workers)
+	outs, err := experiments.Sweep(designs, partition.Options{Obs: e.obs}, e.workers)
 	if err != nil {
 		return nil, err
 	}
+	e.sweepNs = time.Since(start).Nanoseconds()
 	fmt.Fprintf(e.out, "[sweep: %d designs in %v]\n", len(outs), time.Since(start).Round(time.Millisecond))
 	e.outs = outs
 	e.sweepOnce = true
 	return outs, nil
+}
+
+// benchJSON runs the headline experiments under instrumentation and
+// writes a benchfmt report to path: the regression baseline that
+// scripts/bench_compare.go diffs against a later run.
+func (e *env) benchJSON(rev, path string) error {
+	if e.obs == nil {
+		e.obs = obs.New()
+	}
+	r := &benchfmt.Report{
+		Schema:    benchfmt.Schema,
+		Rev:       rev,
+		GoVersion: runtime.Version(),
+		Corpus:    benchfmt.Corpus{N: e.n, Seed: e.seed},
+		Metrics:   map[string]float64{},
+		RuntimeNs: map[string]int64{},
+		Counters:  map[string]int64{},
+	}
+
+	start := time.Now()
+	cs, err := experiments.RunCaseStudy(design.VideoReceiver())
+	if err != nil {
+		return err
+	}
+	r.RuntimeNs["casestudy_ns"] = time.Since(start).Nanoseconds()
+	r.Metrics["casestudy_total_frames"] = float64(cs.Proposed.Summary.Total)
+	r.Metrics["casestudy_worst_frames"] = float64(cs.Proposed.Summary.Worst)
+	r.Metrics["casestudy_regions"] = float64(len(cs.Proposed.Scheme.Regions))
+	r.Metrics["casestudy_improvement_pct"] = cs.ImprovementOverModular()
+
+	start = time.Now()
+	csm, err := experiments.RunCaseStudy(design.VideoReceiverModified())
+	if err != nil {
+		return err
+	}
+	r.RuntimeNs["casestudy_modified_ns"] = time.Since(start).Nanoseconds()
+	r.Metrics["casestudy_modified_total_frames"] = float64(csm.Proposed.Summary.Total)
+	r.Metrics["casestudy_modified_improvement_pct"] = csm.ImprovementOverModular()
+
+	outs, err := e.sweep()
+	if err != nil {
+		return err
+	}
+	r.RuntimeNs["sweep_ns"] = e.sweepNs
+	c := experiments.ComputeClaims(outs)
+	r.Metrics["sweep_designs"] = float64(c.Designs)
+	r.Metrics["sweep_total_better_than_modular"] = float64(c.TotalBetterThanModular)
+	r.Metrics["sweep_total_equal_modular"] = float64(c.TotalEqualModular)
+	r.Metrics["sweep_total_worse_than_single"] = float64(c.TotalWorseThanSingle)
+	r.Metrics["sweep_worst_better_than_modular"] = float64(c.WorstBetterThanModular)
+	r.Metrics["sweep_worst_worse_than_modular"] = float64(c.WorstWorseThanModular)
+	var upsized, fallback, smaller int
+	for _, o := range outs {
+		if o.Upsized {
+			upsized++
+		}
+		if o.FallbackSingle {
+			fallback++
+		}
+		if o.SmallerThanModular {
+			smaller++
+		}
+	}
+	r.Metrics["sweep_upsized"] = float64(upsized)
+	r.Metrics["sweep_fallback_single"] = float64(fallback)
+	r.Metrics["sweep_smaller_than_modular"] = float64(smaller)
+
+	snap := e.obs.Snapshot()
+	for k, v := range snap.Counters {
+		r.Counters[k] = v
+	}
+	for k, v := range snap.Gauges {
+		r.Counters[k] = v
+	}
+	for k, ts := range snap.Timers {
+		r.RuntimeNs[k+"_ns"] = ts.Total.Nanoseconds()
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(e.out, "[bench: wrote %s (%d metrics, %d counters)]\n", path, len(r.Metrics), len(r.Counters))
+	return nil
 }
 
 // render writes a table in the selected format.

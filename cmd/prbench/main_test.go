@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"prpart/internal/benchfmt"
 )
 
 func TestSingleExperiments(t *testing.T) {
@@ -81,5 +85,54 @@ func TestAblationExperiment(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "nope"}, &strings.Builder{}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// -update regenerates the bench-report golden file:
+//
+//	go test ./cmd/prbench/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenBenchJSON pins the prbench -json report: schema shape, the
+// metric and counter key sets, and the (deterministic) metric and
+// counter values for a small corpus. Wall-clock runtimes are normalised
+// to zero and the Go version to a fixed token, so the golden file is
+// stable across machines.
+func TestGoldenBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-json", "-rev", "golden", "-n", "12", "-seed", "1", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	r, err := benchfmt.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report does not validate against the schema: %v", err)
+	}
+	r.GoVersion = "go(normalised)"
+	for k := range r.RuntimeNs {
+		r.RuntimeNs[k] = 0
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "bench_json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("bench report drifted from golden (re-run with -update if intentional)\n--- want\n%s--- got\n%s",
+			want, buf.Bytes())
 	}
 }

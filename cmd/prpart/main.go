@@ -23,6 +23,7 @@ import (
 	"prpart/internal/core"
 	"prpart/internal/design"
 	"prpart/internal/device"
+	"prpart/internal/obs"
 	"prpart/internal/partition"
 	"prpart/internal/resource"
 	"prpart/internal/spec"
@@ -35,7 +36,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("prpart", flag.ContinueOnError)
 	in := fs.String("in", "", "design description (.xml or .json)")
 	dev := fs.String("device", "", "target device (empty: smallest feasible)")
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	devices := fs.String("devices", "", "custom device library (JSON, see internal/device.LoadLibrary)")
 	pin := fs.String("pin", "", "comma-separated Module.Mode names to pin into static logic")
 	explain := fs.Bool("explain", false, "print the search moves that produced the scheme")
+	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +55,15 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
 	}
+	o, stopObs, err := ofl.Start(out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stopObs(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 	d, con, err := load(*in)
 	if err != nil {
 		return err
@@ -65,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		Partition: partition.Options{
 			NoStatic:   *noStatic,
 			GreedyOnly: *greedy,
+			Obs:        o,
 		},
 	}
 	if *dev != "" {

@@ -162,3 +162,30 @@ func TestRunDevicesFlag(t *testing.T) {
 		t.Error("missing library accepted")
 	}
 }
+
+func TestRunObsFlags(t *testing.T) {
+	path := writeDesignXML(t, design.VideoReceiver(), spec.Constraints{
+		Device: "FX70T", Budget: design.CaseStudyBudget(),
+	})
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	prof := filepath.Join(dir, "cpu.pprof")
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-trace", trace, "-pprof", prof, "-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tb), `"search.done"`) {
+		t.Errorf("trace file has no search.done event:\n%s", tb)
+	}
+	if fi, err := os.Stat(prof); err != nil || fi.Size() == 0 {
+		t.Errorf("pprof file missing or empty: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "-- metrics --") || !strings.Contains(s, "partition.states") {
+		t.Errorf("metrics dump missing from output:\n%s", s)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"prpart/internal/faults"
 	"prpart/internal/floorplan"
 	"prpart/internal/icap"
+	"prpart/internal/obs"
 	"prpart/internal/partition"
 	"prpart/internal/report"
 	"prpart/internal/scheme"
@@ -45,7 +46,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("prsim", flag.ContinueOnError)
 	in := fs.String("in", "", "design description (.xml or .json)")
 	dev := fs.String("device", "", "target device (empty: smallest feasible)")
@@ -59,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	faultSeed := fs.Int64("fault-seed", 1, "fault-injection seed (reproducible per seed)")
 	retries := fs.Int("retries", 3, "reload attempts per region before giving up")
 	scrub := fs.Bool("scrub", true, "readback-verify loads and scrub on mismatch (fault mode only)")
+	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,11 +71,23 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
 	}
+	o, stopObs, err := ofl.Start(out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stopObs(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 	d, con, err := load(*in)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Device: con.Device, Budget: con.Budget, ClockMHz: con.ClockMHz}
+	opts := core.Options{
+		Device: con.Device, Budget: con.Budget, ClockMHz: con.ClockMHz,
+		Partition: partition.Options{Obs: o},
+	}
 	if *dev != "" {
 		opts.Device = *dev
 	}
@@ -92,7 +106,7 @@ func run(args []string, out io.Writer) error {
 	opt := simOptions{
 		width: *width, storage: *storage, prefetch: *prefetch,
 		faultRate: *faultRate, faultSeed: *faultSeed,
-		retries: *retries, scrub: *scrub,
+		retries: *retries, scrub: *scrub, obs: o,
 	}
 	if opt.faultRate > 0 {
 		fmt.Fprintf(out, "fault injection: word-error rate %g, seed %d, %d retries, scrub %v, safe config 0\n",
@@ -175,6 +189,7 @@ type simOptions struct {
 	faultSeed int64
 	retries   int
 	scrub     bool
+	obs       *obs.Obs
 }
 
 // replayResult collects the three stat views of one scheme's run.
@@ -199,6 +214,7 @@ func replay(s *scheme.Scheme, res *core.Result, opt simOptions, seq []int) (repl
 		return replayResult{}, err
 	}
 	port := icap.New(opt.width, 100_000_000)
+	port.AttachObs(opt.obs)
 	port.RestrictToPlan(plan)
 	switch opt.storage {
 	case "none":
@@ -214,6 +230,7 @@ func replay(s *scheme.Scheme, res *core.Result, opt simOptions, seq []int) (repl
 	if err != nil {
 		return replayResult{}, err
 	}
+	mgr.AttachObs(opt.obs)
 	if opt.faultRate > 0 {
 		inj = faults.New(opt.faultSeed, faults.Uniform(opt.faultRate))
 		port.AttachInjector(inj)

@@ -140,3 +140,30 @@ func TestSimErrors(t *testing.T) {
 		t.Error("negative fault rate accepted")
 	}
 }
+
+func TestSimObsFlags(t *testing.T) {
+	in := designFile(t, design.VideoReceiver(), spec.Constraints{
+		Device: "FX70T", Budget: design.CaseStudyBudget(),
+	})
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-in", in, "-events", "100", "-prefetch",
+		"-trace", trace, "-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"scope":"icap"`, `"scope":"adaptive"`} {
+		if !strings.Contains(string(tb), want) {
+			t.Errorf("trace file missing %s events", want)
+		}
+	}
+	s := out.String()
+	for _, want := range []string{"-- metrics --", "adaptive.switches", "icap.loads", "adaptive.prefetch_hits"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"prpart/internal/bitstream"
 	"prpart/internal/icap"
+	"prpart/internal/obs"
 	"prpart/internal/scheme"
 )
 
@@ -38,6 +39,50 @@ type Manager struct {
 	degraded bool
 
 	stats Stats
+
+	// prefetched[ri] marks that region ri's current contents were loaded
+	// by Prefetch; a later SwitchTo that finds the region already correct
+	// counts it as a prefetch hit. Purely observational.
+	prefetched []bool
+	obs        mgrObs
+}
+
+// mgrObs holds the manager's observability instruments (nil when off).
+type mgrObs struct {
+	o                            *obs.Obs
+	switches, loads, frames      *obs.Counter
+	retries, scrubs, fallbacks   *obs.Counter
+	prefetchLoads, prefetchHits  *obs.Counter
+	reconfig, prefetch, recovery *obs.Timer
+}
+
+// AttachObs mirrors the manager's runtime activity into the registry:
+// counters adaptive.switches, adaptive.region_loads, adaptive.frames,
+// adaptive.retries, adaptive.scrubs, adaptive.fallbacks,
+// adaptive.prefetch_loads and adaptive.prefetch_hits (regions a switch
+// found already loaded thanks to an earlier Prefetch); timers
+// adaptive.reconfig, adaptive.prefetch and adaptive.recovery (time spent
+// on retries and scrubs). One "switch" trace event is emitted per
+// completed SwitchTo. Nil detaches.
+func (m *Manager) AttachObs(o *obs.Obs) {
+	if o == nil {
+		m.obs = mgrObs{}
+		return
+	}
+	m.obs = mgrObs{
+		o:             o,
+		switches:      o.Counter("adaptive.switches"),
+		loads:         o.Counter("adaptive.region_loads"),
+		frames:        o.Counter("adaptive.frames"),
+		retries:       o.Counter("adaptive.retries"),
+		scrubs:        o.Counter("adaptive.scrubs"),
+		fallbacks:     o.Counter("adaptive.fallbacks"),
+		prefetchLoads: o.Counter("adaptive.prefetch_loads"),
+		prefetchHits:  o.Counter("adaptive.prefetch_hits"),
+		reconfig:      o.Timer("adaptive.reconfig"),
+		prefetch:      o.Timer("adaptive.prefetch"),
+		recovery:      o.Timer("adaptive.recovery"),
+	}
 }
 
 // Recovery configures how the manager survives failed loads. The policy
@@ -113,7 +158,8 @@ func NewManager(s *scheme.Scheme, bits *bitstream.Set, port *icap.Port) (*Manage
 	return &Manager{
 		sch: s, bits: bits, port: port,
 		current: -1, loaded: loaded,
-		rec: Recovery{SafeConfig: -1},
+		rec:        Recovery{SafeConfig: -1},
+		prefetched: make([]bool, len(s.Regions)),
 	}, nil
 }
 
@@ -155,10 +201,16 @@ func (m *Manager) SwitchTo(config int) (time.Duration, error) {
 	}
 	total, err := m.configure(config)
 	m.stats.ReconfigTime += total
+	m.obs.reconfig.Observe(total)
 	if err == nil {
 		m.current = config
 		m.degraded = false
 		m.stats.Switches++
+		m.obs.switches.Inc()
+		if m.obs.o != nil {
+			m.obs.o.Emit("adaptive", "switch",
+				obs.Int("config", int64(config)), obs.Dur("cost", total))
+		}
 		return total, nil
 	}
 	if m.rec.SafeConfig < 0 {
@@ -167,9 +219,16 @@ func (m *Manager) SwitchTo(config int) (time.Duration, error) {
 	// Degraded mode: abandon the target, drive toward the safe
 	// configuration best-effort.
 	m.stats.Fallbacks++
+	m.obs.fallbacks.Inc()
 	m.degraded = true
 	ft := m.fallback(m.rec.SafeConfig)
 	m.stats.ReconfigTime += ft
+	m.obs.reconfig.Observe(ft)
+	if m.obs.o != nil {
+		m.obs.o.Emit("adaptive", "switch.fallback",
+			obs.Int("target", int64(config)), obs.Int("safe", int64(m.rec.SafeConfig)),
+			obs.Dur("cost", total+ft))
+	}
 	return total + ft, nil
 }
 
@@ -181,6 +240,11 @@ func (m *Manager) configure(config int) (time.Duration, error) {
 	for ri := range m.sch.Regions {
 		want := m.sch.Active[config][ri]
 		if want == scheme.Inactive || m.loaded[ri] == want {
+			if want != scheme.Inactive && m.prefetched[ri] {
+				// The region is already correct because Prefetch loaded it.
+				m.obs.prefetchHits.Inc()
+				m.prefetched[ri] = false
+			}
 			continue
 		}
 		d, err := m.loadRegion(ri, want)
@@ -243,8 +307,11 @@ func (m *Manager) loadRegion(ri, want int) (time.Duration, error) {
 		total += attemptTime
 		if err == nil {
 			m.loaded[ri] = want
+			m.prefetched[ri] = false
 			m.stats.RegionLoads++
 			m.stats.Frames += bs.Frames
+			m.obs.loads.Inc()
+			m.obs.frames.Add(int64(bs.Frames))
 			return total, nil
 		}
 		m.loaded[ri] = unloaded
@@ -256,10 +323,13 @@ func (m *Manager) loadRegion(ri, want int) (time.Duration, error) {
 		if scrub {
 			m.stats.Scrubs++
 			m.stats.ScrubTime += attemptTime
+			m.obs.scrubs.Inc()
 		} else {
 			m.stats.Retries++
 			m.stats.RetryTime += attemptTime
+			m.obs.retries.Inc()
 		}
+		m.obs.recovery.Observe(attemptTime)
 	}
 }
 
@@ -287,10 +357,15 @@ func (m *Manager) Prefetch(config int) (time.Duration, error) {
 		if m.current >= 0 && m.sch.Active[m.current][ri] != scheme.Inactive {
 			continue // region is live; cannot be reconfigured underneath
 		}
-		d, _ := m.loadRegion(ri, want)
+		d, err := m.loadRegion(ri, want)
 		m.stats.PrefetchTime += d
 		total += d
+		if err == nil {
+			m.prefetched[ri] = true
+			m.obs.prefetchLoads.Inc()
+		}
 	}
+	m.obs.prefetch.Observe(total)
 	return total, nil
 }
 

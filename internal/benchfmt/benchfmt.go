@@ -1,0 +1,201 @@
+// Package benchfmt defines the prbench JSON report schema shared by
+// cmd/prbench (the producer) and scripts/bench_compare.go (the
+// consumer), so the two sides cannot drift apart. A report captures the
+// headline reproduction metrics (deterministic given corpus seed and
+// size), wall-clock runtimes, and the observability counters of the
+// run.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Schema is the current report-format identifier. Bump it on any
+// incompatible change to Report.
+const Schema = "prbench/v1"
+
+// Corpus identifies the synthetic corpus a report was measured on.
+// Reports over different corpora are not comparable.
+type Corpus struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+}
+
+// Report is one prbench run.
+type Report struct {
+	// Schema must equal the package Schema constant.
+	Schema string `json:"schema"`
+	// Rev labels the code revision measured (git hash or free-form).
+	Rev string `json:"rev"`
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"goVersion"`
+	// Corpus is the synthetic corpus swept.
+	Corpus Corpus `json:"corpus"`
+	// Metrics are the headline reproduction quantities (frame totals,
+	// claim counts, improvement percentages). They are deterministic
+	// functions of the corpus: any change between two runs on the same
+	// corpus is a behaviour change, not noise.
+	Metrics map[string]float64 `json:"metrics"`
+	// RuntimeNs are wall-clock durations in nanoseconds. Noisy;
+	// compared under a tolerance.
+	RuntimeNs map[string]int64 `json:"runtimeNs"`
+	// Counters are the obs registry counters of the run
+	// (partition.moves_evaluated, experiments.upsized, ...).
+	// Informational: reported in diffs but never a failure.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Validate checks the report is structurally sound.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Rev == "" {
+		return fmt.Errorf("benchfmt: empty rev")
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("benchfmt: empty goVersion")
+	}
+	if r.Corpus.N <= 0 {
+		return fmt.Errorf("benchfmt: corpus n %d, want > 0", r.Corpus.N)
+	}
+	if len(r.Metrics) == 0 {
+		return fmt.Errorf("benchfmt: no metrics")
+	}
+	for k, v := range r.Metrics {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("benchfmt: metric %s is %v", k, v)
+		}
+	}
+	for k, v := range r.RuntimeNs {
+		if v < 0 {
+			return fmt.Errorf("benchfmt: runtime %s is negative (%d)", k, v)
+		}
+	}
+	return nil
+}
+
+// Write emits the report as indented JSON (map keys sorted by
+// encoding/json, so output is deterministic for equal content).
+func (r *Report) Write(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read parses and validates a report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadFile reads a report from disk.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Delta is one compared quantity.
+type Delta struct {
+	// Kind is "metric", "runtime" or "counter".
+	Kind string
+	// Key is the quantity name.
+	Key string
+	// Old and New are the two values (counters and runtimes widened).
+	Old, New float64
+	// Pct is the relative change in percent ((new-old)/old*100);
+	// +Inf when old is zero and new is not.
+	Pct float64
+	// Regression marks a failing delta: a metric that drifted at all,
+	// or a runtime that grew beyond the tolerance.
+	Regression bool
+}
+
+// Compare diffs two reports. Metrics are deterministic, so any drift is
+// a regression; runtimes regress when new exceeds old by more than
+// tolPct percent; counters never regress (informational). Keys present
+// in only one report are compared against zero — a disappeared metric
+// is a drift. The returned deltas are sorted regressions-first, then by
+// kind and key. It errors when the corpora differ, since the quantities
+// would not be comparable.
+func Compare(old, new *Report, tolPct float64) ([]Delta, error) {
+	if old.Corpus != new.Corpus {
+		return nil, fmt.Errorf("benchfmt: corpus mismatch: old n=%d seed=%d, new n=%d seed=%d",
+			old.Corpus.N, old.Corpus.Seed, new.Corpus.N, new.Corpus.Seed)
+	}
+	var out []Delta
+	for _, k := range unionKeys(old.Metrics, new.Metrics) {
+		d := delta("metric", k, old.Metrics[k], new.Metrics[k])
+		d.Regression = math.Abs(d.New-d.Old) > 1e-9
+		out = append(out, d)
+	}
+	for _, k := range unionKeys(old.RuntimeNs, new.RuntimeNs) {
+		d := delta("runtime", k, float64(old.RuntimeNs[k]), float64(new.RuntimeNs[k]))
+		d.Regression = d.Old > 0 && d.Pct > tolPct
+		out = append(out, d)
+	}
+	for _, k := range unionKeys(old.Counters, new.Counters) {
+		out = append(out, delta("counter", k, float64(old.Counters[k]), float64(new.Counters[k])))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Regression != out[j].Regression {
+			return out[i].Regression
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out, nil
+}
+
+func delta(kind, key string, o, n float64) Delta {
+	d := Delta{Kind: kind, Key: key, Old: o, New: n}
+	switch {
+	case o != 0:
+		d.Pct = (n - o) / o * 100
+	case n != 0:
+		d.Pct = math.Inf(1)
+	}
+	return d
+}
+
+func unionKeys[V any](a, b map[string]V) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,136 @@
+package benchfmt
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	return &Report{
+		Schema:    Schema,
+		Rev:       "r1",
+		GoVersion: "go1.24.0",
+		Corpus:    Corpus{N: 100, Seed: 1},
+		Metrics:   map[string]float64{"total": 42, "pct": 4.5},
+		RuntimeNs: map[string]int64{"sweep_ns": 1000},
+		Counters:  map[string]int64{"states": 7},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", r, got)
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sample().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two writes of equal reports differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		want string
+	}{
+		{"schema", func(r *Report) { r.Schema = "prbench/v0" }, "schema"},
+		{"rev", func(r *Report) { r.Rev = "" }, "rev"},
+		{"goVersion", func(r *Report) { r.GoVersion = "" }, "goVersion"},
+		{"corpus", func(r *Report) { r.Corpus.N = 0 }, "corpus"},
+		{"metrics", func(r *Report) { r.Metrics = nil }, "metrics"},
+		{"nan", func(r *Report) { r.Metrics["total"] = math.NaN() }, "total"},
+		{"negative runtime", func(r *Report) { r.RuntimeNs["sweep_ns"] = -1 }, "sweep_ns"},
+	}
+	for _, tc := range cases {
+		r := sample()
+		tc.mut(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid report", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"prbench/v1","bogus":1}`)); err == nil {
+		t.Fatal("Read accepted an unknown field")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Metrics["total"] = 43                // drift: regression
+	cur.RuntimeNs["sweep_ns"] = 1050         // +5%: within tol
+	cur.RuntimeNs["casestudy_ns"] = 1        // new key vs old zero: no pct base, not a regression
+	old.RuntimeNs["casestudy_ns"] = 0        // present but zero
+	cur.Counters["states"] = 1000            // counters never regress
+	deltas, err := Compare(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range deltas {
+		got[d.Kind+"/"+d.Key] = d.Regression
+	}
+	if !got["metric/total"] {
+		t.Error("metric drift not flagged as regression")
+	}
+	if got["runtime/sweep_ns"] {
+		t.Error("5% runtime growth flagged despite 10% tolerance")
+	}
+	if got["counter/states"] {
+		t.Error("counter change flagged as regression")
+	}
+	// Regressions sort first.
+	if len(deltas) == 0 || !deltas[0].Regression {
+		t.Fatalf("first delta is not the regression: %+v", deltas)
+	}
+
+	cur.RuntimeNs["sweep_ns"] = 1200 // +20%: beyond tol
+	deltas, err = Compare(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Kind == "runtime" && d.Key == "sweep_ns" {
+			found = d.Regression
+		}
+	}
+	if !found {
+		t.Error("20% runtime growth not flagged under 10% tolerance")
+	}
+}
+
+func TestCompareCorpusMismatch(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Corpus.Seed = 2
+	if _, err := Compare(old, cur, 10); err == nil {
+		t.Fatal("Compare accepted mismatched corpora")
+	}
+}

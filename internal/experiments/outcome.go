@@ -71,8 +71,12 @@ func smallestFor(list []*device.Device, s *scheme.Scheme) (*device.Device, error
 }
 
 // EvaluateDesign runs the full §V procedure for one design against the
-// sweep catalog.
+// sweep catalog. When opts.Obs is set it maintains counters
+// experiments.designs, experiments.upsized, experiments.fallback_single
+// and experiments.smaller_than_modular, and timer experiments.evaluate.
 func EvaluateDesign(index int, d *design.Design, opts partition.Options) (*Outcome, error) {
+	stopEval := opts.Obs.Timer("experiments.evaluate").Time()
+	defer stopEval()
 	list := device.SweepCatalog()
 	out := &Outcome{Index: index, Name: d.Name}
 
@@ -120,12 +124,26 @@ func EvaluateDesign(index int, d *design.Design, opts partition.Options) (*Outco
 	if out.ModularDev != "" {
 		out.SmallerThanModular = devIndex(list, out.ProposedDev) < devIndex(list, out.ModularDev)
 	}
+	if o := opts.Obs; o != nil {
+		o.Counter("experiments.designs").Inc()
+		if out.Upsized {
+			o.Counter("experiments.upsized").Inc()
+		}
+		if out.FallbackSingle {
+			o.Counter("experiments.fallback_single").Inc()
+		}
+		if out.SmallerThanModular {
+			o.Counter("experiments.smaller_than_modular").Inc()
+		}
+	}
 	return out, nil
 }
 
 // Sweep evaluates a corpus in parallel, preserving input order. Workers
 // defaults to GOMAXPROCS when <= 0.
 func Sweep(designs []*design.Design, opts partition.Options, workers int) ([]*Outcome, error) {
+	stopSweep := opts.Obs.Timer("experiments.sweep").Time()
+	defer stopSweep()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

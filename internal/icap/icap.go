@@ -15,6 +15,7 @@ import (
 	"prpart/internal/bitstream"
 	"prpart/internal/device"
 	"prpart/internal/faults"
+	"prpart/internal/obs"
 )
 
 // ErrBadBitstream reports a malformed packet stream.
@@ -46,6 +47,42 @@ type Port struct {
 	storage *Storage
 	inj     *faults.Injector
 	windows map[int]Window
+	obs     portObs
+}
+
+// portObs holds the port's observability instruments, resolved once in
+// AttachObs. All fields are nil when observability is off, so the hot
+// path pays one branch per touch point (see internal/obs).
+type portObs struct {
+	o                            *obs.Obs
+	loads, bytes, frames, failed *obs.Counter
+	readbacks, verifyErrs        *obs.Counter
+	busy, stall, fault, recovery *obs.Timer
+}
+
+// AttachObs makes the port mirror its activity into the given
+// observability registry and emit one trace event per load outcome.
+// Counters: icap.loads, icap.bytes, icap.frames, icap.failed_loads;
+// timers: icap.busy, icap.stall (storage-bound time beyond the pure ICAP
+// transfer), icap.fault (time lost to failed loads). Nil detaches.
+func (p *Port) AttachObs(o *obs.Obs) {
+	if o == nil {
+		p.obs = portObs{}
+		return
+	}
+	p.obs = portObs{
+		o:          o,
+		loads:      o.Counter("icap.loads"),
+		bytes:      o.Counter("icap.bytes"),
+		frames:     o.Counter("icap.frames"),
+		failed:     o.Counter("icap.failed_loads"),
+		readbacks:  o.Counter("icap.readbacks"),
+		verifyErrs: o.Counter("icap.verify_errors"),
+		busy:       o.Timer("icap.busy"),
+		stall:      o.Timer("icap.stall"),
+		fault:      o.Timer("icap.fault"),
+		recovery:   o.Timer("icap.recovery"),
+	}
 }
 
 // Stats accumulates the port's activity.
@@ -133,7 +170,7 @@ func (p *Port) Load(bs *bitstream.Bitstream) (time.Duration, error) {
 	switch dec.Kind {
 	case faults.FetchFail:
 		d := p.fetchAbortTime()
-		p.fail(&p.stats.FetchErrors, d)
+		p.fail(&p.stats.FetchErrors, "fetch", d)
 		return d, fmt.Errorf("%w: injected storage fault", ErrFetch)
 	case faults.BitFlip:
 		if i := 6 + dec.Word; i < len(w) {
@@ -147,12 +184,12 @@ func (p *Port) Load(bs *bitstream.Bitstream) (time.Duration, error) {
 	}
 	if len(w) < 8 || w[0] != bitstream.DummyWord || w[1] != bitstream.SyncWord {
 		d := p.abortTime(len(w))
-		p.fail(&p.stats.FormatErrors, d)
+		p.fail(&p.stats.FormatErrors, "format", d)
 		return d, fmt.Errorf("%w: missing sync header", ErrBadBitstream)
 	}
 	if w[2] != bitstream.CmdWriteFAR {
 		d := p.abortTime(3)
-		p.fail(&p.stats.FormatErrors, d)
+		p.fail(&p.stats.FormatErrors, "format", d)
 		return d, fmt.Errorf("%w: expected FAR write", ErrBadBitstream)
 	}
 	far := bitstream.UnpackFAR(w[3])
@@ -160,44 +197,44 @@ func (p *Port) Load(bs *bitstream.Bitstream) (time.Duration, error) {
 		win, ok := p.windows[bs.Region]
 		if !ok || !win.contains(far) {
 			d := p.abortTime(4)
-			p.fail(&p.stats.RangeErrors, d)
+			p.fail(&p.stats.RangeErrors, "range", d)
 			return d, fmt.Errorf("%w: FAR (row %d, major %d) outside region %d placement",
 				ErrBadBitstream, far.Row, far.Major, bs.Region)
 		}
 	}
 	if w[4] != bitstream.CmdWriteFDRI {
 		d := p.abortTime(5)
-		p.fail(&p.stats.FormatErrors, d)
+		p.fail(&p.stats.FormatErrors, "format", d)
 		return d, fmt.Errorf("%w: expected FDRI write", ErrBadBitstream)
 	}
 	count := int(w[5] & 0x07FFFFFF)
 	if count%device.WordsPerFrame != 0 {
 		d := p.abortTime(6)
-		p.fail(&p.stats.FormatErrors, d)
+		p.fail(&p.stats.FormatErrors, "format", d)
 		return d, fmt.Errorf("%w: FDRI count %d not a whole number of frames", ErrBadBitstream, count)
 	}
 	if len(w) < 6+count+4 {
 		d := p.abortTime(len(w))
-		p.fail(&p.stats.FormatErrors, d)
+		p.fail(&p.stats.FormatErrors, "format", d)
 		return d, fmt.Errorf("%w: truncated payload", ErrBadBitstream)
 	}
 	payload := w[6 : 6+count]
 	rest := w[6+count:]
 	if rest[0] != bitstream.CmdWriteCRC {
 		d := p.abortTime(6 + count + 1)
-		p.fail(&p.stats.FormatErrors, d)
+		p.fail(&p.stats.FormatErrors, "format", d)
 		return d, fmt.Errorf("%w: expected CRC write", ErrBadBitstream)
 	}
 	if got := bitstream.Checksum(payload); got != rest[1] {
 		// The CRC register is checked only after the full transfer: the
 		// whole (possibly fetched) load is wasted.
 		d := p.LoadTime(bs)
-		p.fail(&p.stats.CRCErrors, d)
+		p.fail(&p.stats.CRCErrors, "crc", d)
 		return d, fmt.Errorf("%w: got %08x, want %08x", ErrCRC, got, rest[1])
 	}
 	if rest[2] != bitstream.CmdDesync || rest[3] != bitstream.DesyncValue {
 		d := p.abortTime(len(w))
-		p.fail(&p.stats.FormatErrors, d)
+		p.fail(&p.stats.FormatErrors, "format", d)
 		return d, fmt.Errorf("%w: missing desync", ErrBadBitstream)
 	}
 	frames := count / device.WordsPerFrame
@@ -211,15 +248,36 @@ func (p *Port) Load(bs *bitstream.Bitstream) (time.Duration, error) {
 	p.stats.Frames += frames
 	d := p.LoadTime(bs)
 	p.stats.Busy += d
+	p.obs.loads.Inc()
+	p.obs.bytes.Add(int64(len(w)) * 4)
+	p.obs.frames.Add(int64(frames))
+	p.obs.busy.Observe(d)
+	if p.obs.stall != nil {
+		// Stall: the part of the load the storage model kept the port
+		// waiting beyond the pure ICAP transfer.
+		if xfer := p.TransferTime(len(w)); d > xfer {
+			p.obs.stall.Observe(d - xfer)
+		}
+	}
+	if p.obs.o != nil {
+		p.obs.o.Emit("icap", "load",
+			obs.Int("region", int64(bs.Region)), obs.Int("frames", int64(frames)), obs.Dur("took", d))
+	}
 	return d, nil
 }
 
 // fail records a failed load of the given cause and duration.
-func (p *Port) fail(cause *int, d time.Duration) {
+func (p *Port) fail(cause *int, name string, d time.Duration) {
 	*cause++
 	p.stats.FailedLoads++
 	p.stats.FaultTime += d
 	p.stats.Busy += d
+	p.obs.failed.Inc()
+	p.obs.fault.Observe(d)
+	p.obs.busy.Observe(d)
+	if p.obs.o != nil {
+		p.obs.o.Emit("icap", "load.fail", obs.Str("cause", name), obs.Dur("took", d))
+	}
 }
 
 // abortTime is the port time consumed before a fault is detected n words

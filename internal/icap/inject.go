@@ -8,6 +8,7 @@ import (
 	"prpart/internal/device"
 	"prpart/internal/faults"
 	"prpart/internal/floorplan"
+	"prpart/internal/obs"
 )
 
 // AttachInjector makes subsequent Loads consult the injector for faults:
@@ -61,6 +62,9 @@ func (p *Port) Readback(far bitstream.FAR, n int) ([][]uint32, time.Duration) {
 	d := p.TransferTime(n * device.WordsPerFrame)
 	p.stats.Readbacks++
 	p.stats.Busy += d
+	p.obs.readbacks.Inc()
+	p.obs.busy.Observe(d)
+	p.obs.recovery.Observe(d)
 	return out, d
 }
 
@@ -79,6 +83,11 @@ func (p *Port) Verify(bs *bitstream.Bitstream) (time.Duration, error) {
 		want := payload[minor*device.WordsPerFrame : (minor+1)*device.WordsPerFrame]
 		if !wordsEqual(got, want) {
 			p.stats.VerifyErrors++
+			p.obs.verifyErrs.Inc()
+			if p.obs.o != nil {
+				p.obs.o.Emit("icap", "verify.fail",
+					obs.Str("bitstream", bs.Name), obs.Int("frame", int64(minor)))
+			}
 			return d, fmt.Errorf("%w: frame %d of %s", ErrVerify, minor, bs.Name)
 		}
 	}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// BenchmarkDisabledCounter measures the nil fast path an instrumented hot
+// loop pays when observability is off: a single nil check.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var o *Obs
+	c := o.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkDisabledTimer verifies the disabled timer never touches the
+// clock or allocates.
+func BenchmarkDisabledTimer(b *testing.B) {
+	var o *Obs
+	tm := o.Timer("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Time()()
+	}
+}
+
+// BenchmarkDisabledEmit measures dropped events on the nil Obs.
+func BenchmarkDisabledEmit(b *testing.B) {
+	var o *Obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Emit("scope", "name")
+	}
+}
+
+// BenchmarkEnabledCounter is the enabled counterpart, for the overhead
+// table in DESIGN.md §7.
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := New().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkEnabledTimer measures one observed interval per iteration.
+func BenchmarkEnabledTimer(b *testing.B) {
+	tm := New().Timer("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Observe(time.Nanosecond)
+	}
+}
+
+// BenchmarkEnabledEmit measures ring-buffer event emission (no sink).
+func BenchmarkEnabledEmit(b *testing.B) {
+	tr := NewTracer(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit("scope", "name", Int("i", int64(i)))
+	}
+}

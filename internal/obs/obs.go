@@ -1,0 +1,288 @@
+// Package obs is the repo's zero-dependency observability layer: typed
+// counters, max-gauges and timers behind a named registry, plus a
+// structured event tracer (ring buffer with an optional JSONL sink).
+//
+// Instrumentation is strictly passive — it never influences what the
+// search or the runtime simulator computes — and is near-free when
+// disabled: every instrument is nil-safe, so code holds a possibly-nil
+// *Counter/*Timer resolved once up front and the disabled path is a
+// single nil check per operation (no map lookup, no clock read, no
+// allocation). All instruments are safe for concurrent use and counters
+// only ever move forward, so observed values are monotonic even while a
+// parallel search is mid-flight.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer instrument. The nil
+// Counter is valid and ignores all updates.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (negative n is ignored, preserving
+// monotonicity).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge records the maximum value observed. The nil Gauge is valid and
+// ignores all updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Observe records v if it exceeds the current maximum.
+func (g *Gauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the maximum observed so far (0 for the nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates durations. The nil Timer is valid, ignores all
+// updates, and — through Time — avoids even reading the clock.
+type Timer struct{ ns, n atomic.Int64 }
+
+// Observe adds one measured duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d > 0 {
+		t.ns.Add(int64(d))
+	}
+	t.n.Add(1)
+}
+
+var nopStop = func() {}
+
+// Time starts a measurement and returns the function that stops it:
+//
+//	defer tm.Time()()
+//
+// On the nil Timer no clock is read and the returned stop is a shared
+// no-op, keeping the disabled path allocation-free.
+func (t *Timer) Time() (stop func()) {
+	if t == nil {
+		return nopStop
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Total returns the accumulated duration (0 for the nil Timer).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Count returns the number of observations (0 for the nil Timer).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// Obs is a registry of named instruments plus an optional event tracer.
+// The nil *Obs disables everything: instrument lookups return nil
+// instruments and Emit is a no-op, so a single nil propagates "off"
+// through an entire call tree.
+type Obs struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	tracer   *Tracer
+}
+
+// New returns an empty enabled registry with no tracer attached.
+func New() *Obs {
+	return &Obs{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (the disabled counter) when o is nil.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.counters[name]
+	if !ok {
+		c = &Counter{}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named max-gauge, creating it on first use.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g, ok := o.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (o *Obs) Timer(name string) *Timer {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.timers[name]
+	if !ok {
+		t = &Timer{}
+		o.timers[name] = t
+	}
+	return t
+}
+
+// SetTracer attaches an event tracer (nil detaches).
+func (o *Obs) SetTracer(t *Tracer) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.tracer = t
+	o.mu.Unlock()
+}
+
+// Tracer returns the attached tracer, or nil.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.tracer
+}
+
+// Emit forwards a structured event to the attached tracer, if any.
+func (o *Obs) Emit(scope, name string, attrs ...Attr) {
+	if o == nil {
+		return
+	}
+	o.Tracer().Emit(scope, name, attrs...)
+}
+
+// Snapshot is a point-in-time copy of every instrument's value.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Timers   map[string]TimerStat
+}
+
+// TimerStat is one timer's accumulated state.
+type TimerStat struct {
+	Total time.Duration
+	Count int64
+}
+
+// Snapshot copies all instrument values. The nil Obs yields empty maps.
+func (o *Obs) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Timers:   map[string]TimerStat{},
+	}
+	if o == nil {
+		return s
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for name, c := range o.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range o.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range o.timers {
+		s.Timers[name] = TimerStat{Total: t.Total(), Count: t.Count()}
+	}
+	return s
+}
+
+// Flat returns every instrument as name → integer value: counters and
+// gauges verbatim, timers as two entries (<name>_ns and <name>_count).
+// This is the shape the bench JSON and the -metrics dump share.
+func (s Snapshot) Flat() map[string]int64 {
+	out := make(map[string]int64, len(s.Counters)+len(s.Gauges)+2*len(s.Timers))
+	for name, v := range s.Counters {
+		out[name] = v
+	}
+	for name, v := range s.Gauges {
+		out[name] = v
+	}
+	for name, t := range s.Timers {
+		out[name+"_ns"] = int64(t.Total)
+		out[name+"_count"] = t.Count
+	}
+	return out
+}
+
+// WriteMetrics writes the snapshot as sorted "name value" lines — the
+// -metrics dump of the CLI tools.
+func (o *Obs) WriteMetrics(w io.Writer) error {
+	flat := o.Snapshot().Flat()
+	names := make([]string, 0, len(flat))
+	for name := range flat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, flat[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

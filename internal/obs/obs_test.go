@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var o *Obs
+	c := o.Counter("x")
+	g := o.Gauge("x")
+	tm := o.Timer("x")
+	if c != nil || g != nil || tm != nil {
+		t.Fatal("nil Obs must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Observe(7)
+	tm.Observe(time.Second)
+	tm.Time()()
+	o.Emit("scope", "name", Int("k", 1))
+	o.SetTracer(NewTracer(4))
+	if c.Value() != 0 || g.Value() != 0 || tm.Total() != 0 || tm.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	snap := o.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Timers) != 0 {
+		t.Fatal("nil Obs snapshot must be empty")
+	}
+	var tr *Tracer
+	tr.Emit("s", "n")
+	if tr.Events() != nil || tr.Total() != 0 || tr.Dropped() != 0 || tr.SinkErr() != nil {
+		t.Fatal("nil Tracer must read empty")
+	}
+}
+
+func TestCountersGaugesTimers(t *testing.T) {
+	o := New()
+	c := o.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if o.Counter("hits") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := o.Gauge("depth")
+	g.Observe(3)
+	g.Observe(9)
+	g.Observe(6)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge = %d, want max 9", got)
+	}
+	tm := o.Timer("phase")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(3 * time.Millisecond)
+	if tm.Total() != 5*time.Millisecond || tm.Count() != 2 {
+		t.Fatalf("timer = (%v, %d), want (5ms, 2)", tm.Total(), tm.Count())
+	}
+
+	snap := o.Snapshot()
+	if snap.Counters["hits"] != 5 || snap.Gauges["depth"] != 9 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+	flat := snap.Flat()
+	if flat["phase_ns"] != int64(5*time.Millisecond) || flat["phase_count"] != 2 {
+		t.Fatalf("flat timer entries wrong: %v", flat)
+	}
+
+	var b strings.Builder
+	if err := o.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"hits 5\n", "depth 9\n", "phase_count 2\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted output: depth < hits < phase*.
+	if strings.Index(out, "depth") > strings.Index(out, "hits") {
+		t.Errorf("metrics dump not sorted:\n%s", out)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	o := New()
+	c := o.Counter("n")
+	g := o.Gauge("max")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 7999 {
+		t.Fatalf("gauge = %d, want 7999", g.Value())
+	}
+}
+
+func TestTracerRingAndOrder(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit("test", "ev", Int("i", int64(i)))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for k, ev := range evs {
+		if want := uint64(6 + k); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first order)", k, ev.Seq, want)
+		}
+	}
+}
+
+func TestTracerJSONLSink(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(0)
+	tr.SetSink(&b)
+	tr.Emit("icap", "load", Int("frames", 42), Str("region", "prr1"), Dur("took", time.Microsecond))
+	tr.Emit("icap", "load", Int("frames", 7))
+	if err := tr.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	n := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v", n, err)
+		}
+		if ev.Scope != "icap" || ev.Name != "load" {
+			t.Fatalf("line %d decoded wrong: %+v", n, ev)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("sink holds %d lines, want 2", n)
+	}
+}
+
+func TestCLIFlagsDisabledIsNil(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	o, stop, err := f.Start(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Fatal("no flags set must yield a nil (disabled) Obs")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("disabled stop wrote output: %q", b.String())
+	}
+}
+
+func TestCLIFlagsTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.jsonl")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-trace", trace, "-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	o, stop, err := f.Start(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("enabled flags must yield a live Obs")
+	}
+	o.Counter("demo").Add(3)
+	o.Emit("demo", "event", Int("v", 1))
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "demo 3") {
+		t.Errorf("metrics dump missing counter:\n%s", b.String())
+	}
+	data := readFile(t, trace)
+	if !strings.Contains(data, `"scope":"demo"`) {
+		t.Errorf("trace file missing event: %q", data)
+	}
+}

@@ -1,0 +1,152 @@
+package partition_test
+
+import (
+	"errors"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/exact"
+	"prpart/internal/partition"
+	"prpart/internal/synthetic"
+)
+
+// smallDesigns filters a synthetic corpus down to designs the exhaustive
+// solver can enumerate: at most maxModules modules of at most maxModes
+// modes. The candidate-set size is still checked per design via
+// exact.ErrTooLarge.
+func smallDesigns(seed int64, n, maxModules, maxModes int) []*design.Design {
+	var out []*design.Design
+	for _, d := range synthetic.Generate(seed, n) {
+		if len(d.Modules) > maxModules {
+			continue
+		}
+		ok := true
+		for _, m := range d.Modules {
+			if len(m.Modes) > maxModes {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestDifferentialGreedyVsExact validates the greedy search against the
+// exhaustive ground truth on small designs. Both solvers are restricted
+// to the same search universe — groupings of the FIRST candidate
+// partition set (MaxCandidateSets: 1), which internal/exact enumerates
+// completely — so on every design the exact optimum is a lower bound on
+// the greedy total, and the test quantifies how often the greedy descent
+// actually reaches it.
+//
+// The greedy algorithm is a heuristic: the paper does not claim
+// optimality, and a bounded gap is the documented expectation. On this
+// corpus (seed 1, 400 designs filtered to 67 enumerable ones) the greedy
+// search reaches the exact optimum on 96% of designs; the outlier
+// (syn-0374-DSP-intensive, 55% above optimal) gets stuck in a local
+// minimum the pairwise merge/promote move set cannot escape — widening
+// the restart breadth (MaxFirstMoves) does not help. The test therefore
+// asserts (a) soundness, exact.Total <= greedy.Total always; (b) the
+// per-design gap stays under 60%, just above that documented worst
+// case; and (c) the greedy search matches the optimum on at least 80%
+// of the corpus, so a regression in the move set or cost model shows up
+// as a falling match rate long before tier-1 tests notice.
+func TestDifferentialGreedyVsExact(t *testing.T) {
+	const (
+		seed       = 1
+		corpus     = 400
+		maxModules = 4
+		maxModes   = 3
+		minTested  = 20
+	)
+	designs := smallDesigns(seed, corpus, maxModules, maxModes)
+	if len(designs) < minTested {
+		t.Fatalf("corpus filter too strict: %d small designs (need >= %d)", len(designs), minTested)
+	}
+
+	tested, matches, tooLarge, infeasible := 0, 0, 0, 0
+	var worstGap float64
+	worstName := ""
+	for _, d := range designs {
+		budget := partition.Modular(d).TotalResources()
+		ex, err := exact.Solve(d, exact.Options{Budget: budget})
+		switch {
+		case errors.Is(err, exact.ErrTooLarge):
+			tooLarge++
+			continue
+		case errors.Is(err, exact.ErrNoScheme):
+			// The modular budget always admits at least the one-part-per-
+			// region grouping of the first set, so this cannot happen.
+			t.Errorf("%s: exact found no scheme under the modular budget", d.Name)
+			continue
+		case err != nil:
+			t.Fatalf("%s: exact.Solve: %v", d.Name, err)
+		}
+
+		gr, err := partition.Solve(d, partition.Options{
+			Budget:           budget,
+			MaxCandidateSets: 1, // same universe as the exhaustive solver
+		})
+		if errors.Is(err, partition.ErrNoScheme) || errors.Is(err, partition.ErrInfeasible) {
+			infeasible++
+			t.Errorf("%s: greedy found no scheme but exact did (total %d)",
+				d.Name, ex.Summary.Total)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: partition.Solve: %v", d.Name, err)
+		}
+
+		tested++
+		if gr.Summary.Total < ex.Summary.Total {
+			t.Errorf("%s: greedy total %d beats the exhaustive optimum %d — exact enumeration is broken",
+				d.Name, gr.Summary.Total, ex.Summary.Total)
+			continue
+		}
+		if gr.Summary.Total == ex.Summary.Total {
+			matches++
+			continue
+		}
+		gap := float64(gr.Summary.Total-ex.Summary.Total) / float64(ex.Summary.Total)
+		if gap > worstGap {
+			worstGap, worstName = gap, d.Name
+		}
+		if gap > 0.60 {
+			t.Errorf("%s: greedy total %d vs optimum %d: gap %.1f%% exceeds the documented 60%% bound",
+				d.Name, gr.Summary.Total, ex.Summary.Total, 100*gap)
+		}
+	}
+
+	t.Logf("differential: %d tested (%d too large for enumeration, %d greedy-infeasible), %d exact matches (%.0f%%), worst gap %.1f%% (%s)",
+		tested, tooLarge, infeasible, matches,
+		100*float64(matches)/float64(tested), 100*worstGap, worstName)
+	if tested < minTested {
+		t.Fatalf("only %d designs tested (need >= %d); loosen the corpus filter", tested, minTested)
+	}
+	if matches*5 < tested*4 {
+		t.Errorf("greedy matched the optimum on only %d/%d designs (< 80%%)", matches, tested)
+	}
+}
+
+// TestDifferentialWorkedExample pins the worked example of the paper's
+// §IV: the full greedy pipeline must land exactly on the exhaustive
+// optimum for the design the algorithm was constructed around.
+func TestDifferentialWorkedExample(t *testing.T) {
+	d := design.PaperExample()
+	budget := partition.Modular(d).TotalResources()
+	ex, err := exact.Solve(d, exact.Options{Budget: budget})
+	if err != nil {
+		t.Fatalf("exact.Solve: %v", err)
+	}
+	gr, err := partition.Solve(d, partition.Options{Budget: budget})
+	if err != nil {
+		t.Fatalf("partition.Solve: %v", err)
+	}
+	if gr.Summary.Total != ex.Summary.Total {
+		t.Errorf("worked example: greedy total %d, exhaustive optimum %d",
+			gr.Summary.Total, ex.Summary.Total)
+	}
+}

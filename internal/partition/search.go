@@ -13,6 +13,7 @@ import (
 	"prpart/internal/cover"
 	"prpart/internal/design"
 	"prpart/internal/modeset"
+	"prpart/internal/obs"
 	"prpart/internal/resource"
 	"prpart/internal/scheme"
 )
@@ -61,6 +62,11 @@ type Options struct {
 	// partitions first) — ablation A5, showing the value of the paper's
 	// ascending ordering.
 	CoverDescending bool
+	// Obs, when non-nil, receives the search's counters, phase timers and
+	// trace events (see internal/obs). Instrumentation is passive: it
+	// never changes which scheme the search returns, and the nil default
+	// costs one predictable branch per touch point.
+	Obs *obs.Obs
 	// TransitionWeights optionally weights configuration pairs in the
 	// search objective — the transition-probability extension the
 	// paper's §V closing remarks anticipate. Entry [i][j] scales the
@@ -179,16 +185,19 @@ func solveOnce(d *design.Design, opts Options) (*Result, error) {
 			}
 		}
 	}
+	stopCluster := opts.Obs.Timer("partition.phase.cluster").Time()
 	m := connmat.New(d)
 
 	// Feasibility pre-check (§IV-C): the minimum possible area is the
 	// largest configuration in a single region.
 	if !SingleRegion(d).FitsIn(opts.Budget) {
+		stopCluster()
 		return nil, ErrInfeasible
 	}
 
 	parts, err := cluster.BasePartitions(m)
 	if err != nil {
+		stopCluster()
 		return nil, err
 	}
 	ordered := cover.Order(parts)
@@ -204,6 +213,10 @@ func solveOnce(d *design.Design, opts Options) (*Result, error) {
 	if opts.GreedyOnly && len(sets) > 1 {
 		sets = sets[:1]
 	}
+	stopCluster()
+	opts.Obs.Counter("partition.candidate_sets").Add(int64(len(sets)))
+	opts.Obs.Emit("partition", "search.start",
+		obs.Str("design", d.Name), obs.Int("candidate_sets", int64(len(sets))))
 
 	snaps := make([]*snapshot, len(sets))
 	counts := make([]int, len(sets))
@@ -211,18 +224,26 @@ func solveOnce(d *design.Design, opts Options) (*Result, error) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	stopSearch := opts.Obs.Timer("partition.phase.search").Time()
+	busy := opts.Obs.Timer("partition.worker_busy")
 	if workers <= 1 || len(sets) <= 1 {
+		opts.Obs.Gauge("partition.workers").Observe(1)
+		stopBusy := busy.Time()
 		for i, cs := range sets {
 			s := newSearcher(d, m, cs, opts)
 			snaps[i], counts[i] = s.run()
 		}
+		stopBusy()
 	} else {
+		opts.Obs.Gauge("partition.workers").Observe(int64(workers))
 		var wg sync.WaitGroup
 		jobs := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				stopBusy := busy.Time()
+				defer stopBusy()
 				for i := range jobs {
 					s := newSearcher(d, m, sets[i], opts)
 					snaps[i], counts[i] = s.run()
@@ -235,6 +256,7 @@ func solveOnce(d *design.Design, opts Options) (*Result, error) {
 		close(jobs)
 		wg.Wait()
 	}
+	stopSearch()
 	var best *snapshot
 	states := 0
 	for i, snap := range snaps {
@@ -243,9 +265,16 @@ func solveOnce(d *design.Design, opts Options) (*Result, error) {
 			best = snap
 		}
 	}
+	opts.Obs.Counter("partition.states").Add(int64(states))
 	if best == nil {
+		opts.Obs.Emit("partition", "search.done",
+			obs.Str("design", d.Name), obs.Int("states", int64(states)),
+			obs.Str("result", "no-scheme"))
 		return nil, ErrNoScheme
 	}
+	opts.Obs.Emit("partition", "search.done",
+		obs.Str("design", d.Name), obs.Int("states", int64(states)),
+		obs.Int("best_cost", best.cost), obs.Int("regions", int64(len(best.st.groups))))
 	sch, err := best.scheme("proposed")
 	if err != nil {
 		return nil, err
@@ -297,6 +326,11 @@ type searcher struct {
 	partAct []int             // per part: number of configs activating it
 	// weights[i][j] is the scaled symmetric pair weight (nil = uniform).
 	weights [][]int64
+
+	// Observability instruments, resolved once per searcher; all nil when
+	// Options.Obs is nil, making every update a single branch.
+	cMoves, cRejects, cDescents *obs.Counter
+	gDepth                      *obs.Gauge
 }
 
 // weightScale converts float transition weights into integer cost units.
@@ -322,6 +356,10 @@ func checkWeights(w [][]float64, n int) error {
 
 func newSearcher(d *design.Design, m *connmat.Matrix, cs *cover.CandidateSet, opts Options) *searcher {
 	s := &searcher{d: d, cs: cs, opts: opts}
+	s.cMoves = opts.Obs.Counter("partition.moves_evaluated")
+	s.cRejects = opts.Obs.Counter("partition.moves_rejected")
+	s.cDescents = opts.Obs.Counter("partition.descents")
+	s.gDepth = opts.Obs.Gauge("partition.descent_depth_max")
 	sets := make([]modeset.Set, len(cs.Parts))
 	for i, p := range cs.Parts {
 		sets[i] = p.Set

@@ -530,12 +530,16 @@ func (s *searcher) moduleGrouped() *state {
 // cost-improving moves — in practice static promotions — until none
 // remain.
 func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record func(*state)) {
+	s.cDescents.Inc()
+	depth := 0
+	defer func() { s.gDepth.Observe(int64(depth)) }()
 	cur := st.clone()
 	for {
 		moves := s.legalMoves(cur, allowStatic, allowTransfers)
 		if len(moves) == 0 {
 			return
 		}
+		s.cMoves.Add(int64(len(moves)))
 		curArea := cur.totalArea()
 		curViol := s.violation(curArea)
 		bestIdx := -1
@@ -548,9 +552,11 @@ func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record fu
 				// static promotions.
 				v := s.violation(area)
 				if v > 0 {
+					s.cRejects.Inc()
 					continue
 				}
 				if d > 0 || (d == 0 && area.Total() >= curArea.Total()) {
+					s.cRejects.Inc()
 					continue
 				}
 				saved := int64(curArea.Total() - area.Total())
@@ -561,6 +567,7 @@ func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record fu
 				v := s.violation(area)
 				saved := curViol - v
 				if saved <= 0 {
+					s.cRejects.Inc()
 					continue
 				}
 				// Lower dCost per violation removed wins; cross-multiply
@@ -575,6 +582,7 @@ func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record fu
 			return
 		}
 		cur = s.apply(cur, moves[bestIdx])
+		depth++
 		record(cur)
 	}
 }

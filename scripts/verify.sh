@@ -6,11 +6,13 @@
 #
 # Tier 1  go build + go test             — must always pass (ROADMAP gate)
 # Tier 2  go vet + go test -race         — static checks and race detection
-# Tier 3  go test -run Fault -count=5    — re-runs every fault-injection
-#         test five times over the packages that consume the seeded
-#         injector, so injection stays seed-stable: any hidden source of
-#         nondeterminism (map order, shared RNG, time dependence) shows
-#         up as a flaky -count run.
+# Tier 3  go test -run 'Fault|Differential|Determinism' -count=5
+#         — re-runs the seeded fault-injection tests, the differential
+#         greedy-vs-exact validation and the parallel-search determinism
+#         tests five times over the packages that depend on seed
+#         stability, so any hidden source of nondeterminism (map order,
+#         shared RNG, time dependence, scheduling) shows up as a flaky
+#         -count run.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -23,8 +25,9 @@ if [ "$1" = "all" ]; then
 	go vet ./...
 	go test -race ./...
 
-	echo "== tier 3: fault-injection determinism (x5) =="
-	go test -run Fault -count=5 ./internal/faults/ ./internal/icap/ ./internal/adaptive/ ./cmd/prsim/
+	echo "== tier 3: fault-injection, differential and determinism re-runs (x5) =="
+	go test -run 'Fault|Differential|Determinism' -count=5 \
+		./internal/faults/ ./internal/icap/ ./internal/adaptive/ ./cmd/prsim/ ./internal/partition/
 fi
 
 echo "verify: OK"
