@@ -12,7 +12,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,8 +23,8 @@ import (
 	"prpart/internal/design"
 	"prpart/internal/device"
 	"prpart/internal/obs"
-	"prpart/internal/partition"
 	"prpart/internal/resource"
+	"prpart/internal/serve"
 	"prpart/internal/spec"
 )
 
@@ -47,6 +46,7 @@ func run(args []string, out io.Writer) (err error) {
 	devices := fs.String("devices", "", "custom device library (JSON, see internal/device.LoadLibrary)")
 	pin := fs.String("pin", "", "comma-separated Module.Mode names to pin into static logic")
 	explain := fs.Bool("explain", false, "print the search moves that produced the scheme")
+	keyOnly := fs.Bool("key", false, "print the content-addressed solve key (as prpartd computes it) and exit")
 	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,26 +68,24 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{
-		Device:      con.Device,
-		Budget:      con.Budget,
-		ClockMHz:    con.ClockMHz,
-		SkipBackend: true,
-		Partition: partition.Options{
-			NoStatic:   *noStatic,
-			GreedyOnly: *greedy,
-			Obs:        o,
-		},
+	// The canonical request: shared with prpartd so the CLI and the
+	// daemon derive identical cache keys and result bytes.
+	sspec := &serve.SolveSpec{
+		Design:   d,
+		Device:   con.Device,
+		Budget:   con.Budget,
+		NoStatic: *noStatic,
+		Greedy:   *greedy,
 	}
 	if *dev != "" {
-		opts.Device = *dev
+		sspec.Device = *dev
 	}
 	if *budget != "" {
 		v, err := parseBudget(*budget)
 		if err != nil {
 			return err
 		}
-		opts.Budget = v
+		sspec.Budget = v
 	}
 	if *pin != "" {
 		for _, name := range strings.Split(*pin, ",") {
@@ -95,9 +93,19 @@ func run(args []string, out io.Writer) (err error) {
 			if err != nil {
 				return err
 			}
-			opts.Partition.PinnedStatic = append(opts.Partition.PinnedStatic, r)
+			sspec.Pinned = append(sspec.Pinned, r)
 		}
 	}
+	if *keyOnly {
+		key, err := sspec.Key()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out, key)
+		return err
+	}
+	opts := sspec.CoreOptions(0, o)
+	opts.ClockMHz = con.ClockMHz
 	if *devices != "" {
 		f, err := os.Open(*devices)
 		if err != nil {
@@ -114,7 +122,7 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	if *asJSON {
-		return emitJSON(out, res)
+		return serve.WriteResult(out, serve.BuildResult(res, res.Plan))
 	}
 	if _, err := fmt.Fprint(out, res.Report()); err != nil {
 		return err
@@ -156,42 +164,3 @@ func parseBudget(s string) (resource.Vector, error) {
 	return resource.New(clb, bram, dsp), nil
 }
 
-type jsonOut struct {
-	Device    string         `json:"device"`
-	Total     int            `json:"totalFrames"`
-	Worst     int            `json:"worstFrames"`
-	Regions   []jsonRegion   `json:"regions"`
-	Static    []string       `json:"static,omitempty"`
-	Baselines map[string]int `json:"baselineTotals"`
-}
-
-type jsonRegion struct {
-	Frames int      `json:"frames"`
-	Parts  []string `json:"parts"`
-}
-
-func emitJSON(out io.Writer, res *core.Result) error {
-	jo := jsonOut{
-		Device:    res.Device.Name,
-		Total:     res.Summary.Total,
-		Worst:     res.Summary.Worst,
-		Baselines: map[string]int{},
-	}
-	for name, sum := range res.Baselines {
-		jo.Baselines[name] = sum.Total
-	}
-	for i := range res.Scheme.Regions {
-		reg := &res.Scheme.Regions[i]
-		jr := jsonRegion{Frames: reg.Frames()}
-		for _, p := range reg.Parts {
-			jr.Parts = append(jr.Parts, p.Label(res.Design))
-		}
-		jo.Regions = append(jo.Regions, jr)
-	}
-	for _, p := range res.Scheme.Static {
-		jo.Static = append(jo.Static, p.Label(res.Design))
-	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(jo)
-}

@@ -9,6 +9,7 @@ import (
 
 	"prpart/internal/design"
 	"prpart/internal/resource"
+	"prpart/internal/serve"
 	"prpart/internal/spec"
 )
 
@@ -76,7 +77,7 @@ func TestRunJSONOutput(t *testing.T) {
 	if err := run([]string{"-in", path, "-json"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	var jo jsonOut
+	var jo serve.ResultJSON
 	if err := json.Unmarshal([]byte(out.String()), &jo); err != nil {
 		t.Fatalf("not valid JSON: %v\n%s", err, out.String())
 	}

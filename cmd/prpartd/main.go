@@ -1,0 +1,129 @@
+// Command prpartd serves the automated partitioning algorithm over
+// HTTP: a long-running daemon with a bounded solve pool, a
+// content-addressed result cache, request coalescing, per-request
+// deadlines and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	prpartd [-addr 127.0.0.1:8377] [-workers N] [-queue N] [-cache N]
+//	        [-timeout 30s] [-solve-workers N] [-devices lib.json]
+//
+// Endpoints:
+//
+//	POST /v1/solve   solve a design (JSON envelope, see internal/serve)
+//	GET  /healthz    liveness + queue/cache state
+//	GET  /metrics    obs instrument dump (text)
+//	GET  /debug/vars obs instrument dump (JSON)
+//
+// A 200 response body is byte-identical to `prpart -json` on the same
+// input, and X-Solve-Key matches `prpart -key`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prpart/internal/device"
+	"prpart/internal/obs"
+	"prpart/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prpartd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("prpartd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8377", "listen address (port 0 picks an ephemeral port)")
+	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max queued solves before 429 (0 = 4x workers)")
+	cacheN := fs.Int("cache", 0, "solve cache entries (0 = default 256, negative disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request solve deadline (0 = none)")
+	solveWorkers := fs.Int("solve-workers", 0, "search parallelism inside one solve (0 = serial)")
+	devices := fs.String("devices", "", "custom device library (JSON, see internal/device.LoadLibrary)")
+	drain := fs.Duration("drain", 30*time.Second, "max time to drain in-flight solves on shutdown")
+	ofl := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o, stopObs, err := ofl.Start(out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stopObs(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+	if o == nil {
+		// The daemon always keeps a registry: /metrics and /debug/vars
+		// serve it even when no CLI observability was requested.
+		o = obs.New()
+	}
+	cfg := serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		DefaultTimeout: *timeout,
+		SolveWorkers:   *solveWorkers,
+		Obs:            o,
+	}
+	if *devices != "" {
+		f, err := os.Open(*devices)
+		if err != nil {
+			return err
+		}
+		cfg.Library, err = device.LoadLibrary(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "prpartd: listening on %s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(out, "prpartd: draining")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Refuse new solves first, let admitted ones finish, then close
+		// the listener and remaining keep-alive connections.
+		derr := srv.Shutdown(dctx)
+		if derr != nil {
+			// Drain deadline hit: abort the stragglers.
+			srv.Close()
+		}
+		if herr := httpSrv.Shutdown(dctx); herr != nil && derr == nil {
+			derr = herr
+		}
+		done <- derr
+	}()
+	err = httpSrv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	err = <-done
+	fmt.Fprintln(out, "prpartd: stopped")
+	return err
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prpart/internal/design"
+)
+
+// syncWriter captures daemon output from the run goroutine.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// bootDaemon starts run on an ephemeral port and returns the base URL,
+// the captured output, and a stop function that shuts the daemon down
+// and returns run's error.
+func bootDaemon(t *testing.T, args []string) (string, *syncWriter, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncWriter{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			cancel()
+			t.Fatalf("daemon exited before listening: %v\noutput: %s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop := func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not stop")
+			return nil
+		}
+	}
+	return "http://" + addr, out, stop
+}
+
+func caseStudyBody(t *testing.T) []byte {
+	t.Helper()
+	var db bytes.Buffer
+	if err := design.EncodeJSON(&db, design.VideoReceiver()); err != nil {
+		t.Fatal(err)
+	}
+	b := design.CaseStudyBudget()
+	return []byte(fmt.Sprintf(
+		`{"design": %s, "options": {"device": "FX70T", "budget": {"clb": %d, "bram": %d, "dsp": %d}}}`,
+		db.String(), b.CLB, b.BRAM, b.DSP))
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	base, out, stop := bootDaemon(t, nil)
+
+	body := caseStudyBody(t)
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	resp1, body1 := post()
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first solve: status %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first solve X-Cache = %q, want miss", got)
+	}
+	if !strings.HasPrefix(resp1.Header.Get("X-Solve-Key"), "sha256:") {
+		t.Errorf("X-Solve-Key = %q", resp1.Header.Get("X-Solve-Key"))
+	}
+	var jo struct {
+		Device string `json:"device"`
+		Total  int    `json:"totalFrames"`
+	}
+	if err := json.Unmarshal(body1, &jo); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, body1)
+	}
+	if jo.Device != "XC5VFX70T" || jo.Total == 0 {
+		t.Errorf("case study solved wrong: %+v", jo)
+	}
+
+	resp2, body2 := post()
+	if resp2.StatusCode != 200 || resp2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("second solve: status %d, X-Cache %q, want 200/hit",
+			resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cached response differs from first response")
+	}
+
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		Cache  struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(hb, &health); err != nil || health.Status != "ok" || health.Cache.Hits != 1 {
+		t.Errorf("healthz = %s (err %v), want status ok with 1 cache hit", hb, err)
+	}
+
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{"serve.solves 1", "serve.cache_hits 1", "serve.requests 2"} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, mb)
+		}
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("daemon shutdown: %v", err)
+	}
+	for _, want := range []string{"prpartd: draining", "prpartd: stopped"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDaemonRejectsAfterShutdown(t *testing.T) {
+	base, _, stop := bootDaemon(t, nil)
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-devices", "/nonexistent.json"}, io.Discard); err == nil {
+		t.Error("missing device library accepted")
+	}
+	if err := run(ctx, []string{"-addr", "256.256.256.256:1"}, io.Discard); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+	if err := run(ctx, []string{"-bogus"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

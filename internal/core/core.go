@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -75,6 +76,17 @@ type Result struct {
 
 // Run executes the flow for a design.
 func Run(d *design.Design, opts Options) (*Result, error) {
+	return RunContext(context.Background(), d, opts)
+}
+
+// RunContext is Run with cancellation: the context is passed down into
+// the partitioning search (see partition.SolveContext) and additionally
+// checked between device-escalation attempts, so a cancelled request
+// stops before trying the next larger device.
+func RunContext(ctx context.Context, d *design.Design, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid design: %w", err)
 	}
@@ -106,13 +118,19 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 
 	var lastErr error
 	for _, dev := range candidates {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("core: cancelled: %w", err)
+			}
+			break
+		}
 		budget := opts.Budget
 		if budget.IsZero() {
 			budget = dev.Capacity
 		}
 		popts := opts.Partition
 		popts.Budget = budget
-		res, err := partition.Solve(d, popts)
+		res, err := partition.SolveContext(ctx, d, popts)
 		if err != nil {
 			lastErr = fmt.Errorf("core: %s: %w", dev.Name, err)
 			continue

@@ -73,6 +73,51 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// Level tracks a quantity that moves both ways — queue depth, in-flight
+// requests — recording the current value and its maximum watermark. The
+// nil Level is valid and ignores all updates.
+type Level struct{ cur, max atomic.Int64 }
+
+// Add moves the level by delta (negative to decrease) and returns the
+// new current value. The watermark follows increases.
+func (l *Level) Add(delta int64) int64 {
+	if l == nil {
+		return 0
+	}
+	v := l.cur.Add(delta)
+	if delta > 0 {
+		for {
+			m := l.max.Load()
+			if v <= m || l.max.CompareAndSwap(m, v) {
+				break
+			}
+		}
+	}
+	return v
+}
+
+// Inc raises the level by one.
+func (l *Level) Inc() { l.Add(1) }
+
+// Dec lowers the level by one.
+func (l *Level) Dec() { l.Add(-1) }
+
+// Value returns the current level (0 for the nil Level).
+func (l *Level) Value() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.cur.Load()
+}
+
+// Max returns the highest level observed (0 for the nil Level).
+func (l *Level) Max() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.max.Load()
+}
+
 // Timer accumulates durations. The nil Timer is valid, ignores all
 // updates, and — through Time — avoids even reading the clock.
 type Timer struct{ ns, n atomic.Int64 }
@@ -128,6 +173,7 @@ type Obs struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	levels   map[string]*Level
 	timers   map[string]*Timer
 	tracer   *Tracer
 }
@@ -137,6 +183,7 @@ func New() *Obs {
 	return &Obs{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		levels:   map[string]*Level{},
 		timers:   map[string]*Timer{},
 	}
 }
@@ -170,6 +217,21 @@ func (o *Obs) Gauge(name string) *Gauge {
 		o.gauges[name] = g
 	}
 	return g
+}
+
+// Level returns the named up/down level, creating it on first use.
+func (o *Obs) Level(name string) *Level {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	l, ok := o.levels[name]
+	if !ok {
+		l = &Level{}
+		o.levels[name] = l
+	}
+	return l
 }
 
 // Timer returns the named timer, creating it on first use.
@@ -219,6 +281,7 @@ func (o *Obs) Emit(scope, name string, attrs ...Attr) {
 type Snapshot struct {
 	Counters map[string]int64
 	Gauges   map[string]int64
+	Levels   map[string]LevelStat
 	Timers   map[string]TimerStat
 }
 
@@ -228,11 +291,18 @@ type TimerStat struct {
 	Count int64
 }
 
+// LevelStat is one level's current value and watermark.
+type LevelStat struct {
+	Current int64
+	Max     int64
+}
+
 // Snapshot copies all instrument values. The nil Obs yields empty maps.
 func (o *Obs) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters: map[string]int64{},
 		Gauges:   map[string]int64{},
+		Levels:   map[string]LevelStat{},
 		Timers:   map[string]TimerStat{},
 	}
 	if o == nil {
@@ -246,6 +316,9 @@ func (o *Obs) Snapshot() Snapshot {
 	for name, g := range o.gauges {
 		s.Gauges[name] = g.Value()
 	}
+	for name, l := range o.levels {
+		s.Levels[name] = LevelStat{Current: l.Value(), Max: l.Max()}
+	}
 	for name, t := range o.timers {
 		s.Timers[name] = TimerStat{Total: t.Total(), Count: t.Count()}
 	}
@@ -253,15 +326,20 @@ func (o *Obs) Snapshot() Snapshot {
 }
 
 // Flat returns every instrument as name → integer value: counters and
-// gauges verbatim, timers as two entries (<name>_ns and <name>_count).
-// This is the shape the bench JSON and the -metrics dump share.
+// gauges verbatim, levels as two entries (<name> and <name>_max), timers
+// as two entries (<name>_ns and <name>_count). This is the shape the
+// bench JSON and the -metrics dump share.
 func (s Snapshot) Flat() map[string]int64 {
-	out := make(map[string]int64, len(s.Counters)+len(s.Gauges)+2*len(s.Timers))
+	out := make(map[string]int64, len(s.Counters)+len(s.Gauges)+2*len(s.Levels)+2*len(s.Timers))
 	for name, v := range s.Counters {
 		out[name] = v
 	}
 	for name, v := range s.Gauges {
 		out[name] = v
+	}
+	for name, l := range s.Levels {
+		out[name] = l.Current
+		out[name+"_max"] = l.Max
 	}
 	for name, t := range s.Timers {
 		out[name+"_ns"] = int64(t.Total)

@@ -15,22 +15,29 @@ func TestNilInstrumentsAreSafe(t *testing.T) {
 	var o *Obs
 	c := o.Counter("x")
 	g := o.Gauge("x")
+	l := o.Level("x")
 	tm := o.Timer("x")
-	if c != nil || g != nil || tm != nil {
+	if c != nil || g != nil || l != nil || tm != nil {
 		t.Fatal("nil Obs must hand out nil instruments")
 	}
 	c.Inc()
 	c.Add(5)
 	g.Observe(7)
+	l.Inc()
+	l.Dec()
+	if l.Add(3) != 0 {
+		t.Fatal("nil Level Add must return 0")
+	}
 	tm.Observe(time.Second)
 	tm.Time()()
 	o.Emit("scope", "name", Int("k", 1))
 	o.SetTracer(NewTracer(4))
-	if c.Value() != 0 || g.Value() != 0 || tm.Total() != 0 || tm.Count() != 0 {
+	if c.Value() != 0 || g.Value() != 0 || l.Value() != 0 || l.Max() != 0 ||
+		tm.Total() != 0 || tm.Count() != 0 {
 		t.Fatal("nil instruments must read zero")
 	}
 	snap := o.Snapshot()
-	if len(snap.Counters)+len(snap.Gauges)+len(snap.Timers) != 0 {
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Levels)+len(snap.Timers) != 0 {
 		t.Fatal("nil Obs snapshot must be empty")
 	}
 	var tr *Tracer
@@ -88,6 +95,68 @@ func TestCountersGaugesTimers(t *testing.T) {
 	// Sorted output: depth < hits < phase*.
 	if strings.Index(out, "depth") > strings.Index(out, "hits") {
 		t.Errorf("metrics dump not sorted:\n%s", out)
+	}
+}
+
+func TestLevel(t *testing.T) {
+	o := New()
+	l := o.Level("inflight")
+	if o.Level("inflight") != l {
+		t.Fatal("same name must return the same level")
+	}
+	l.Inc()
+	l.Inc()
+	l.Inc()
+	l.Dec()
+	if l.Value() != 2 || l.Max() != 3 {
+		t.Fatalf("level = (%d, max %d), want (2, 3)", l.Value(), l.Max())
+	}
+	if got := l.Add(-5); got != -3 {
+		t.Fatalf("Add(-5) returned %d, want -3", got)
+	}
+	if l.Max() != 3 {
+		t.Fatalf("watermark moved on decrease: %d", l.Max())
+	}
+
+	snap := o.Snapshot()
+	if st := snap.Levels["inflight"]; st.Current != -3 || st.Max != 3 {
+		t.Fatalf("snapshot level = %+v, want {-3 3}", st)
+	}
+	flat := snap.Flat()
+	if flat["inflight"] != -3 || flat["inflight_max"] != 3 {
+		t.Fatalf("flat level entries wrong: %v", flat)
+	}
+	var b strings.Builder
+	if err := o.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"inflight -3\n", "inflight_max 3\n"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestLevelConcurrent(t *testing.T) {
+	o := New()
+	l := o.Level("depth")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Inc()
+				l.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Value() != 0 {
+		t.Fatalf("level = %d after balanced inc/dec, want 0", l.Value())
+	}
+	if l.Max() < 1 || l.Max() > 8 {
+		t.Fatalf("watermark = %d, want within [1, 8]", l.Max())
 	}
 }
 

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -129,6 +130,18 @@ type Result struct {
 // returned — greedy guidance under a skewed objective can land in a worse
 // basin, and the uniform descent is a cheap strong candidate.
 func Solve(d *design.Design, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), d, opts)
+}
+
+// SolveContext is Solve with cancellation: the context is checked at
+// candidate-set boundaries, so a cancelled or expired context stops the
+// search between set explorations and returns the context's error. A
+// run that completes returns exactly what Solve would — cancellation
+// never changes a successful result, only whether one is produced.
+func SolveContext(ctx context.Context, d *design.Design, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if w := opts.TransitionWeights; w != nil {
 		if err := d.Validate(); err != nil {
 			return nil, fmt.Errorf("partition: invalid design: %w", err)
@@ -136,10 +149,13 @@ func Solve(d *design.Design, opts Options) (*Result, error) {
 		if err := checkWeights(w, len(d.Configurations)); err != nil {
 			return nil, err
 		}
-		weighted, werr := solveOnce(d, opts)
+		weighted, werr := solveOnce(ctx, d, opts)
+		if werr != nil && ctx.Err() != nil {
+			return nil, werr
+		}
 		plain := opts
 		plain.TransitionWeights = nil
-		uniform, uerr := solveOnce(d, plain)
+		uniform, uerr := solveOnce(ctx, d, plain)
 		switch {
 		case werr != nil && uerr != nil:
 			return nil, werr
@@ -163,11 +179,11 @@ func Solve(d *design.Design, opts Options) (*Result, error) {
 		weighted.States += uniform.States
 		return weighted, nil
 	}
-	return solveOnce(d, opts)
+	return solveOnce(ctx, d, opts)
 }
 
 // solveOnce is one search run under a single objective.
-func solveOnce(d *design.Design, opts Options) (*Result, error) {
+func solveOnce(ctx context.Context, d *design.Design, opts Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("partition: invalid design: %w", err)
 	}
@@ -230,6 +246,9 @@ func solveOnce(d *design.Design, opts Options) (*Result, error) {
 		opts.Obs.Gauge("partition.workers").Observe(1)
 		stopBusy := busy.Time()
 		for i, cs := range sets {
+			if ctx.Err() != nil {
+				break
+			}
 			s := newSearcher(d, m, cs, opts)
 			snaps[i], counts[i] = s.run()
 		}
@@ -245,6 +264,9 @@ func solveOnce(d *design.Design, opts Options) (*Result, error) {
 				stopBusy := busy.Time()
 				defer stopBusy()
 				for i := range jobs {
+					if ctx.Err() != nil {
+						continue // drain without searching
+					}
 					s := newSearcher(d, m, sets[i], opts)
 					snaps[i], counts[i] = s.run()
 				}
@@ -257,6 +279,11 @@ func solveOnce(d *design.Design, opts Options) (*Result, error) {
 		wg.Wait()
 	}
 	stopSearch()
+	if err := ctx.Err(); err != nil {
+		opts.Obs.Emit("partition", "search.cancelled",
+			obs.Str("design", d.Name), obs.Str("cause", err.Error()))
+		return nil, fmt.Errorf("partition: search cancelled: %w", err)
+	}
 	var best *snapshot
 	states := 0
 	for i, snap := range snaps {

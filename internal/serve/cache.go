@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"prpart/internal/obs"
+)
+
+// Cache is a size-bounded LRU mapping solve keys to rendered result
+// bodies. Stored bodies are immutable: Get returns the cached slice
+// without copying, and callers must not mutate it. Hit/miss/eviction
+// accounting flows into the obs registry (serve.cache_hits,
+// serve.cache_misses, serve.cache_evictions); the instruments are
+// nil-safe, so a Cache built without observability costs one branch.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	entries                 *obs.Level
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache builds a cache bounded to max entries (max <= 0 disables
+// caching: every Get misses and Put is a no-op).
+func NewCache(max int, o *obs.Obs) *Cache {
+	return &Cache{
+		max:       max,
+		ll:        list.New(),
+		items:     map[string]*list.Element{},
+		hits:      o.Counter("serve.cache_hits"),
+		misses:    o.Counter("serve.cache_misses"),
+		evictions: o.Counter("serve.cache_evictions"),
+		entries:   o.Level("serve.cache_entries"),
+	}
+}
+
+// Get returns the cached body for key and promotes the entry.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores a body under key, evicting the least recently used entry
+// when the cache is full. Re-putting an existing key refreshes it.
+func (c *Cache) Put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	for c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+		c.entries.Dec()
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.entries.Inc()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

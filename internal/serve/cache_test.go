@@ -1,0 +1,101 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"prpart/internal/obs"
+	"prpart/internal/serve"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	o := obs.New()
+	c := serve.NewCache(2, o)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // promote a: b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Errorf("a = %q, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || !bytes.Equal(v, []byte("C")) {
+		t.Errorf("c = %q, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	s := o.Snapshot()
+	if got := s.Counters["serve.cache_evictions"]; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if got := s.Counters["serve.cache_hits"]; got != 3 {
+		t.Errorf("hits = %d, want 3", got)
+	}
+	if got := s.Counters["serve.cache_misses"]; got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	if lvl := s.Levels["serve.cache_entries"]; lvl.Current != 2 || lvl.Max != 2 {
+		t.Errorf("entries level = %+v, want current 2 max 2", lvl)
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := serve.NewCache(2, nil)
+	c.Put("a", []byte("old"))
+	c.Put("b", []byte("B"))
+	c.Put("a", []byte("new")) // refresh, promotes a
+	if v, _ := c.Get("a"); !bytes.Equal(v, []byte("new")) {
+		t.Errorf("a = %q, want refreshed value", v)
+	}
+	c.Put("c", []byte("C")) // must evict b, not a
+	if _, ok := c.Get("a"); !ok {
+		t.Error("refreshed key evicted before older entry")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	for _, max := range []int{0, -1} {
+		c := serve.NewCache(max, nil)
+		c.Put("a", []byte("A"))
+		if _, ok := c.Get("a"); ok {
+			t.Errorf("max=%d: disabled cache returned a hit", max)
+		}
+		if c.Len() != 0 {
+			t.Errorf("max=%d: Len = %d, want 0", max, c.Len())
+		}
+	}
+}
+
+func TestCacheEvictionOrderUnderChurn(t *testing.T) {
+	o := obs.New()
+	c := serve.NewCache(4, o)
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// Only the four most recent keys survive.
+	for i := 0; i < 12; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d survived churn", i)
+		}
+	}
+	for i := 12; i < 16; i++ {
+		if v, ok := c.Get(fmt.Sprintf("k%d", i)); !ok || v[0] != byte(i) {
+			t.Errorf("k%d = %v, %v", i, v, ok)
+		}
+	}
+	if got := o.Snapshot().Counters["serve.cache_evictions"]; got != 12 {
+		t.Errorf("evictions = %d, want 12", got)
+	}
+}

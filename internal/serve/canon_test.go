@@ -1,0 +1,134 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/resource"
+	"prpart/internal/serve"
+	"prpart/internal/spec"
+)
+
+// writeXML renders a design in the XML codec, the second wire format the
+// server accepts. Shared by the canonicalization and server tests.
+func writeXML(w io.Writer, d *design.Design) error {
+	return spec.WriteDesign(w, d, spec.Constraints{})
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	sp := &serve.SolveSpec{Design: design.VideoReceiver(), Device: "FX70T"}
+	k1, err := sp.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := sp.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("same spec hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != len("sha256:")+64 {
+		t.Errorf("key %q is not sha256:<hex>", k1)
+	}
+}
+
+func TestKeyStableAcrossCodecs(t *testing.T) {
+	orig := design.VideoReceiver()
+
+	var jb bytes.Buffer
+	if err := design.EncodeJSON(&jb, orig); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := design.DecodeJSON(&jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var xb bytes.Buffer
+	if err := writeXML(&xb, orig); err != nil {
+		t.Fatal(err)
+	}
+	fromXML, _, err := spec.ParseDesign(&xb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kj, err := (&serve.SolveSpec{Design: fromJSON}).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kx, err := (&serve.SolveSpec{Design: fromXML}).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kj != kx {
+		t.Errorf("codec round-trips hash differently:\n json %s\n xml  %s", kj, kx)
+	}
+}
+
+func TestKeyOptionSensitivity(t *testing.T) {
+	base := func() *serve.SolveSpec {
+		return &serve.SolveSpec{Design: design.PaperExample()}
+	}
+	baseKey, err := base().Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]func(*serve.SolveSpec){
+		"device":           func(sp *serve.SolveSpec) { sp.Device = "FX70T" },
+		"budget":           func(sp *serve.SolveSpec) { sp.Budget = resource.New(100, 2, 3) },
+		"noStatic":         func(sp *serve.SolveSpec) { sp.NoStatic = true },
+		"greedy":           func(sp *serve.SolveSpec) { sp.Greedy = true },
+		"noQuantize":       func(sp *serve.SolveSpec) { sp.NoQuantize = true },
+		"maxCandidateSets": func(sp *serve.SolveSpec) { sp.MaxCandidateSets = 7 },
+		"maxFirstMoves":    func(sp *serve.SolveSpec) { sp.MaxFirstMoves = 3 },
+		"pinned":           func(sp *serve.SolveSpec) { sp.Pinned = []design.ModeRef{{Module: 0, Mode: 0}} },
+		"coverDescending":  func(sp *serve.SolveSpec) { sp.CoverDescending = true },
+		"weights":          func(sp *serve.SolveSpec) { sp.Weights = [][]float64{{0, 1}, {1, 0}} },
+		"floorplan":        func(sp *serve.SolveSpec) { sp.Floorplan = true },
+		"design":           func(sp *serve.SolveSpec) { sp.Design = design.VideoReceiver() },
+	}
+	seen := map[string]string{baseKey: "base"}
+	for name, mutate := range variants {
+		sp := base()
+		mutate(sp)
+		k, err := sp.Key()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("option %q does not change the key (collides with %q)", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+func TestKeyPinOrderInsensitive(t *testing.T) {
+	d := design.VideoReceiver()
+	a := &serve.SolveSpec{Design: d, Pinned: []design.ModeRef{
+		{Module: 1, Mode: 0}, {Module: 0, Mode: 1}, {Module: 0, Mode: 0},
+	}}
+	b := &serve.SolveSpec{Design: d, Pinned: []design.ModeRef{
+		{Module: 0, Mode: 0}, {Module: 0, Mode: 1}, {Module: 1, Mode: 0},
+	}}
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Errorf("pin order changes the key:\n %s\n %s", ka, kb)
+	}
+}
+
+func TestKeyNoDesign(t *testing.T) {
+	if _, err := (&serve.SolveSpec{}).Key(); err == nil {
+		t.Error("nil design accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent solves of the same key: the first
+// request becomes the leader and runs the search once; followers wait
+// on the same call. Each call carries its own context, detached from
+// any single request: it is cancelled only when every waiter has given
+// up (refcount reaches zero) or the server shuts down hard, so a
+// follower with a long deadline keeps the solve alive after the leader
+// times out — and a lone cancelled request stops the search early.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	refs   int // waiters still interested in the result
+
+	// Set by finish before done is closed.
+	body   []byte
+	status int
+	err    error
+}
+
+// join returns the in-flight call for key, creating one (leader = true)
+// when none exists. The call's context descends from base.
+func (g *flightGroup) join(base context.Context, key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		c.refs++
+		return c, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	c := &flightCall{ctx: ctx, cancel: cancel, done: make(chan struct{}), refs: 1}
+	g.calls[key] = c
+	return c, true
+}
+
+// leave deregisters one waiter. When the last waiter leaves a call that
+// has not finished, the solve context is cancelled so the search stops.
+func (g *flightGroup) leave(c *flightCall) {
+	g.mu.Lock()
+	c.refs--
+	last := c.refs <= 0
+	g.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+// finish publishes the result, wakes every waiter and deregisters the
+// key so later requests consult the cache instead.
+func (g *flightGroup) finish(key string, c *flightCall, body []byte, status int, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.body, c.status, c.err = body, status, err
+	close(c.done)
+	c.cancel()
+}
+
+// pending returns the number of distinct keys currently in flight.
+func (g *flightGroup) pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -1,0 +1,71 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/serve"
+)
+
+// FuzzDecodeRequest feeds arbitrary bytes to the HTTP request decoder
+// and checks the invariants that hold for everything it accepts:
+// decoding never panics, is deterministic, never returns a negative
+// timeout, and every accepted request canonicalizes to a stable cache
+// key (so a malicious body can never poison the cache with a flapping
+// key).
+func FuzzDecodeRequest(f *testing.F) {
+	// Seed with genuinely valid envelopes in both codecs so the corpus
+	// starts on the grammar the decoder was written for.
+	var jd bytes.Buffer
+	if err := design.EncodeJSON(&jd, design.PaperExample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(fmt.Sprintf(`{"design": %s}`, jd.String())))
+	f.Add([]byte(fmt.Sprintf(
+		`{"design": %s, "options": {"device": "FX70T", "budget": {"clb": 6800, "bram": 64, "dsp": 150}, "floorplan": true, "timeoutMs": 500}}`,
+		jd.String())))
+	var xd bytes.Buffer
+	if err := writeXML(&xd, design.VideoReceiver()); err != nil {
+		f.Fatal(err)
+	}
+	xenv, err := json.Marshal(map[string]string{"xml": xd.String()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(xenv)
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"design": {}, "xml": "<design/>"}`))
+	f.Add([]byte(`{"nope": true}`))
+	f.Add([]byte(`{"design": {"name": "x"}} trailing`))
+	f.Add([]byte(`{"options": {"timeoutMs": -5}}`))
+	f.Add([]byte(`{"options": {"transitionWeights": [[0.5]]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp1, to1, err1 := serve.DecodeRequest(data)
+		sp2, to2, err2 := serve.DecodeRequest(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if sp1 == nil || sp1.Design == nil {
+			t.Fatal("accepted request with no design")
+		}
+		if to1 < 0 || to1 != to2 {
+			t.Fatalf("timeouts %v and %v (negative or nondeterministic)", to1, to2)
+		}
+		k1, kerr1 := sp1.Key()
+		k2, kerr2 := sp2.Key()
+		if kerr1 != nil || kerr2 != nil {
+			t.Fatalf("accepted request does not canonicalize: %v / %v", kerr1, kerr2)
+		}
+		if k1 != k2 {
+			t.Fatalf("flapping cache key: %s vs %s", k1, k2)
+		}
+	})
+}

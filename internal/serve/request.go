@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"prpart/internal/design"
+	"prpart/internal/resource"
+	"prpart/internal/spec"
+)
+
+// Request is the wire schema of POST /v1/solve. Exactly one of Design
+// (the JSON codec of internal/design) or XML (the tool flow's XML spec,
+// internal/spec) must be present. Options are all optional.
+type Request struct {
+	// Design is a design in the JSON schema.
+	Design json.RawMessage `json:"design,omitempty"`
+	// XML is a design in the XML spec format. Constraints embedded in
+	// the XML (<constraints device=... budget=...>) seed the options and
+	// are overridden field-by-field by Options.
+	XML string `json:"xml,omitempty"`
+	// Options tune the solve.
+	Options RequestOptions `json:"options,omitempty"`
+}
+
+// RequestOptions is the options block of a solve request.
+type RequestOptions struct {
+	// Device pins the target FPGA by name.
+	Device string `json:"device,omitempty"`
+	// Budget caps resources as {"clb":..,"bram":..,"dsp":..}.
+	Budget *BudgetJSON `json:"budget,omitempty"`
+	// NoStatic / Greedy / NoQuantize select the paper's ablations.
+	NoStatic   bool `json:"noStatic,omitempty"`
+	Greedy     bool `json:"greedy,omitempty"`
+	NoQuantize bool `json:"noQuantize,omitempty"`
+	// MaxCandidateSets / MaxFirstMoves bound the search (0 = default).
+	MaxCandidateSets int `json:"maxCandidateSets,omitempty"`
+	MaxFirstMoves    int `json:"maxFirstMoves,omitempty"`
+	// Pin lists "Module.Mode" names to force into static logic.
+	Pin []string `json:"pin,omitempty"`
+	// CoverDescending reverses the covering order (ablation A5).
+	CoverDescending bool `json:"coverDescending,omitempty"`
+	// TransitionWeights skews the objective (square matrix over
+	// configurations, see partition.Options.TransitionWeights).
+	TransitionWeights [][]float64 `json:"transitionWeights,omitempty"`
+	// Floorplan adds region placements to the result.
+	Floorplan bool `json:"floorplan,omitempty"`
+	// TimeoutMs caps the solve wall time; 0 uses the server default.
+	// The request is cancelled (HTTP 504) when the deadline passes.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// BudgetJSON is a resource triple on the wire.
+type BudgetJSON struct {
+	CLB  int `json:"clb"`
+	BRAM int `json:"bram"`
+	DSP  int `json:"dsp"`
+}
+
+// maxWeightDim bounds the transition-weight matrix a request may carry,
+// protecting the decoder from quadratic allocation on hostile input.
+const maxWeightDim = 1024
+
+// DecodeRequest parses and validates a solve request body into its
+// canonical SolveSpec plus the request timeout. The decoder is strict:
+// unknown fields, missing designs, both codecs at once, bad pin names
+// and malformed weight matrices are all errors, so a request that
+// decodes is guaranteed to reach the search well-formed.
+func DecodeRequest(body []byte) (*SolveSpec, time.Duration, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, 0, fmt.Errorf("serve: decoding request: %w", err)
+	}
+	// A second JSON value after the request object is a malformed body,
+	// not trailing noise to ignore.
+	if dec.More() {
+		return nil, 0, fmt.Errorf("serve: trailing data after request object")
+	}
+	sp := &SolveSpec{}
+	var con spec.Constraints
+	switch {
+	case len(req.Design) > 0 && req.XML != "":
+		return nil, 0, fmt.Errorf("serve: request carries both a JSON design and an XML design")
+	case len(req.Design) > 0:
+		d, err := design.DecodeJSON(bytes.NewReader(req.Design))
+		if err != nil {
+			return nil, 0, err
+		}
+		sp.Design = d
+	case req.XML != "":
+		d, c, err := spec.ParseDesign(strings.NewReader(req.XML))
+		if err != nil {
+			return nil, 0, err
+		}
+		sp.Design, con = d, c
+	default:
+		return nil, 0, fmt.Errorf("serve: request carries no design (want \"design\" or \"xml\")")
+	}
+
+	o := req.Options
+	sp.Device = con.Device
+	if o.Device != "" {
+		sp.Device = o.Device
+	}
+	sp.Budget = con.Budget
+	if o.Budget != nil {
+		if o.Budget.CLB < 0 || o.Budget.BRAM < 0 || o.Budget.DSP < 0 {
+			return nil, 0, fmt.Errorf("serve: negative budget")
+		}
+		sp.Budget = resource.New(o.Budget.CLB, o.Budget.BRAM, o.Budget.DSP)
+	}
+	sp.NoStatic = o.NoStatic
+	sp.Greedy = o.Greedy
+	sp.NoQuantize = o.NoQuantize
+	if o.MaxCandidateSets < 0 || o.MaxFirstMoves < 0 {
+		return nil, 0, fmt.Errorf("serve: negative search bounds")
+	}
+	sp.MaxCandidateSets = o.MaxCandidateSets
+	sp.MaxFirstMoves = o.MaxFirstMoves
+	sp.CoverDescending = o.CoverDescending
+	sp.Floorplan = o.Floorplan
+	for _, name := range o.Pin {
+		r, err := sp.Design.FindMode(strings.TrimSpace(name))
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: pin: %w", err)
+		}
+		sp.Pinned = append(sp.Pinned, r)
+	}
+	if sp.NoStatic && len(sp.Pinned) > 0 {
+		return nil, 0, fmt.Errorf("serve: pin conflicts with noStatic")
+	}
+	if w := o.TransitionWeights; w != nil {
+		n := len(sp.Design.Configurations)
+		if n > maxWeightDim || len(w) != n {
+			return nil, 0, fmt.Errorf("serve: transition weights have %d rows for %d configurations", len(w), n)
+		}
+		for i, row := range w {
+			if len(row) != n {
+				return nil, 0, fmt.Errorf("serve: transition weight row %d has %d entries, want %d", i, len(row), n)
+			}
+			for j, v := range row {
+				if v < 0 || v != v || v > 1e18 {
+					return nil, 0, fmt.Errorf("serve: bad transition weight w(%d,%d) = %g", i, j, v)
+				}
+			}
+		}
+		sp.Weights = w
+	}
+	if o.TimeoutMs < 0 {
+		return nil, 0, fmt.Errorf("serve: negative timeoutMs")
+	}
+	return sp, time.Duration(o.TimeoutMs) * time.Millisecond, nil
+}

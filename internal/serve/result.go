@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+
+	"prpart/internal/core"
+	"prpart/internal/floorplan"
+)
+
+// ResultJSON is the machine-readable solve result shared by the prpart
+// CLI (-json) and the daemon's /v1/solve response: both render it
+// through WriteResult, so the two outputs are byte-identical for the
+// same input. Floorplan is only present when the request asked for it.
+type ResultJSON struct {
+	Device    string           `json:"device"`
+	Total     int              `json:"totalFrames"`
+	Worst     int              `json:"worstFrames"`
+	Regions   []RegionJSON     `json:"regions"`
+	Static    []string         `json:"static,omitempty"`
+	Baselines map[string]int   `json:"baselineTotals"`
+	Floorplan []PlacementJSON  `json:"floorplan,omitempty"`
+}
+
+// RegionJSON is one reconfigurable region of the proposed scheme.
+type RegionJSON struct {
+	Frames int      `json:"frames"`
+	Parts  []string `json:"parts"`
+}
+
+// PlacementJSON is one placed region rectangle (tile coordinates,
+// inclusive corners) of the optional floorplan.
+type PlacementJSON struct {
+	Region int `json:"region"`
+	Row0   int `json:"row0"`
+	Col0   int `json:"col0"`
+	Row1   int `json:"row1"`
+	Col1   int `json:"col1"`
+}
+
+// BuildResult assembles the wire result from a flow result and an
+// optional floorplan.
+func BuildResult(res *core.Result, plan *floorplan.Plan) ResultJSON {
+	jo := ResultJSON{
+		Device:    res.Device.Name,
+		Total:     res.Summary.Total,
+		Worst:     res.Summary.Worst,
+		Baselines: map[string]int{},
+	}
+	for name, sum := range res.Baselines {
+		jo.Baselines[name] = sum.Total
+	}
+	for i := range res.Scheme.Regions {
+		reg := &res.Scheme.Regions[i]
+		jr := RegionJSON{Frames: reg.Frames()}
+		for _, p := range reg.Parts {
+			jr.Parts = append(jr.Parts, p.Label(res.Design))
+		}
+		jo.Regions = append(jo.Regions, jr)
+	}
+	for _, p := range res.Scheme.Static {
+		jo.Static = append(jo.Static, p.Label(res.Design))
+	}
+	if plan != nil {
+		for _, pl := range plan.Placements {
+			jo.Floorplan = append(jo.Floorplan, PlacementJSON{
+				Region: pl.Region,
+				Row0:   pl.Rect.Row0, Col0: pl.Rect.Col0,
+				Row1: pl.Rect.Row1, Col1: pl.Rect.Col1,
+			})
+		}
+	}
+	return jo
+}
+
+// WriteResult renders the result as indented JSON — the exact bytes
+// `prpart -json` prints and the daemon serves.
+func WriteResult(w io.Writer, jo ResultJSON) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jo)
+}

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"prpart/internal/core"
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/obs"
+	"prpart/internal/partition"
+)
+
+// SolveFunc runs the flow for one request. The default is
+// core.RunContext; tests substitute stubs to script slow or failing
+// solves without a real search.
+type SolveFunc func(ctx context.Context, d *design.Design, opts core.Options) (*core.Result, error)
+
+// Config tunes a Server. The zero value gets sensible defaults from New.
+type Config struct {
+	// Workers bounds concurrent solves; excess requests queue.
+	// Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds solves admitted but not yet running. A request
+	// that would exceed Workers+QueueDepth leaders in flight is refused
+	// with 429 and a Retry-After header. Default: 4×Workers.
+	QueueDepth int
+	// CacheEntries bounds the solve cache (0 uses the default;
+	// negative disables caching). Default: 256.
+	CacheEntries int
+	// DefaultTimeout caps solves whose request sets no timeoutMs
+	// (0 = no default deadline).
+	DefaultTimeout time.Duration
+	// MaxBodyBytes bounds the request body. Default: 8 MiB.
+	MaxBodyBytes int64
+	// SolveWorkers is the per-solve search parallelism
+	// (partition.Options.Workers). Default: 1 — the pool provides the
+	// cross-request parallelism, so each search stays serial and cheap.
+	SolveWorkers int
+	// Obs receives the service instruments. Nil creates a fresh
+	// registry (the daemon always serves /metrics).
+	Obs *obs.Obs
+	// Library overrides the built-in device catalog for every solve.
+	// Deployment configuration, not part of the request: cache keys do
+	// not cover it, so restart the daemon (emptying the cache) when the
+	// library changes.
+	Library []*device.Device
+	// Solver overrides the flow entry point (tests). Nil = core.RunContext.
+	Solver SolveFunc
+}
+
+// Server is the partitioning service: bounded worker pool, solve cache,
+// request coalescing and graceful drain behind an http.Handler.
+type Server struct {
+	cfg    Config
+	obs    *obs.Obs
+	cache  *Cache
+	flight flightGroup
+	solver SolveFunc
+
+	sem      chan struct{} // worker slots
+	admit    chan struct{} // admission slots: Workers+QueueDepth
+	baseCtx  context.Context
+	shutdown context.CancelFunc
+	draining chan struct{}
+	started  time.Time
+	mux      *http.ServeMux
+
+	// Instruments (all nil-safe).
+	cRequests, cSolves, cCoalesced, cRejected, cErrors *obs.Counter
+	lQueued, lInflight                                 *obs.Level
+	tSolve                                             *obs.Timer
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.SolveWorkers == 0 {
+		cfg.SolveWorkers = 1
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	s := &Server{
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		cache:    NewCache(cfg.CacheEntries, cfg.Obs),
+		solver:   cfg.Solver,
+		sem:      make(chan struct{}, cfg.Workers),
+		admit:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		draining: make(chan struct{}),
+		started:  time.Now(),
+
+		cRequests:  cfg.Obs.Counter("serve.requests"),
+		cSolves:    cfg.Obs.Counter("serve.solves"),
+		cCoalesced: cfg.Obs.Counter("serve.coalesced"),
+		cRejected:  cfg.Obs.Counter("serve.rejected_queue_full"),
+		cErrors:    cfg.Obs.Counter("serve.errors"),
+		lQueued:    cfg.Obs.Level("serve.queue_depth"),
+		lInflight:  cfg.Obs.Level("serve.inflight"),
+		tSolve:     cfg.Obs.Timer("serve.solve"),
+	}
+	if s.solver == nil {
+		s.solver = core.RunContext
+	}
+	s.baseCtx, s.shutdown = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Obs returns the service's instrument registry.
+func (s *Server) Obs() *obs.Obs { return s.obs }
+
+// Shutdown drains the server gracefully: new solve requests are refused
+// with 503, while every admitted solve runs to completion. It returns
+// when the last in-flight solve finishes or ctx expires. Wrap it around
+// http.Server.Shutdown — refusing new work first keeps the listener's
+// drain bounded.
+func (s *Server) Shutdown(ctx context.Context) error {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+	// In-flight solves hold admission slots; the pool is idle once we
+	// can take every slot.
+	for i := 0; i < cap(s.admit); i++ {
+		select {
+		case s.admit <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Close aborts hard: pending solves are cancelled mid-search.
+func (s *Server) Close() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+	s.shutdown()
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// errStatus maps a solve error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, partition.ErrInfeasible), errors.Is(err, partition.ErrNoScheme):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+var errQueueFull = errors.New("serve: queue full")
+
+// handleSolve is POST /v1/solve: decode, consult the cache, coalesce,
+// queue, solve, respond. The response body of a 200 is byte-identical
+// to `prpart -json` on the same input; X-Solve-Key carries the
+// content-addressed key and X-Cache reports hit, miss or coalesced.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		return
+	}
+	s.cRequests.Inc()
+	if s.isDraining() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
+	sp, timeout, err := DecodeRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := sp.Key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("X-Solve-Key", key)
+	if cached, ok := s.cache.Get(key); ok {
+		s.respond(w, "hit", cached)
+		return
+	}
+
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	wctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		wctx, cancel = context.WithTimeout(wctx, timeout)
+		defer cancel()
+	}
+
+	call, leader := s.flight.join(s.baseCtx, key)
+	if leader {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			s.cRejected.Inc()
+			s.flight.finish(key, call, nil, http.StatusTooManyRequests, errQueueFull)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, errQueueFull)
+			return
+		}
+		go func() {
+			defer func() { <-s.admit }()
+			body, status, err := s.solve(call.ctx, key, sp)
+			if err == nil {
+				s.cache.Put(key, body)
+			}
+			s.flight.finish(key, call, body, status, err)
+		}()
+	} else {
+		s.cCoalesced.Inc()
+	}
+
+	select {
+	case <-call.done:
+		if call.err != nil {
+			if call.status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			s.cErrors.Inc()
+			writeError(w, call.status, call.err)
+			return
+		}
+		cache := "miss"
+		if !leader {
+			cache = "coalesced"
+		}
+		s.respond(w, cache, call.body)
+	case <-wctx.Done():
+		s.flight.leave(call)
+		s.cErrors.Inc()
+		if errors.Is(wctx.Err(), context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: solve deadline exceeded"))
+			return
+		}
+		// Client went away; the status is never seen but keeps logs honest.
+		writeError(w, http.StatusServiceUnavailable, wctx.Err())
+	}
+}
+
+func (s *Server) respond(w http.ResponseWriter, cache string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cache)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// solve waits for a worker slot, runs the flow under the call context
+// and renders the canonical result bytes.
+func (s *Server) solve(ctx context.Context, key string, sp *SolveSpec) ([]byte, int, error) {
+	s.lQueued.Inc()
+	select {
+	case s.sem <- struct{}{}:
+		s.lQueued.Dec()
+	case <-ctx.Done():
+		s.lQueued.Dec()
+		return nil, errStatus(ctx.Err()), fmt.Errorf("serve: cancelled before solving: %w", ctx.Err())
+	}
+	defer func() { <-s.sem }()
+	s.lInflight.Inc()
+	defer s.lInflight.Dec()
+	s.cSolves.Inc()
+	stop := s.tSolve.Time()
+	defer stop()
+	s.obs.Emit("serve", "solve.start", obs.Str("key", key), obs.Str("design", sp.Design.Name))
+
+	copts := sp.CoreOptions(s.cfg.SolveWorkers, s.obs)
+	copts.Library = s.cfg.Library
+	res, err := s.solver(ctx, sp.Design, copts)
+	if err != nil {
+		s.obs.Emit("serve", "solve.error", obs.Str("key", key), obs.Str("err", err.Error()))
+		return nil, errStatus(err), err
+	}
+	var plan *floorplan.Plan
+	if sp.Floorplan {
+		plan, err = floorplan.Place(res.Scheme, res.Device)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, fmt.Errorf("serve: floorplanning: %w", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, BuildResult(res, plan)); err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	s.obs.Emit("serve", "solve.done", obs.Str("key", key),
+		obs.Int("total_frames", int64(res.Summary.Total)), obs.Int("bytes", int64(buf.Len())))
+	return buf.Bytes(), http.StatusOK, nil
+}
+
+// healthState is the /healthz response body.
+type healthState struct {
+	Status    string `json:"status"` // "ok" or "draining"
+	UptimeSec int64  `json:"uptimeSec"`
+	Inflight  int64  `json:"inflight"`
+	Queued    int64  `json:"queued"`
+	Pending   int    `json:"pendingKeys"`
+	Cache     struct {
+		Entries   int   `json:"entries"`
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+	} `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := healthState{Status: "ok", UptimeSec: int64(time.Since(s.started).Seconds())}
+	if s.isDraining() {
+		st.Status = "draining"
+	}
+	st.Inflight = s.lInflight.Value()
+	st.Queued = s.lQueued.Value()
+	st.Pending = s.flight.pending()
+	st.Cache.Entries = s.cache.Len()
+	snap := s.obs.Snapshot()
+	st.Cache.Hits = snap.Counters["serve.cache_hits"]
+	st.Cache.Misses = snap.Counters["serve.cache_misses"]
+	st.Cache.Evictions = snap.Counters["serve.cache_evictions"]
+	w.Header().Set("Content-Type", "application/json")
+	if st.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.obs.WriteMetrics(w)
+}
+
+// handleVars serves the flat instrument map as JSON, expvar-style.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.obs.Snapshot().Flat())
+}

@@ -25,6 +25,12 @@ if [ "$1" = "all" ]; then
 	go vet ./...
 	go test -race ./...
 
+	echo "== tier 2: serving-layer race re-runs (x2) =="
+	# The serve suite is the repo's most concurrency-heavy code (worker
+	# pool, singleflight, LRU, drain); run it twice under the detector so
+	# scheduling-dependent races get a second chance to appear.
+	go test -race -count=2 ./internal/serve/ ./cmd/prpartd/ ./cmd/prpart/
+
 	echo "== tier 3: fault-injection, differential and determinism re-runs (x5) =="
 	go test -run 'Fault|Differential|Determinism' -count=5 \
 		./internal/faults/ ./internal/icap/ ./internal/adaptive/ ./cmd/prsim/ ./internal/partition/
