@@ -163,4 +163,3 @@ func parseBudget(s string) (resource.Vector, error) {
 	}
 	return resource.New(clb, bram, dsp), nil
 }
-

@@ -84,11 +84,11 @@ func TestReadRejectsUnknownFields(t *testing.T) {
 
 func TestCompare(t *testing.T) {
 	old, cur := sample(), sample()
-	cur.Metrics["total"] = 43                // drift: regression
-	cur.RuntimeNs["sweep_ns"] = 1050         // +5%: within tol
-	cur.RuntimeNs["casestudy_ns"] = 1        // new key vs old zero: no pct base, not a regression
-	old.RuntimeNs["casestudy_ns"] = 0        // present but zero
-	cur.Counters["states"] = 1000            // counters never regress
+	cur.Metrics["total"] = 43         // drift: regression
+	cur.RuntimeNs["sweep_ns"] = 1050  // +5%: within tol
+	cur.RuntimeNs["casestudy_ns"] = 1 // new key vs old zero: no pct base, not a regression
+	old.RuntimeNs["casestudy_ns"] = 0 // present but zero
+	cur.Counters["states"] = 1000     // counters never regress
 	deltas, err := Compare(old, cur, 10)
 	if err != nil {
 		t.Fatal(err)

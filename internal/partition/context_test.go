@@ -1,11 +1,13 @@
 package partition_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
 
 	"prpart/internal/design"
+	"prpart/internal/obs"
 	"prpart/internal/partition"
 	"prpart/internal/synthetic"
 )
@@ -100,6 +102,59 @@ func TestSolveContextCancelledWeighted(t *testing.T) {
 		Budget:            design.CaseStudyBudget(),
 		TransitionWeights: w,
 	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// writerFunc adapts a function to io.Writer for tracer-sink test hooks.
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestSolveContextCancelMidUniform cancels in the window between the
+// weighted descent (which completes) and the uniform descent: the
+// tracer sink fires on the uniform run's search.start event. The
+// weighted-only result must not be surfaced as success — the uniform
+// candidate could win an uncancelled run, so doing so would make the
+// result depend on cancellation timing and poison content-addressed
+// caches keyed on the request.
+func TestSolveContextCancelMidUniform(t *testing.T) {
+	d := design.VideoReceiver()
+	n := len(d.Configurations)
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = 1
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := obs.New()
+	tr := obs.NewTracer(16)
+	starts := 0
+	tr.SetSink(writerFunc(func(p []byte) (int, error) {
+		if bytes.Contains(p, []byte("search.start")) {
+			starts++
+			if starts == 2 {
+				cancel()
+			}
+		}
+		return len(p), nil
+	}))
+	o.SetTracer(tr)
+	res, err := partition.SolveContext(ctx, d, partition.Options{
+		Budget:            design.CaseStudyBudget(),
+		TransitionWeights: w,
+		Obs:               o,
+	})
+	if starts < 2 {
+		t.Fatalf("saw %d search.start events, want 2 (weighted then uniform)", starts)
+	}
+	if err == nil {
+		t.Fatalf("uniform run cancelled mid-solve returned %v, want error", res)
+	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("error %v does not wrap context.Canceled", err)
 	}

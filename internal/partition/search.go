@@ -156,6 +156,13 @@ func SolveContext(ctx context.Context, d *design.Design, opts Options) (*Result,
 		plain := opts
 		plain.TransitionWeights = nil
 		uniform, uerr := solveOnce(ctx, d, plain)
+		// A cancelled uniform run must not surface the weighted-only
+		// result as success: the uniform candidate may win in a full run,
+		// so returning `weighted` here would break the invariant that a
+		// successful result never depends on cancellation timing.
+		if uerr != nil && ctx.Err() != nil {
+			return nil, uerr
+		}
 		switch {
 		case werr != nil && uerr != nil:
 			return nil, werr

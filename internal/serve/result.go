@@ -13,13 +13,13 @@ import (
 // through WriteResult, so the two outputs are byte-identical for the
 // same input. Floorplan is only present when the request asked for it.
 type ResultJSON struct {
-	Device    string           `json:"device"`
-	Total     int              `json:"totalFrames"`
-	Worst     int              `json:"worstFrames"`
-	Regions   []RegionJSON     `json:"regions"`
-	Static    []string         `json:"static,omitempty"`
-	Baselines map[string]int   `json:"baselineTotals"`
-	Floorplan []PlacementJSON  `json:"floorplan,omitempty"`
+	Device    string          `json:"device"`
+	Total     int             `json:"totalFrames"`
+	Worst     int             `json:"worstFrames"`
+	Regions   []RegionJSON    `json:"regions"`
+	Static    []string        `json:"static,omitempty"`
+	Baselines map[string]int  `json:"baselineTotals"`
+	Floorplan []PlacementJSON `json:"floorplan,omitempty"`
 }
 
 // RegionJSON is one reconfigurable region of the proposed scheme.

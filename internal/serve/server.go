@@ -217,7 +217,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: reading body: %w", err))
+		status := http.StatusBadRequest // client abort / network read failure
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("serve: reading body: %w", err))
 		return
 	}
 	sp, timeout, err := DecodeRequest(body)
@@ -251,6 +256,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.admit <- struct{}{}:
 		default:
+			// Coalesced waiters share the leader's admission fate: the
+			// 429 below is published to every follower already joined on
+			// this key (see DESIGN.md §8, backpressure semantics).
 			s.cRejected.Inc()
 			s.flight.finish(key, call, nil, http.StatusTooManyRequests, errQueueFull)
 			w.Header().Set("Retry-After", "1")
@@ -269,8 +277,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.cCoalesced.Inc()
 	}
 
-	select {
-	case <-call.done:
+	deliver := func() {
 		if call.err != nil {
 			if call.status == http.StatusTooManyRequests {
 				w.Header().Set("Retry-After", "1")
@@ -284,7 +291,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			cache = "coalesced"
 		}
 		s.respond(w, cache, call.body)
+	}
+
+	select {
+	case <-call.done:
+		deliver()
 	case <-wctx.Done():
+		// select picks randomly when both channels are ready, so a solve
+		// that completed right at the deadline could land here. Prefer
+		// the (now cached) result over a 504.
+		select {
+		case <-call.done:
+			deliver()
+			return
+		default:
+		}
 		s.flight.leave(call)
 		s.cErrors.Inc()
 		if errors.Is(wctx.Err(), context.DeadlineExceeded) {

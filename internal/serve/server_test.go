@@ -558,3 +558,18 @@ func waitCond(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within 5s")
 }
+
+// TestSolveBodyTooLarge sends a body over MaxBodyBytes and requires a
+// 413 — the only read failure that maps to that status; other read
+// errors (client abort, network) are reported as 400.
+func TestSolveBodyTooLarge(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 1, MaxBodyBytes: 64})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, b := post(t, ts, solveBody(t, design.PaperExample(), ""))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d (%s), want 413", resp.StatusCode, b)
+	}
+}
