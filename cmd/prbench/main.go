@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"testing"
 	"time"
 
 	"prpart/internal/benchfmt"
@@ -147,13 +148,14 @@ func (e *env) benchJSON(rev, path string) error {
 		e.obs = obs.New()
 	}
 	r := &benchfmt.Report{
-		Schema:    benchfmt.Schema,
-		Rev:       rev,
-		GoVersion: runtime.Version(),
-		Corpus:    benchfmt.Corpus{N: e.n, Seed: e.seed},
-		Metrics:   map[string]float64{},
-		RuntimeNs: map[string]int64{},
-		Counters:  map[string]int64{},
+		Schema:     benchfmt.Schema,
+		Rev:        rev,
+		GoVersion:  runtime.Version(),
+		Corpus:     benchfmt.Corpus{N: e.n, Seed: e.seed},
+		Metrics:    map[string]float64{},
+		RuntimeNs:  map[string]int64{},
+		Counters:   map[string]int64{},
+		Benchmarks: map[string]benchfmt.BenchResult{},
 	}
 
 	start := time.Now()
@@ -204,6 +206,10 @@ func (e *env) benchJSON(rev, path string) error {
 	r.Metrics["sweep_fallback_single"] = float64(fallback)
 	r.Metrics["sweep_smaller_than_modular"] = float64(smaller)
 
+	if err := e.microBenchmarks(r); err != nil {
+		return err
+	}
+
 	snap := e.obs.Snapshot()
 	for k, v := range snap.Counters {
 		r.Counters[k] = v
@@ -226,8 +232,69 @@ func (e *env) benchJSON(rev, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(e.out, "[bench: wrote %s (%d metrics, %d counters)]\n", path, len(r.Metrics), len(r.Counters))
+	fmt.Fprintf(e.out, "[bench: wrote %s (%d metrics, %d counters, %d benchmarks)]\n",
+		path, len(r.Metrics), len(r.Counters), len(r.Benchmarks))
 	return nil
+}
+
+// microBenchmarks measures the solver's per-operation wall time and
+// allocation profile with the testing harness and records the results
+// in the report's benchmarks section, where bench_compare gates ns/op
+// and allocs/op under the runtime tolerance. The benchmarked solves
+// run without the report's Obs so they cannot perturb its counters.
+func (e *env) microBenchmarks(r *benchfmt.Report) error {
+	record := func(name string, fn func(b *testing.B)) error {
+		res := testing.Benchmark(fn)
+		if res.N == 0 {
+			return fmt.Errorf("benchmark %s failed", name)
+		}
+		r.Benchmarks[name] = benchfmt.BenchResult{
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		return nil
+	}
+	caseStudy := design.VideoReceiver()
+	caseOpts := partition.Options{Budget: design.CaseStudyBudget()}
+	if err := record("solve_case_study", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := partition.Solve(caseStudy, caseOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	medianDesigns := synthetic.Generate(1, 8)
+	medianOpts := make([]partition.Options, len(medianDesigns))
+	for i, d := range medianDesigns {
+		medianOpts[i] = partition.Options{Budget: partition.Modular(d).TotalResources()}
+	}
+	if err := record("solve_synthetic_median", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := medianDesigns[i%len(medianDesigns)]
+			if _, err := partition.Solve(d, medianOpts[i%len(medianDesigns)]); err != nil &&
+				err != partition.ErrNoScheme && err != partition.ErrInfeasible {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	// The closest external proxy for one descent: a single candidate
+	// set explored greedy-only (no restarts, no seeding).
+	greedyOpts := partition.Options{Budget: design.CaseStudyBudget(), GreedyOnly: true}
+	return record("greedy_descent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := partition.Solve(caseStudy, greedyOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // render writes a table in the selected format.

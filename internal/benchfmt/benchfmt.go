@@ -48,6 +48,21 @@ type Report struct {
 	// (partition.moves_evaluated, experiments.upsized, ...).
 	// Informational: reported in diffs but never a failure.
 	Counters map[string]int64 `json:"counters"`
+	// Benchmarks are micro-benchmark measurements (solve_case_study,
+	// greedy_descent, ...). Time and allocations per op are compared
+	// under the runtime tolerance; absent in older reports (omitempty),
+	// and a key missing from the old report can never regress.
+	Benchmarks map[string]BenchResult `json:"benchmarks,omitempty"`
+}
+
+// BenchResult is one micro-benchmark measurement.
+type BenchResult struct {
+	// NsPerOp is wall time per operation in nanoseconds. Noisy.
+	NsPerOp float64 `json:"nsPerOp"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocsPerOp"`
+	// BytesPerOp is heap bytes allocated per operation.
+	BytesPerOp int64 `json:"bytesPerOp"`
 }
 
 // Validate checks the report is structurally sound.
@@ -75,6 +90,14 @@ func (r *Report) Validate() error {
 	for k, v := range r.RuntimeNs {
 		if v < 0 {
 			return fmt.Errorf("benchfmt: runtime %s is negative (%d)", k, v)
+		}
+	}
+	for k, b := range r.Benchmarks {
+		if b.NsPerOp < 0 || math.IsNaN(b.NsPerOp) || math.IsInf(b.NsPerOp, 0) {
+			return fmt.Errorf("benchfmt: benchmark %s ns/op is %v", k, b.NsPerOp)
+		}
+		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 {
+			return fmt.Errorf("benchfmt: benchmark %s has negative allocation stats", k)
 		}
 	}
 	return nil
@@ -121,7 +144,7 @@ func ReadFile(path string) (*Report, error) {
 
 // Delta is one compared quantity.
 type Delta struct {
-	// Kind is "metric", "runtime" or "counter".
+	// Kind is "metric", "runtime", "bench" or "counter".
 	Kind string
 	// Key is the quantity name.
 	Key string
@@ -137,11 +160,13 @@ type Delta struct {
 
 // Compare diffs two reports. Metrics are deterministic, so any drift is
 // a regression; runtimes regress when new exceeds old by more than
-// tolPct percent; counters never regress (informational). Keys present
-// in only one report are compared against zero — a disappeared metric
-// is a drift. The returned deltas are sorted regressions-first, then by
-// kind and key. It errors when the corpora differ, since the quantities
-// would not be comparable.
+// tolPct percent; micro-benchmarks regress when ns/op or allocs/op grow
+// beyond the same tolerance; counters never regress (informational).
+// Keys present in only one report are compared against zero — a
+// disappeared metric is a drift, while a benchmark or runtime new to
+// this report can never regress. The returned deltas are sorted
+// regressions-first, then by kind and key. It errors when the corpora
+// differ, since the quantities would not be comparable.
 func Compare(old, new *Report, tolPct float64) ([]Delta, error) {
 	if old.Corpus != new.Corpus {
 		return nil, fmt.Errorf("benchfmt: corpus mismatch: old n=%d seed=%d, new n=%d seed=%d",
@@ -157,6 +182,18 @@ func Compare(old, new *Report, tolPct float64) ([]Delta, error) {
 		d := delta("runtime", k, float64(old.RuntimeNs[k]), float64(new.RuntimeNs[k]))
 		d.Regression = d.Old > 0 && d.Pct > tolPct
 		out = append(out, d)
+	}
+	for _, k := range unionKeys(old.Benchmarks, new.Benchmarks) {
+		ob, nb := old.Benchmarks[k], new.Benchmarks[k]
+		ns := delta("bench", k+"_ns_op", ob.NsPerOp, nb.NsPerOp)
+		ns.Regression = ns.Old > 0 && ns.Pct > tolPct
+		out = append(out, ns)
+		al := delta("bench", k+"_allocs_op", float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		al.Regression = al.Old > 0 && al.Pct > tolPct
+		out = append(out, al)
+		by := delta("bench", k+"_bytes_op", float64(ob.BytesPerOp), float64(nb.BytesPerOp))
+		by.Regression = by.Old > 0 && by.Pct > tolPct
+		out = append(out, by)
 	}
 	for _, k := range unionKeys(old.Counters, new.Counters) {
 		out = append(out, delta("counter", k, float64(old.Counters[k]), float64(new.Counters[k])))

@@ -127,6 +127,67 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestCompareBenchmarks(t *testing.T) {
+	old, cur := sample(), sample()
+	old.Benchmarks = map[string]BenchResult{
+		"solve": {NsPerOp: 1_000_000, AllocsPerOp: 100_000, BytesPerOp: 8_000_000},
+	}
+	cur.Benchmarks = map[string]BenchResult{
+		"solve":   {NsPerOp: 1_050_000, AllocsPerOp: 130_000, BytesPerOp: 7_000_000},
+		"descent": {NsPerOp: 9_000, AllocsPerOp: 20, BytesPerOp: 2_000},
+	}
+	deltas, err := Compare(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range deltas {
+		if d.Kind == "bench" {
+			got[d.Key] = d.Regression
+		}
+	}
+	if got["solve_ns_op"] {
+		t.Error("5% ns/op growth flagged despite 10% tolerance")
+	}
+	if !got["solve_allocs_op"] {
+		t.Error("30% allocs/op growth not flagged under 10% tolerance")
+	}
+	if got["solve_bytes_op"] {
+		t.Error("bytes/op reduction flagged as regression")
+	}
+	for _, k := range []string{"descent_ns_op", "descent_allocs_op", "descent_bytes_op"} {
+		if reg, ok := got[k]; !ok {
+			t.Errorf("benchmark new to this report missing from deltas (%s)", k)
+		} else if reg {
+			t.Errorf("benchmark new to this report flagged as regression (%s)", k)
+		}
+	}
+}
+
+func TestBenchmarksOmittedWhenEmpty(t *testing.T) {
+	// Older readers use DisallowUnknownFields, so a report without
+	// micro-benchmarks must not serialise the field at all.
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "benchmarks") {
+		t.Fatalf("empty benchmarks section serialised:\n%s", buf.String())
+	}
+}
+
+func TestValidateRejectsBadBenchmarks(t *testing.T) {
+	r := sample()
+	r.Benchmarks = map[string]BenchResult{"solve": {NsPerOp: math.NaN()}}
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "solve") {
+		t.Errorf("NaN ns/op accepted: %v", err)
+	}
+	r.Benchmarks = map[string]BenchResult{"solve": {AllocsPerOp: -1}}
+	if err := r.Validate(); err == nil {
+		t.Error("negative allocs/op accepted")
+	}
+}
+
 func TestCompareCorpusMismatch(t *testing.T) {
 	old, cur := sample(), sample()
 	cur.Corpus.Seed = 2

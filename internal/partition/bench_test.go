@@ -3,7 +3,10 @@ package partition
 import (
 	"testing"
 
+	"prpart/internal/cluster"
+	"prpart/internal/connmat"
 	"prpart/internal/cost"
+	"prpart/internal/cover"
 	"prpart/internal/design"
 	"prpart/internal/synthetic"
 )
@@ -11,6 +14,7 @@ import (
 func BenchmarkSolveCaseStudy(b *testing.B) {
 	d := design.VideoReceiver()
 	opts := Options{Budget: design.CaseStudyBudget()}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Solve(d, opts); err != nil {
 			b.Fatal(err)
@@ -24,6 +28,7 @@ func BenchmarkSolveSyntheticMedian(b *testing.B) {
 	for i, d := range designs {
 		budgets[i] = Options{Budget: Modular(d).TotalResources()}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := designs[i%len(designs)]
@@ -31,6 +36,28 @@ func BenchmarkSolveSyntheticMedian(b *testing.B) {
 			err != ErrNoScheme && err != ErrInfeasible {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGreedyDescent isolates the descent inner loop the
+// incremental engine optimises: one full greedy descent (merges and
+// static promotions) on the case study's first candidate set, reusing
+// one searcher and scratch across iterations like the solve path does.
+func BenchmarkGreedyDescent(b *testing.B) {
+	d := design.VideoReceiver()
+	m := connmat.New(d)
+	parts, err := cluster.BasePartitions(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets := cover.Sets(cover.Order(parts), m)
+	s := newSearcher(d, m, sets[0], Options{Budget: design.CaseStudyBudget()}, newScratch())
+	base := s.initial()
+	discard := func(*state) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.greedy(base, true, false, discard)
 	}
 }
 

@@ -1,0 +1,401 @@
+package partition
+
+import (
+	"prpart/internal/device"
+	"prpart/internal/resource"
+)
+
+// This file is the incremental move-evaluation engine behind the greedy
+// descent. The classic observation (Fiduccia & Mattheyses, DAC 1982) is
+// that a partitioning move only changes the score of the elements it
+// touches, so re-deriving every candidate's gain from scratch each
+// iteration wastes almost all of the work. Here that takes three forms:
+//
+//   - a delta cache: the cost and quantised area of a merged (or
+//     extended, or shrunken) group depend only on the operand groups'
+//     contents, so they are cached under the operands' identities and
+//     survive across descent iterations — after an applied move, only
+//     pairs involving the two touched groups miss.
+//   - a quantisation memo: device.Tiles / device.TilesToPrimitives /
+//     the frame count of a raw resource vector are pure functions, and
+//     the same part subsets are re-quantised thousands of times per run.
+//   - running aggregates: each state carries its total cost and area,
+//     updated by applied moves, so per-candidate evaluation no longer
+//     walks every group.
+//
+// Determinism contract: every quantity produced here is exactly the
+// integer the non-incremental reference path (moveDelta, totalCost,
+// totalArea in reference.go / state.go) computes — not approximately,
+// bit for bit — so the optimised descent visits the same states in the
+// same order and returns byte-identical schemes and traces. The
+// differential and property suites in delta_test.go and
+// incremental_differential_test.go enforce this.
+
+// scratch is the reusable working set of one search worker: move and
+// activation buffers, the delta cache and the quantisation memo. A
+// scratch is reused across the candidate sets a worker processes
+// (avoiding re-growth of the maps and slices) but reset per set, so
+// cache hit/miss counters are a deterministic function of the input
+// regardless of how sets are distributed over workers.
+// scoredMove is a first move paired with its cost delta, for the
+// restart-ordering sort in run.
+type scoredMove struct {
+	mv move
+	d  int64
+}
+
+type scratch struct {
+	moves  []move
+	scored []scoredMove
+	act    []int32
+	pairs  pairTable
+	quant  map[resource.Vector]quantEntry
+	nextID uint64
+}
+
+func newScratch() *scratch {
+	sc := &scratch{
+		quant: make(map[resource.Vector]quantEntry),
+	}
+	sc.pairs.init()
+	return sc
+}
+
+// reset prepares the scratch for a new candidate set. Map and table
+// storage is retained (only marked empty), group ids restart at zero.
+func (sc *scratch) reset() {
+	sc.pairs.reset()
+	clear(sc.quant)
+	sc.nextID = 0
+}
+
+// Delta-cache key kinds, stored in the top bits of pairKey.a. Group ids
+// are per-candidate-set sequence numbers (nowhere near 2^60), so the
+// tag can never collide with an id.
+const (
+	kindMerge  uint64 = 1 << 60 // a: lower group id, b: higher group id
+	kindExtend uint64 = 2 << 60 // a: group id, b: part index added
+	kindShrink uint64 = 3 << 60 // a: group id, b: part index removed
+)
+
+// pairKey packs one cached group combination into a single word:
+// kind tag in the top bits, the two 30-bit operand ids below. Groups
+// are immutable once built and ids are never reused within a candidate
+// set, so an entry can never go stale: applying a move retires the two
+// touched groups' ids, which simply makes their entries unreachable.
+// The packing is injective (the guard keeps both operands under 30
+// bits — a candidate set would need a billion groups to overflow), and
+// every packed key is nonzero because the kind bits are always set,
+// which is what lets pairTable use zero as its empty-slot sentinel.
+func pairKey(kind, a, b uint64) uint64 {
+	if a >= 1<<30 || b >= 1<<30 {
+		panic("partition: delta-cache id overflow")
+	}
+	return kind | a<<30 | b
+}
+
+// pairEntry caches the outcome of combining (or splitting) groups: the
+// would-be group's cost contribution and tile-quantised area.
+type pairEntry struct {
+	contrib int64
+	area    resource.Vector
+}
+
+// pairTable is an open-addressed hash table from packed pair keys to
+// pairEntry. It sits on the hottest probe path of the search — one
+// lookup per candidate move per descent iteration — where a
+// specialised flat table beats a Go map: single-word keys, Fibonacci
+// hashing, linear probing over a contiguous slot array, and a reset
+// that just clears the key words while keeping capacity.
+type pairTable struct {
+	keys    []uint64 // 0 = empty slot
+	entries []pairEntry
+	n       int
+}
+
+func (t *pairTable) init() {
+	const initialSlots = 1 << 12
+	t.keys = make([]uint64, initialSlots)
+	t.entries = make([]pairEntry, initialSlots)
+}
+
+func (t *pairTable) reset() {
+	clear(t.keys)
+	t.n = 0
+}
+
+// slot maps a key to its preferred slot index (len(keys) is a power of
+// two; the multiplier is the golden-ratio constant, spreading packed
+// keys whose entropy sits in the low bits).
+func (t *pairTable) slot(key uint64) int {
+	return int((key * 0x9e3779b97f4a7c15 >> 32) & uint64(len(t.keys)-1))
+}
+
+func (t *pairTable) get(key uint64) (pairEntry, bool) {
+	for i := t.slot(key); ; i = (i + 1) & (len(t.keys) - 1) {
+		switch t.keys[i] {
+		case key:
+			return t.entries[i], true
+		case 0:
+			return pairEntry{}, false
+		}
+	}
+}
+
+func (t *pairTable) put(key uint64, e pairEntry) {
+	if 3*t.n >= 2*len(t.keys) { // grow at 2/3 load
+		t.grow()
+	}
+	for i := t.slot(key); ; i = (i + 1) & (len(t.keys) - 1) {
+		if t.keys[i] == 0 {
+			t.keys[i], t.entries[i] = key, e
+			t.n++
+			return
+		}
+	}
+}
+
+func (t *pairTable) grow() {
+	oldKeys, oldEntries := t.keys, t.entries
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.entries = make([]pairEntry, 2*len(oldEntries))
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		for j := t.slot(k); ; j = (j + 1) & (len(t.keys) - 1) {
+			if t.keys[j] == 0 {
+				t.keys[j], t.entries[j] = k, oldEntries[i]
+				break
+			}
+		}
+	}
+}
+
+// quantEntry caches the tile quantisation of one raw resource vector.
+type quantEntry struct {
+	area   resource.Vector
+	frames int64
+}
+
+// quantize returns the tile-quantised capacity and search-frame cost of
+// a raw resource requirement, memoised per candidate set. Both are pure
+// functions of res (given the searcher's NoQuantize option), so the
+// memo can never change a result — only skip recomputing it.
+func (s *searcher) quantize(res resource.Vector) (area resource.Vector, frames int64) {
+	if e, ok := s.sc.quant[res]; ok {
+		s.cQuantHit.Inc()
+		return e.area, e.frames
+	}
+	s.cQuantMiss.Inc()
+	area = device.TilesToPrimitives(device.Tiles(res))
+	frames = s.searchFrames(res)
+	s.sc.quant[res] = quantEntry{area: area, frames: frames}
+	return area, frames
+}
+
+// mergeEntry returns the contribution and area of the group that would
+// result from merging gi and gj, cached under the unordered id pair.
+func (s *searcher) mergeEntry(gi, gj *group) pairEntry {
+	a, b := gi.id, gj.id
+	if a > b {
+		a, b = b, a
+	}
+	key := pairKey(kindMerge, a, b)
+	if e, ok := s.sc.pairs.get(key); ok {
+		s.cDeltaHit.Inc()
+		return e
+	}
+	s.cDeltaMiss.Inc()
+	res := gi.res.Max(gj.res)
+	area, frames := s.quantize(res)
+	var contrib int64
+	if s.weights != nil {
+		// Compatibility guarantees at most one side is active per
+		// configuration, so the merged activation is a plain overlay.
+		act := s.sc.act[:0]
+		for ci := range gi.act {
+			if gi.act[ci] != 0 {
+				act = append(act, gi.act[ci])
+			} else {
+				act = append(act, gj.act[ci])
+			}
+		}
+		s.sc.act = act
+		contrib = frames * s.weightedDiff(act)
+	} else {
+		sum := int64(gi.active + gj.active)
+		sq := gi.sumSq + gj.sumSq
+		contrib = frames * (sum*sum - sq) / 2
+	}
+	e := pairEntry{contrib: contrib, area: area}
+	s.sc.pairs.put(key, e)
+	return e
+}
+
+// extendEntry returns the contribution and area of group gj extended by
+// candidate part pi — the destination side of a transfer move.
+func (s *searcher) extendEntry(gj *group, pi int) pairEntry {
+	key := pairKey(kindExtend, gj.id, uint64(pi))
+	if e, ok := s.sc.pairs.get(key); ok {
+		s.cDeltaHit.Inc()
+		return e
+	}
+	s.cDeltaMiss.Inc()
+	res := gj.res.Max(s.partRes[pi])
+	area, frames := s.quantize(res)
+	var contrib int64
+	if s.weights != nil {
+		act := append(s.sc.act[:0], gj.act...)
+		for ci := range s.cs.Active {
+			if s.cs.Active[ci][pi] {
+				act[ci] = int32(pi) + 1
+			}
+		}
+		s.sc.act = act
+		contrib = frames * s.weightedDiff(act)
+	} else {
+		n := int64(s.partAct[pi])
+		sum := int64(gj.active) + n
+		sq := gj.sumSq + n*n
+		contrib = frames * (sum*sum - sq) / 2
+	}
+	e := pairEntry{contrib: contrib, area: area}
+	s.sc.pairs.put(key, e)
+	return e
+}
+
+// shrinkEntry returns the contribution and area of group gi with the
+// part at slot k removed — the source side of a transfer move. Removal
+// cannot be computed incrementally (max does not subtract), so a miss
+// walks the remaining parts; the cache makes that a one-time cost per
+// (group, part) combination.
+func (s *searcher) shrinkEntry(gi *group, k int) pairEntry {
+	pi := gi.parts[k]
+	key := pairKey(kindShrink, gi.id, uint64(pi))
+	if e, ok := s.sc.pairs.get(key); ok {
+		s.cDeltaHit.Inc()
+		return e
+	}
+	s.cDeltaMiss.Inc()
+	var res resource.Vector
+	var active int
+	var sumSq int64
+	for idx, p := range gi.parts {
+		if idx == k {
+			continue
+		}
+		res = res.Max(s.partRes[p])
+		n := int64(s.partAct[p])
+		active += s.partAct[p]
+		sumSq += n * n
+	}
+	area, frames := s.quantize(res)
+	var contrib int64
+	if s.weights != nil {
+		act := s.sc.act[:0]
+		for range s.d.Configurations {
+			act = append(act, 0)
+		}
+		for idx, p := range gi.parts {
+			if idx == k {
+				continue
+			}
+			for ci := range s.cs.Active {
+				if s.cs.Active[ci][p] {
+					act[ci] = int32(p) + 1
+				}
+			}
+		}
+		s.sc.act = act
+		contrib = frames * s.weightedDiff(act)
+	} else {
+		sum := int64(active)
+		contrib = frames * (sum*sum - sumSq) / 2
+	}
+	e := pairEntry{contrib: contrib, area: area}
+	s.sc.pairs.put(key, e)
+	return e
+}
+
+// evalMove is the incremental counterpart of moveDelta: it produces a
+// candidate move's exact cost delta, resulting total area and budget
+// violation from the delta cache and the state's running aggregates,
+// and applies the area-based rejection rule the greedy policy uses
+// (while feasible a move must stay feasible; while infeasible it must
+// shrink the violation). ok=false reports such a rejection. For
+// transfer moves the rejection can often be decided from the
+// destination group alone — the source group's area is non-negative and
+// violation is monotone in area, so a lower bound that already fails
+// proves the exact area fails too, and the source side is never built.
+func (s *searcher) evalMove(st *state, mv move, curArea resource.Vector, curViol int64) (dCost int64, newArea resource.Vector, v int64, ok bool) {
+	if mv.part >= 0 && mv.j >= 0 {
+		gi, gj := st.groups[mv.i], st.groups[mv.j]
+		pi := gi.parts[mv.part]
+		dst := s.extendEntry(gj, pi)
+		lower := curArea.Sub(gi.area).Sub(gj.area).Add(dst.area)
+		if _, rej := s.areaViolation(lower, curViol); rej {
+			return 0, resource.Vector{}, 0, false
+		}
+		src := s.shrinkEntry(gi, mv.part)
+		newArea = lower.Add(src.area)
+		v, rej := s.areaViolation(newArea, curViol)
+		if rej {
+			return 0, resource.Vector{}, 0, false
+		}
+		dCost = dst.contrib + src.contrib - gi.contrib - gj.contrib
+		return dCost, newArea, v, true
+	}
+	if mv.j < 0 {
+		g := st.groups[mv.i]
+		newArea = curArea.Sub(g.area).Add(g.raw)
+		v, rej := s.areaViolation(newArea, curViol)
+		if rej {
+			return 0, resource.Vector{}, 0, false
+		}
+		return -g.contrib, newArea, v, true
+	}
+	gi, gj := st.groups[mv.i], st.groups[mv.j]
+	e := s.mergeEntry(gi, gj)
+	newArea = curArea.Sub(gi.area).Sub(gj.area).Add(e.area)
+	v, rej := s.areaViolation(newArea, curViol)
+	if rej {
+		return 0, resource.Vector{}, 0, false
+	}
+	dCost = e.contrib - gi.contrib - gj.contrib
+	return dCost, newArea, v, true
+}
+
+// areaViolation returns the budget violation of area together with the
+// greedy rejection verdict, computing frames only when the magnitude
+// matters. In the feasible phase (curViol == 0) rejection is exactly
+// "does not fit": a nonzero deficit always quantises to a positive
+// frame count (Tiles rounds any positive component up to a whole tile,
+// and the NoQuantize per-unit frame rates are all positive), so
+// violation > 0 and !feasible coincide, accepted moves have v == 0 by
+// construction, and the per-candidate searchFrames call disappears. In
+// the infeasible phase the exact violation drives the cost-per-frame-
+// saved selection, so it is computed in full.
+func (s *searcher) areaViolation(area resource.Vector, curViol int64) (v int64, rejected bool) {
+	if curViol == 0 {
+		return 0, !s.feasible(area)
+	}
+	v = s.violation(area)
+	return v, curViol-v <= 0
+}
+
+// moveCost returns just the cost delta of a merge or static-promotion
+// move — the restart-ordering heuristic in run scores every first move
+// regardless of feasibility and never needs the area.
+func (s *searcher) moveCost(st *state, mv move) int64 {
+	if mv.part >= 0 && mv.j >= 0 {
+		d, _ := s.moveDelta(st, mv) // transfers are never first moves
+		return d
+	}
+	if mv.j < 0 {
+		return -st.groups[mv.i].contrib
+	}
+	gi, gj := st.groups[mv.i], st.groups[mv.j]
+	e := s.mergeEntry(gi, gj)
+	return e.contrib - gi.contrib - gj.contrib
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package partition
+
+// raceEnabled selects differential-corpus sizes: full breadth normally,
+// trimmed under the race detector's ~10-20× slowdown.
+const raceEnabled = true

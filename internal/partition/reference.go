@@ -1,0 +1,182 @@
+package partition
+
+import "sort"
+
+// This file retains the pre-incremental search engine, verbatim, as the
+// oracle for differential testing (the same role baselines.go plays for
+// the cost model): referenceRun recomputes every move delta from first
+// principles via moveDelta, recomputes totalArea per iteration, applies
+// moves by cloning, and snapshots every feasible state. It shares state
+// construction (initial, moduleGrouped, newGroup), move enumeration and
+// snapshot semantics with the optimised engine but touches none of the
+// delta cache, quantisation memo or running aggregates, so any
+// incremental-bookkeeping bug shows up as a divergence in
+// TestDifferentialIncrementalVsReference. It also skips the search
+// counters — oracle runs must not perturb the optimised path's
+// deterministic observability contract.
+
+// referenceRun is the oracle counterpart of (*searcher).run.
+func (s *searcher) referenceRun() (*snapshot, int) {
+	base := s.initial()
+	states := 0
+	var best *snapshot
+	record := func(st *state) {
+		states++
+		if !s.feasible(st.totalArea()) {
+			return
+		}
+		sn := s.referenceSnap(st)
+		if best == nil || sn.better(best) {
+			best = sn
+		}
+	}
+	record(base)
+
+	if !s.opts.GreedyOnly {
+		if seed := s.moduleGrouped(); seed != nil {
+			record(seed)
+			s.referenceDescend(seed, record)
+		}
+	}
+
+	s.referenceDescend(base, record)
+
+	if !s.opts.GreedyOnly {
+		firsts := s.appendLegalMoves(nil, base, !s.opts.NoStatic, false)
+		type scored struct {
+			mv move
+			d  int64
+		}
+		sc := make([]scored, len(firsts))
+		for i, mv := range firsts {
+			d, _ := s.moveDelta(base, mv)
+			sc[i] = scored{mv, d}
+		}
+		sort.SliceStable(sc, func(i, j int) bool { return sc[i].d < sc[j].d })
+		if maxFirst := s.opts.maxFirst(); len(sc) > maxFirst {
+			sc = sc[:maxFirst]
+		}
+		for _, c := range sc {
+			st := s.referenceApply(base, c.mv)
+			record(st)
+			s.referenceDescend(st, record)
+		}
+	}
+	return best, states
+}
+
+// referenceSnap freezes a state with recomputed aggregates, ignoring the
+// running cost/area fields the optimised path maintains.
+func (s *searcher) referenceSnap(st *state) *snapshot {
+	return &snapshot{s: s, st: st.clone(), cost: st.totalCost(), area: st.totalArea()}
+}
+
+func (s *searcher) referenceDescend(st *state, record func(*state)) {
+	statics := []bool{false}
+	if !s.opts.NoStatic {
+		statics = append(statics, true)
+	}
+	for _, withStatic := range statics {
+		s.referenceGreedy(st, withStatic, false, record)
+		s.referenceGreedy(st, withStatic, true, record)
+	}
+}
+
+// referenceApply returns a new state with the move applied, rebuilding
+// the affected groups and leaving the running aggregates stale (the
+// oracle never reads them).
+func (s *searcher) referenceApply(st *state, mv move) *state {
+	out := st.clone()
+	if mv.part >= 0 && mv.j >= 0 {
+		gi, gj := out.groups[mv.i], out.groups[mv.j]
+		pi := gi.parts[mv.part]
+		rest := make([]int, 0, len(gi.parts)-1)
+		for k, p := range gi.parts {
+			if k != mv.part {
+				rest = append(rest, p)
+			}
+		}
+		out.path = append(out.path, pathStep{a: []int{pi}, b: gj.parts})
+		merged := s.newGroup(append(append([]int(nil), gj.parts...), pi)...)
+		hi, lo := mv.i, mv.j
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		out.groups = append(out.groups[:hi], out.groups[hi+1:]...)
+		out.groups = append(out.groups[:lo], out.groups[lo+1:]...)
+		if len(rest) > 0 {
+			out.groups = append(out.groups, s.newGroup(rest...))
+		}
+		out.groups = append(out.groups, merged)
+		return out
+	}
+	if mv.j < 0 {
+		g := out.groups[mv.i]
+		out.path = append(out.path, pathStep{static: true, a: g.parts})
+		out.static = append(out.static, g.parts...)
+		for _, pi := range g.parts {
+			out.staticRes = out.staticRes.Add(s.partRes[pi])
+		}
+		out.groups = append(out.groups[:mv.i], out.groups[mv.i+1:]...)
+		return out
+	}
+	gi, gj := out.groups[mv.i], out.groups[mv.j]
+	out.path = append(out.path, pathStep{a: gi.parts, b: gj.parts})
+	merged := s.newGroup(append(append([]int(nil), gi.parts...), gj.parts...)...)
+	hi, lo := mv.i, mv.j
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	out.groups = append(out.groups[:hi], out.groups[hi+1:]...)
+	out.groups = append(out.groups[:lo], out.groups[lo+1:]...)
+	out.groups = append(out.groups, merged)
+	return out
+}
+
+// referenceGreedy is the oracle counterpart of (*searcher).greedy: it
+// re-enumerates moves into a fresh slice and scores each candidate with
+// moveDelta every iteration.
+func (s *searcher) referenceGreedy(st *state, allowStatic, allowTransfers bool, record func(*state)) {
+	cur := st.clone()
+	for {
+		moves := s.appendLegalMoves(nil, cur, allowStatic, allowTransfers)
+		if len(moves) == 0 {
+			return
+		}
+		curArea := cur.totalArea()
+		curViol := s.violation(curArea)
+		bestIdx := -1
+		var bestCost, bestViol, bestSaved int64
+		for i, mv := range moves {
+			d, area := s.moveDelta(cur, mv)
+			if curViol == 0 {
+				v := s.violation(area)
+				if v > 0 {
+					continue
+				}
+				if d > 0 || (d == 0 && area.Total() >= curArea.Total()) {
+					continue
+				}
+				saved := int64(curArea.Total() - area.Total())
+				if bestIdx < 0 || d < bestCost || (d == bestCost && saved > bestSaved) {
+					bestIdx, bestCost, bestSaved = i, d, saved
+				}
+			} else {
+				v := s.violation(area)
+				saved := curViol - v
+				if saved <= 0 {
+					continue
+				}
+				if bestIdx < 0 || d*bestSaved < bestCost*saved ||
+					(d*bestSaved == bestCost*saved && v < bestViol) {
+					bestIdx, bestCost, bestViol, bestSaved = i, d, v, saved
+				}
+			}
+		}
+		if bestIdx < 0 {
+			return
+		}
+		cur = s.referenceApply(cur, moves[bestIdx])
+		record(cur)
+	}
+}

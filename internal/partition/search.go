@@ -72,9 +72,11 @@ type Options struct {
 	// search objective — the transition-probability extension the
 	// paper's §V closing remarks anticipate. Entry [i][j] scales the
 	// cost charged when a region must be reconfigured between
-	// configurations i and j (only i<j entries are read; the matrix is
-	// treated as symmetric). Nil means uniform weighting, the paper's
-	// eq. (7). Final Summary metrics are always uniform so schemes stay
+	// configurations i and j. Both directed entries are read and
+	// symmetrised: the weight of the unordered pair {i, j} is the mean
+	// of w[i][j] and w[j][i], so an asymmetric matrix is averaged, not
+	// half-ignored. Nil means uniform weighting, the paper's eq. (7).
+	// Final Summary metrics are always uniform so schemes stay
 	// comparable; evaluate weighted expectations with cost.Matrix.Weighted.
 	TransitionWeights [][]float64
 }
@@ -191,6 +193,15 @@ func SolveContext(ctx context.Context, d *design.Design, opts Options) (*Result,
 
 // solveOnce is one search run under a single objective.
 func solveOnce(ctx context.Context, d *design.Design, opts Options) (*Result, error) {
+	return solveSearch(ctx, d, opts, false)
+}
+
+// solveSearch is solveOnce with an engine selector: useReference routes
+// every candidate set through the retained pre-incremental oracle in
+// reference.go instead of the optimised descent. Differential tests use
+// it to prove the two engines return identical results; production
+// callers always pass false.
+func solveSearch(ctx context.Context, d *design.Design, opts Options, useReference bool) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("partition: invalid design: %w", err)
 	}
@@ -249,40 +260,53 @@ func solveOnce(ctx context.Context, d *design.Design, opts Options) (*Result, er
 	}
 	stopSearch := opts.Obs.Timer("partition.phase.search").Time()
 	busy := opts.Obs.Timer("partition.worker_busy")
+	// runSet searches one candidate set with a reusable per-worker
+	// scratch; the searcher itself is cheap, the scratch holds the
+	// buffers and caches worth keeping warm across sets.
+	runSet := func(i int, sc *scratch) {
+		s := newSearcher(d, m, sets[i], opts, sc)
+		if useReference {
+			snaps[i], counts[i] = s.referenceRun()
+		} else {
+			snaps[i], counts[i] = s.run()
+		}
+	}
 	if workers <= 1 || len(sets) <= 1 {
 		opts.Obs.Gauge("partition.workers").Observe(1)
 		stopBusy := busy.Time()
-		for i, cs := range sets {
+		sc := newScratch()
+		for i := range sets {
 			if ctx.Err() != nil {
 				break
 			}
-			s := newSearcher(d, m, cs, opts)
-			snaps[i], counts[i] = s.run()
+			runSet(i, sc)
 		}
 		stopBusy()
 	} else {
 		opts.Obs.Gauge("partition.workers").Observe(int64(workers))
+		// Buffered and prefilled so workers never block handing out
+		// work, and the producer never waits on a slow worker.
+		jobs := make(chan int, len(sets))
+		for i := range sets {
+			jobs <- i
+		}
+		close(jobs)
 		var wg sync.WaitGroup
-		jobs := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				stopBusy := busy.Time()
 				defer stopBusy()
+				sc := newScratch()
 				for i := range jobs {
 					if ctx.Err() != nil {
 						continue // drain without searching
 					}
-					s := newSearcher(d, m, sets[i], opts)
-					snaps[i], counts[i] = s.run()
+					runSet(i, sc)
 				}
 			}()
 		}
-		for i := range sets {
-			jobs <- i
-		}
-		close(jobs)
 		wg.Wait()
 	}
 	stopSearch()
@@ -327,10 +351,13 @@ func solveOnce(ctx context.Context, d *design.Design, opts Options) (*Result, er
 }
 
 // group is one region under construction: a set of pairwise compatible
-// candidate parts.
+// candidate parts. Groups are immutable after newGroup returns — states
+// and snapshots share pointers, and the delta cache keys entries by id.
 type group struct {
+	id      uint64          // per-candidate-set sequence number (delta-cache key)
 	parts   []int           // indices into searcher.parts
 	res     resource.Vector // raw per-resource max over parts
+	raw     resource.Vector // per-resource sum over parts (static-promotion area)
 	area    resource.Vector // tile-quantised capacity
 	frames  int64           // search-cost frames (scaled by frameScale)
 	active  int             // number of configurations that activate the group
@@ -361,9 +388,17 @@ type searcher struct {
 	// weights[i][j] is the scaled symmetric pair weight (nil = uniform).
 	weights [][]int64
 
+	// sc holds the reusable buffers, delta cache and quantisation memo
+	// (see delta.go); reset per candidate set, shared across the sets a
+	// worker processes.
+	sc *scratch
+
 	// Observability instruments, resolved once per searcher; all nil when
 	// Options.Obs is nil, making every update a single branch.
 	cMoves, cRejects, cDescents *obs.Counter
+	cDeltaHit, cDeltaMiss       *obs.Counter
+	cQuantHit, cQuantMiss       *obs.Counter
+	cSnapSkip                   *obs.Counter
 	gDepth                      *obs.Gauge
 }
 
@@ -388,11 +423,20 @@ func checkWeights(w [][]float64, n int) error {
 	return nil
 }
 
-func newSearcher(d *design.Design, m *connmat.Matrix, cs *cover.CandidateSet, opts Options) *searcher {
-	s := &searcher{d: d, cs: cs, opts: opts}
+func newSearcher(d *design.Design, m *connmat.Matrix, cs *cover.CandidateSet, opts Options, sc *scratch) *searcher {
+	s := &searcher{d: d, cs: cs, opts: opts, sc: sc}
+	// Caches are reset per candidate set so cache-counter values are a
+	// pure function of the input, independent of how sets are spread
+	// over workers (the serial-vs-parallel obs-identity contract).
+	sc.reset()
 	s.cMoves = opts.Obs.Counter("partition.moves_evaluated")
 	s.cRejects = opts.Obs.Counter("partition.moves_rejected")
 	s.cDescents = opts.Obs.Counter("partition.descents")
+	s.cDeltaHit = opts.Obs.Counter("partition.delta_cache_hits")
+	s.cDeltaMiss = opts.Obs.Counter("partition.delta_cache_misses")
+	s.cQuantHit = opts.Obs.Counter("partition.quant_memo_hits")
+	s.cQuantMiss = opts.Obs.Counter("partition.quant_memo_misses")
+	s.cSnapSkip = opts.Obs.Counter("partition.snapshots_skipped")
 	s.gDepth = opts.Obs.Gauge("partition.descent_depth_max")
 	sets := make([]modeset.Set, len(cs.Parts))
 	for i, p := range cs.Parts {

@@ -10,13 +10,25 @@ import (
 )
 
 // state is a point in the search space: candidate parts grouped into
-// regions, plus parts promoted to static.
+// regions, plus parts promoted to static logic.
+//
+// Groups are immutable once constructed (see newGroup): every move
+// builds replacement groups and only edits the state's group slice.
+// That invariant is what lets clone share group pointers, snapshots
+// survive later in-place moves, and the delta cache in delta.go key
+// entries by group id without ever invalidating them.
 type state struct {
 	groups    []*group
 	static    []int // part indices promoted to static logic
 	staticRes resource.Vector
 	// path records the moves that produced this state, for Result.Trace.
 	path []pathStep
+	// cost and area are running aggregates maintained by applyMove:
+	// cost == totalCost() and area == totalArea() at all times on the
+	// optimised path, so per-candidate evaluation never walks the
+	// groups. The reference engine ignores them and recomputes.
+	cost int64
+	area resource.Vector
 }
 
 // pathStep is one recorded search move.
@@ -25,7 +37,9 @@ type pathStep struct {
 	a, b   []int // part indices of the operand groups
 }
 
-// totalCost is the scheme's total reconfiguration time in scaled frames.
+// totalCost is the scheme's total reconfiguration time in scaled frames,
+// recomputed from the groups — the ground truth the running state.cost
+// must equal (asserted by the delta-cache property test).
 func (st *state) totalCost() int64 {
 	var t int64
 	for _, g := range st.groups {
@@ -35,7 +49,8 @@ func (st *state) totalCost() int64 {
 }
 
 // totalArea is the device resources the state consumes (fixed static
-// logic excluded; the searcher adds it when checking the budget).
+// logic excluded; the searcher adds it when checking the budget),
+// recomputed from the groups — the ground truth for state.area.
 func (st *state) totalArea() resource.Vector {
 	v := st.staticRes
 	for _, g := range st.groups {
@@ -44,19 +59,18 @@ func (st *state) totalArea() resource.Vector {
 	return v
 }
 
+// clone copies the state's own slices. Group pointers are shared —
+// groups are immutable — and the path is capacity-trimmed so appends by
+// the clone (or the original) can never write into the other's tail.
 func (st *state) clone() *state {
-	out := &state{
+	return &state{
+		groups:    append([]*group(nil), st.groups...),
 		static:    append([]int(nil), st.static...),
 		staticRes: st.staticRes,
 		path:      st.path[:len(st.path):len(st.path)],
+		cost:      st.cost,
+		area:      st.area,
 	}
-	out.groups = make([]*group, len(st.groups))
-	for i, g := range st.groups {
-		cp := *g
-		cp.parts = append([]int(nil), g.parts...)
-		out.groups[i] = &cp
-	}
-	return out
 }
 
 // searchFrames converts a raw resource requirement into the search cost
@@ -71,11 +85,14 @@ func (s *searcher) searchFrames(res resource.Vector) int64 {
 	return int64(device.Frames(res)) * frameScale
 }
 
-// newGroup builds a group holding the given parts.
+// newGroup builds an immutable group holding the given parts. The id is
+// a per-candidate-set sequence number used as a delta-cache key.
 func (s *searcher) newGroup(parts ...int) *group {
-	g := &group{parts: parts}
+	g := &group{parts: parts, id: s.sc.nextID}
+	s.sc.nextID++
 	for _, pi := range parts {
 		g.res = g.res.Max(s.partRes[pi])
+		g.raw = g.raw.Add(s.partRes[pi])
 		n := int64(s.partAct[pi])
 		g.active += s.partAct[pi]
 		g.sumSq += n * n
@@ -146,6 +163,8 @@ func (s *searcher) initial() *state {
 		}
 		st.groups = append(st.groups, s.newGroup(pi))
 	}
+	st.cost = st.totalCost()
+	st.area = st.totalArea()
 	return st
 }
 
@@ -159,61 +178,79 @@ type move struct {
 	part int
 }
 
-// apply returns a new state with the move applied.
-func (s *searcher) apply(st *state, mv move) *state {
-	out := st.clone()
+// applyMove applies mv to st in place, updating the running cost and
+// area aggregates from the delta cache. Because groups are immutable,
+// the surgery only edits st's own slices; earlier snapshots that still
+// reference the retired groups are unaffected. The slice-edit order
+// (new merged group appended last, after the transfer-source remnant)
+// matches the original engine exactly — group order feeds both move
+// enumeration and the scheme's stable region sort, so it is part of the
+// determinism contract.
+func (s *searcher) applyMove(st *state, mv move) {
 	if mv.part >= 0 && mv.j >= 0 {
-		gi, gj := out.groups[mv.i], out.groups[mv.j]
+		gi, gj := st.groups[mv.i], st.groups[mv.j]
 		pi := gi.parts[mv.part]
+		dst := s.extendEntry(gj, pi)
+		src := s.shrinkEntry(gi, mv.part)
 		rest := make([]int, 0, len(gi.parts)-1)
 		for k, p := range gi.parts {
 			if k != mv.part {
 				rest = append(rest, p)
 			}
 		}
-		out.path = append(out.path, pathStep{a: []int{pi}, b: gj.parts})
+		st.path = append(st.path, pathStep{a: []int{pi}, b: gj.parts})
 		merged := s.newGroup(append(append([]int(nil), gj.parts...), pi)...)
 		hi, lo := mv.i, mv.j
 		if hi < lo {
 			hi, lo = lo, hi
 		}
-		out.groups = append(out.groups[:hi], out.groups[hi+1:]...)
-		out.groups = append(out.groups[:lo], out.groups[lo+1:]...)
+		st.groups = append(st.groups[:hi], st.groups[hi+1:]...)
+		st.groups = append(st.groups[:lo], st.groups[lo+1:]...)
 		if len(rest) > 0 {
-			out.groups = append(out.groups, s.newGroup(rest...))
+			st.groups = append(st.groups, s.newGroup(rest...))
 		}
-		out.groups = append(out.groups, merged)
-		return out
+		st.groups = append(st.groups, merged)
+		st.cost += dst.contrib + src.contrib - gi.contrib - gj.contrib
+		st.area = st.area.Sub(gi.area).Sub(gj.area).Add(dst.area).Add(src.area)
+		return
 	}
 	if mv.j < 0 {
-		g := out.groups[mv.i]
-		out.path = append(out.path, pathStep{static: true, a: g.parts})
-		out.static = append(out.static, g.parts...)
-		for _, pi := range g.parts {
-			out.staticRes = out.staticRes.Add(s.partRes[pi])
-		}
-		out.groups = append(out.groups[:mv.i], out.groups[mv.i+1:]...)
-		return out
+		g := st.groups[mv.i]
+		st.path = append(st.path, pathStep{static: true, a: g.parts})
+		st.static = append(st.static, g.parts...)
+		st.staticRes = st.staticRes.Add(g.raw)
+		st.groups = append(st.groups[:mv.i], st.groups[mv.i+1:]...)
+		st.cost -= g.contrib
+		st.area = st.area.Sub(g.area).Add(g.raw)
+		return
 	}
-	gi, gj := out.groups[mv.i], out.groups[mv.j]
-	out.path = append(out.path, pathStep{a: gi.parts, b: gj.parts})
+	gi, gj := st.groups[mv.i], st.groups[mv.j]
+	e := s.mergeEntry(gi, gj)
+	st.path = append(st.path, pathStep{a: gi.parts, b: gj.parts})
 	merged := s.newGroup(append(append([]int(nil), gi.parts...), gj.parts...)...)
-	// Remove j first (j > i never guaranteed; normalise).
 	hi, lo := mv.i, mv.j
 	if hi < lo {
 		hi, lo = lo, hi
 	}
-	out.groups = append(out.groups[:hi], out.groups[hi+1:]...)
-	out.groups = append(out.groups[:lo], out.groups[lo+1:]...)
-	out.groups = append(out.groups, merged)
+	st.groups = append(st.groups[:hi], st.groups[hi+1:]...)
+	st.groups = append(st.groups[:lo], st.groups[lo+1:]...)
+	st.groups = append(st.groups, merged)
+	st.cost += e.contrib - gi.contrib - gj.contrib
+	st.area = st.area.Sub(gi.area).Sub(gj.area).Add(e.area)
+}
+
+// apply returns a new state with the move applied.
+func (s *searcher) apply(st *state, mv move) *state {
+	out := st.clone()
+	s.applyMove(out, mv)
 	return out
 }
 
-// legalMoves enumerates the moves available from st: every compatible
-// group merge, every single-part transfer between groups (when
-// allowTransfers), and (when allowStatic) every static promotion.
-func (s *searcher) legalMoves(st *state, allowStatic, allowTransfers bool) []move {
-	var out []move
+// appendLegalMoves appends the moves available from st to out (reusing
+// its capacity): every compatible group merge, every single-part
+// transfer between groups (when allowTransfers), and (when allowStatic)
+// every static promotion.
+func (s *searcher) appendLegalMoves(out []move, st *state, allowStatic, allowTransfers bool) []move {
 	for i := 0; i < len(st.groups); i++ {
 		for j := i + 1; j < len(st.groups); j++ {
 			if s.tab.GroupCompatible(st.groups[i].parts, st.groups[j].parts) {
@@ -243,7 +280,10 @@ func (s *searcher) legalMoves(st *state, allowStatic, allowTransfers bool) []mov
 }
 
 // moveDelta predicts the cost and area effect of a move without building
-// the new state.
+// the new state, from first principles: it rebuilds the affected groups
+// and recomputes the area sum. It is the non-incremental oracle the
+// delta cache is differentially tested against (see reference.go) and
+// is no longer on the hot path — evalMove in delta.go is.
 func (s *searcher) moveDelta(st *state, mv move) (dCost int64, newArea resource.Vector) {
 	area := st.totalArea()
 	if mv.part >= 0 && mv.j >= 0 {
@@ -313,7 +353,7 @@ type snapshot struct {
 }
 
 func (s *searcher) snap(st *state) *snapshot {
-	return &snapshot{s: s, st: st.clone(), cost: st.totalCost(), area: st.totalArea()}
+	return &snapshot{s: s, st: st.clone(), cost: st.cost, area: st.area}
 }
 
 // better orders snapshots by total reconfiguration cost, then total area,
@@ -420,15 +460,29 @@ func (s *searcher) run() (*snapshot, int) {
 	base := s.initial()
 	states := 0
 	var best *snapshot
+	// record registers a visited state, cost-first: the incumbent
+	// comparison runs on the running aggregates (the same ordering
+	// snapshot.better applies) and only a strictly better state is
+	// materialised with snap — losing states cost zero allocations.
 	record := func(st *state) {
 		states++
-		if !s.feasible(st.totalArea()) {
+		if !s.feasible(st.area) {
 			return
 		}
-		sn := s.snap(st)
-		if best == nil || sn.better(best) {
-			best = sn
+		if best != nil {
+			if st.cost > best.cost {
+				s.cSnapSkip.Inc()
+				return
+			}
+			if st.cost == best.cost {
+				at, bt := st.area.Total(), best.area.Total()
+				if at > bt || (at == bt && len(st.groups) >= len(best.st.groups)) {
+					s.cSnapSkip.Inc()
+					return
+				}
+			}
 		}
+		best = s.snap(st)
 	}
 	record(base)
 
@@ -448,22 +502,21 @@ func (s *searcher) run() (*snapshot, int) {
 
 	if !s.opts.GreedyOnly {
 		// ... and one descent per distinct first move, most promising
-		// (lowest cost increase per violation removed) first.
-		firsts := s.legalMoves(base, !s.opts.NoStatic, false)
-		type scored struct {
-			mv move
-			d  int64
+		// (lowest cost increase per violation removed) first. The moves
+		// are copied into the scored buffer before the descents below
+		// recycle the shared move buffer.
+		firsts := s.appendLegalMoves(s.sc.moves[:0], base, !s.opts.NoStatic, false)
+		s.sc.moves = firsts
+		scored := s.sc.scored[:0]
+		for _, mv := range firsts {
+			scored = append(scored, scoredMove{mv: mv, d: s.moveCost(base, mv)})
 		}
-		sc := make([]scored, len(firsts))
-		for i, mv := range firsts {
-			d, _ := s.moveDelta(base, mv)
-			sc[i] = scored{mv, d}
+		s.sc.scored = scored
+		sort.SliceStable(scored, func(i, j int) bool { return scored[i].d < scored[j].d })
+		if maxFirst := s.opts.maxFirst(); len(scored) > maxFirst {
+			scored = scored[:maxFirst]
 		}
-		sort.SliceStable(sc, func(i, j int) bool { return sc[i].d < sc[j].d })
-		if maxFirst := s.opts.maxFirst(); len(sc) > maxFirst {
-			sc = sc[:maxFirst]
-		}
-		for _, c := range sc {
+		for _, c := range scored {
 			st := s.apply(base, c.mv)
 			record(st)
 			s.descend(st, record)
@@ -520,6 +573,8 @@ func (s *searcher) moduleGrouped() *state {
 			st.groups = append(st.groups, s.newGroup(free...))
 		}
 	}
+	st.cost = st.totalCost()
+	st.area = st.totalArea()
 	return st
 }
 
@@ -528,33 +583,35 @@ func (s *searcher) moduleGrouped() *state {
 // unit of budget violation removed (merging trades time for area in this
 // model; it can never reduce cost). Once feasible it applies
 // cost-improving moves — in practice static promotions — until none
-// remain.
+// remain. Candidates are scored by evalMove against the delta cache;
+// the state mutates in place, so one descent allocates only what its
+// applied moves create.
 func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record func(*state)) {
 	s.cDescents.Inc()
 	depth := 0
 	defer func() { s.gDepth.Observe(int64(depth)) }()
 	cur := st.clone()
 	for {
-		moves := s.legalMoves(cur, allowStatic, allowTransfers)
+		moves := s.appendLegalMoves(s.sc.moves[:0], cur, allowStatic, allowTransfers)
+		s.sc.moves = moves
 		if len(moves) == 0 {
 			return
 		}
 		s.cMoves.Add(int64(len(moves)))
-		curArea := cur.totalArea()
+		curArea := cur.area
 		curViol := s.violation(curArea)
 		bestIdx := -1
 		var bestCost, bestViol, bestSaved int64
 		for i, mv := range moves {
-			d, area := s.moveDelta(cur, mv)
+			d, area, v, ok := s.evalMove(cur, mv, curArea, curViol)
+			if !ok {
+				s.cRejects.Inc()
+				continue
+			}
 			if curViol == 0 {
 				// Feasible: accept strict cost improvements, or
 				// cost-neutral area reductions that make room for later
 				// static promotions.
-				v := s.violation(area)
-				if v > 0 {
-					s.cRejects.Inc()
-					continue
-				}
 				if d > 0 || (d == 0 && area.Total() >= curArea.Total()) {
 					s.cRejects.Inc()
 					continue
@@ -564,12 +621,7 @@ func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record fu
 					bestIdx, bestCost, bestSaved = i, d, saved
 				}
 			} else {
-				v := s.violation(area)
 				saved := curViol - v
-				if saved <= 0 {
-					s.cRejects.Inc()
-					continue
-				}
 				// Lower dCost per violation removed wins; cross-multiply
 				// to stay in integers (saved > 0 on both sides).
 				if bestIdx < 0 || d*bestSaved < bestCost*saved ||
@@ -581,7 +633,7 @@ func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record fu
 		if bestIdx < 0 {
 			return
 		}
-		cur = s.apply(cur, moves[bestIdx])
+		s.applyMove(cur, moves[bestIdx])
 		depth++
 		record(cur)
 	}

@@ -5,9 +5,11 @@
 //
 // Headline metrics are deterministic for a given corpus, so any drift
 // in them is a failure. Runtimes may grow up to -tol percent before
-// they count as a regression. Counters are reported when they change
-// but never fail the comparison. Exit status is 0 when clean, 1 on any
-// regression, 2 on usage or I/O errors.
+// they count as a regression, and micro-benchmark ns/op, allocs/op and
+// bytes/op are gated under the same tolerance (a benchmark absent from
+// the old report can never regress). Counters are reported when they
+// change but never fail the comparison. Exit status is 0 when clean,
+// 1 on any regression, 2 on usage or I/O errors.
 package main
 
 import (

@@ -62,6 +62,65 @@ func TestRuntimeWithinToleranceOK(t *testing.T) {
 
 // TestMetricDriftFails: headline metrics are deterministic, so any
 // change at all is a failure regardless of tolerance.
+// writeBenchReport is writeReport plus a micro-benchmarks section.
+func writeBenchReport(t *testing.T, dir, name string, nsOp float64, allocsOp int64) string {
+	t.Helper()
+	r := &benchfmt.Report{
+		Schema:    benchfmt.Schema,
+		Rev:       strings.TrimSuffix(name, ".json"),
+		GoVersion: runtime.Version(),
+		Corpus:    benchfmt.Corpus{N: 100, Seed: 1},
+		Metrics:   map[string]float64{"casestudy_total_frames": 237464},
+		RuntimeNs: map[string]int64{"sweep_ns": 1_000_000_000},
+		Counters:  map[string]int64{"partition.states": 12345},
+		Benchmarks: map[string]benchfmt.BenchResult{
+			"solve_case_study": {NsPerOp: nsOp, AllocsPerOp: allocsOp, BytesPerOp: 1 << 20},
+		},
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := r.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAllocRegressionFails injects a 50% allocs/op regression at equal
+// wall time and checks the comparator gates allocation counts too.
+func TestAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchReport(t, dir, "old.json", 28_000_000, 90_000)
+	cur := writeBenchReport(t, dir, "new.json", 28_000_000, 135_000)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-tol", "10", old, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "solve_case_study_allocs_op") {
+		t.Fatalf("output does not name the alloc regression:\n%s", out.String())
+	}
+}
+
+// TestBenchImprovementOK checks faster, leaner benchmarks never fail,
+// and that a baseline without a benchmarks section (pre-pr4 reports)
+// accepts a new report that has one.
+func TestBenchImprovementOK(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchReport(t, dir, "old.json", 56_000_000, 699_000)
+	cur := writeBenchReport(t, dir, "new.json", 28_000_000, 90_000)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-tol", "10", old, cur}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0\noutput:\n%s%s", code, out.String(), errb.String())
+	}
+	oldPlain := writeReport(t, dir, "plain.json", 1_000_000_000, 237464)
+	if code := run([]string{"-tol", "10", oldPlain, cur}, &out, &errb); code != 0 {
+		t.Fatalf("no-benchmarks baseline: exit code = %d, want 0\noutput:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
 func TestMetricDriftFails(t *testing.T) {
 	dir := t.TempDir()
 	old := writeReport(t, dir, "old.json", 1_000_000_000, 237464)

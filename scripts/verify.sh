@@ -5,7 +5,9 @@
 #   scripts/verify.sh all      # tiers 1-3: + vet/race, + fault determinism
 #
 # Tier 1  go build + go test             — must always pass (ROADMAP gate)
-# Tier 2  go vet + go test -race         — static checks and race detection
+# Tier 2  go vet + go test -race         — static checks and race detection,
+#         plus a 1-iteration Solve benchmark smoke run
+
 # Tier 3  go test -run 'Fault|Differential|Determinism' -count=5
 #         — re-runs the seeded fault-injection tests, the differential
 #         greedy-vs-exact validation and the parallel-search determinism
@@ -24,6 +26,12 @@ if [ "$1" = "all" ]; then
 	echo "== tier 2: vet + race =="
 	go vet ./...
 	go test -race ./...
+
+	echo "== tier 2: solver benchmark smoke =="
+	# One iteration of each Solve benchmark: compiles the benchmark
+	# harness and catches crashes in the allocation-tracked hot path
+	# without paying for a full measurement run.
+	go test -run '^$' -bench Solve -benchtime 1x ./internal/partition/
 
 	echo "== tier 2: serving-layer race re-runs (x2) =="
 	# The serve suite is the repo's most concurrency-heavy code (worker
