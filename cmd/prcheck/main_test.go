@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prpart/internal/design"
+)
+
+func TestSoakDeterministicAndClean(t *testing.T) {
+	run1 := runSoakToString(t)
+	run2 := runSoakToString(t)
+	if run1 != run2 {
+		t.Fatalf("soak output not deterministic:\n--- first\n%s\n--- second\n%s", run1, run2)
+	}
+	if !strings.Contains(run1, "failing=0") {
+		t.Fatalf("soak found violations:\n%s", run1)
+	}
+	if !strings.HasPrefix(run1, "soak: seed=3 n=12 ") {
+		t.Fatalf("unexpected summary line: %q", run1)
+	}
+}
+
+func runSoakToString(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run([]string{"-soak", "-seed", "3", "-n", "12"}, &b); err != nil {
+		t.Fatalf("soak: %v\n%s", err, b.String())
+	}
+	return b.String()
+}
+
+func TestCheckSingleDesign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "videorx.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := design.EncodeJSON(f, design.VideoReceiver()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-in", path, "-device", "FX70T", "-budget", "6800,64,150"}, &b); err != nil {
+		t.Fatalf("prcheck -in: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "check: ok") {
+		t.Fatalf("expected a clean report, got:\n%s", out)
+	}
+	if !strings.Contains(out, "replayed: total=") {
+		t.Fatalf("expected the replayed cost line, got:\n%s", out)
+	}
+}
+
+func TestRunRejectsMissingMode(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Fatal("expected an error without -in or -soak")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"prpart/internal/check"
 	"prpart/internal/core"
 	"prpart/internal/design"
 	"prpart/internal/device"
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) (err error) {
 	devices := fs.String("devices", "", "custom device library (JSON, see internal/device.LoadLibrary)")
 	pin := fs.String("pin", "", "comma-separated Module.Mode names to pin into static logic")
 	explain := fs.Bool("explain", false, "print the search moves that produced the scheme")
+	doCheck := fs.Bool("check", false, "verify the result with the independent oracle (internal/check)")
 	keyOnly := fs.Bool("key", false, "print the content-addressed solve key (as prpartd computes it) and exit")
 	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +122,19 @@ func run(args []string, out io.Writer) (err error) {
 	res, err := core.Run(d, opts)
 	if err != nil {
 		return err
+	}
+	if *doCheck {
+		rep := check.Verify(check.Subject{
+			Scheme: res.Scheme,
+			Device: res.Device,
+			Budget: res.Budget,
+			Total:  res.Summary.Total,
+			Worst:  res.Summary.Worst,
+		})
+		fmt.Fprintln(out, rep)
+		if !rep.OK() {
+			return fmt.Errorf("result failed verification with %d violation(s)", len(rep.Violations))
+		}
 	}
 	if *asJSON {
 		return serve.WriteResult(out, serve.BuildResult(res, res.Plan))

@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	solveWorkers := fs.Int("solve-workers", 0, "search parallelism inside one solve (0 = serial)")
 	devices := fs.String("devices", "", "custom device library (JSON, see internal/device.LoadLibrary)")
 	drain := fs.Duration("drain", 30*time.Second, "max time to drain in-flight solves on shutdown")
+	doCheck := fs.Bool("check", false, "verify every solve with the independent oracle before serving")
 	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +82,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		DefaultTimeout: *timeout,
 		SolveWorkers:   *solveWorkers,
 		Obs:            o,
+		Check:          *doCheck,
 	}
 	if *devices != "" {
 		f, err := os.Open(*devices)

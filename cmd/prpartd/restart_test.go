@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// TestDrainRestartByteIdentity exercises the content-addressing contract
+// across a daemon lifetime: a result served warm from the cache before a
+// graceful drain and the result re-solved cold by a fresh daemon must be
+// byte-identical and carry the same content-addressed key.
+func TestDrainRestartByteIdentity(t *testing.T) {
+	body := caseStudyBody(t)
+	solve := func(t *testing.T, base, query string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/solve"+query, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, buf.String())
+		}
+		return resp, buf.Bytes()
+	}
+
+	base1, _, stop1 := bootDaemon(t, []string{"-check"})
+	r1, b1 := solve(t, base1, "")
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first solve X-Cache = %q, want miss", got)
+	}
+	if got := r1.Header.Get("X-Check"); got != "pass" {
+		t.Errorf("first solve X-Check = %q, want pass (daemon runs -check)", got)
+	}
+	r2, b2 := solve(t, base1, "")
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("warm solve X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("warm cache served different bytes than the original solve")
+	}
+	key1 := r1.Header.Get("X-Solve-Key")
+	if key1 == "" {
+		t.Fatal("no X-Solve-Key on the first response")
+	}
+	if err := stop1(); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+
+	// Fresh daemon, cold cache: the same request must miss, re-solve,
+	// and reproduce the identical bytes under the identical key.
+	base2, _, stop2 := bootDaemon(t, nil)
+	defer func() {
+		if err := stop2(); err != nil {
+			t.Errorf("second drain: %v", err)
+		}
+	}()
+	r3, b3 := solve(t, base2, "")
+	if got := r3.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("cold solve X-Cache = %q, want miss", got)
+	}
+	if got := r3.Header.Get("X-Solve-Key"); got != key1 {
+		t.Errorf("cold solve key %q, warm key %q — content addressing drifted", got, key1)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("cold re-solve served different bytes for the same content-addressed key")
+	}
+
+	// The per-request debug check agrees and still serves the same bytes.
+	r4, b4 := solve(t, base2, "?check=1")
+	if got := r4.Header.Get("X-Check"); got != "pass" {
+		t.Errorf("checked solve X-Check = %q, want pass", got)
+	}
+	if !bytes.Equal(b1, b4) {
+		t.Fatal("checked solve served different bytes")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"prpart/internal/bitstream"
@@ -26,8 +27,14 @@ var ErrNoConfig = errors.New("adaptive: configuration index out of range")
 // configured since power-up).
 const unloaded = -1
 
-// Manager is the runtime configuration manager.
+// Manager is the runtime configuration manager. Its public methods are
+// safe for concurrent use: one coarse mutex serialises every operation,
+// matching the hardware it models — there is a single ICAP port, so
+// reconfigurations are inherently sequential. A Prefetch and a SwitchTo
+// racing each other therefore interleave at method granularity, never
+// mid-reconfiguration.
 type Manager struct {
+	mu   sync.Mutex
 	sch  *scheme.Scheme
 	bits *bitstream.Set
 	port *icap.Port
@@ -65,6 +72,8 @@ type mgrObs struct {
 // on retries and scrubs). One "switch" trace event is emitted per
 // completed SwitchTo. Nil detaches.
 func (m *Manager) AttachObs(o *obs.Obs) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if o == nil {
 		m.obs = mgrObs{}
 		return
@@ -164,21 +173,41 @@ func NewManager(s *scheme.Scheme, bits *bitstream.Set, port *icap.Port) (*Manage
 }
 
 // SetRecovery installs the fault-recovery policy.
-func (m *Manager) SetRecovery(r Recovery) { m.rec = r }
+func (m *Manager) SetRecovery(r Recovery) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec = r
+}
 
 // Degraded reports whether the manager is in degraded mode: the last
 // requested switch exhausted its retries and fell back to the safe
 // configuration. The next fully successful switch clears it.
-func (m *Manager) Degraded() bool { return m.degraded }
+func (m *Manager) Degraded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
+}
 
 // Current returns the active configuration index, or -1 before Boot.
-func (m *Manager) Current() int { return m.current }
+func (m *Manager) Current() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
 
 // Loaded returns the part currently held by region ri (-1 if unknown).
-func (m *Manager) Loaded(ri int) int { return m.loaded[ri] }
+func (m *Manager) Loaded(ri int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.loaded[ri]
+}
 
 // Stats returns a copy of the accumulated statistics.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // SwitchTo reconfigures the system into the target configuration: every
 // region the configuration activates with a part other than its current
@@ -193,6 +222,8 @@ func (m *Manager) Stats() Stats { return m.stats }
 // and the failed region is left marked unloaded, so a later switch
 // reloads it rather than trusting corrupt fabric state.
 func (m *Manager) SwitchTo(config int) (time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if config < 0 || config >= len(m.sch.Design.Configurations) {
 		return 0, fmt.Errorf("%w: %d", ErrNoConfig, config)
 	}
@@ -345,6 +376,8 @@ func (m *Manager) loadRegion(ri, want int) (time.Duration, error) {
 // recovery policy's retries is simply left unloaded for the critical-path
 // switch to (re)try, not reported as an error.
 func (m *Manager) Prefetch(config int) (time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if config < 0 || config >= len(m.sch.Design.Configurations) {
 		return 0, fmt.Errorf("%w: %d", ErrNoConfig, config)
 	}
@@ -375,6 +408,8 @@ func (m *Manager) Prefetch(config int) (time.Duration, error) {
 // this when a region was left in a third state by earlier don't-care
 // transitions; it never falls below it.
 func (m *Manager) PredictedFrames(from, to int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	t := 0
 	for ri := range m.sch.Regions {
 		a, b := m.sch.Active[from][ri], m.sch.Active[to][ri]

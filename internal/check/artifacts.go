@@ -1,0 +1,266 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"prpart/internal/bitstream"
+	"prpart/internal/device"
+	"prpart/internal/netlist"
+	"prpart/internal/resource"
+	"prpart/internal/ucf"
+)
+
+// checkArtifacts verifies whichever back-end artifacts the subject
+// carries against the scheme and against each other: floorplan
+// rectangles (bounds, disjointness, tile coverage), wrapper shape, UCF
+// constraint groups and bitstream packets. Every check is re-derived
+// here rather than delegated to the producing package's own Validate.
+func checkArtifacts(rep *Report, sub Subject, frames []int) {
+	if sub.Plan != nil {
+		checkPlan(rep, sub)
+	}
+	if sub.Wrappers != nil {
+		checkWrappers(rep, sub)
+	}
+	if sub.UCF != "" {
+		checkUCF(rep, sub)
+	}
+	if sub.Bitstreams != nil {
+		checkBitstreams(rep, sub, frames)
+	}
+}
+
+func checkPlan(rep *Report, sub Subject) {
+	s := sub.Scheme
+	p := sub.Plan
+	dev := p.Device
+	if dev == nil {
+		rep.addf("plan.device", "floorplan carries no device")
+		return
+	}
+	if sub.Device != nil && dev.Name != sub.Device.Name {
+		rep.addf("plan.device", "floorplan targets %s, result claims %s", dev.Name, sub.Device.Name)
+	}
+	if len(p.Placements) != len(s.Regions) {
+		rep.addf("plan.shape", "%d placements for %d regions", len(p.Placements), len(s.Regions))
+	}
+	seen := make(map[int]bool)
+	for i, pl := range p.Placements {
+		if pl.Region < 0 || pl.Region >= len(s.Regions) {
+			rep.addf("plan.region", "placement %d targets unknown region %d", i, pl.Region)
+			continue
+		}
+		if seen[pl.Region] {
+			rep.addf("plan.region", "region %d placed twice", pl.Region)
+		}
+		seen[pl.Region] = true
+		r := pl.Rect
+		if r.Row0 < 0 || r.Col0 < 0 || r.Row1 >= dev.Rows || r.Col1 >= len(dev.Columns) ||
+			r.Row0 > r.Row1 || r.Col0 > r.Col1 {
+			rep.addf("plan.bounds", "region %d rectangle %+v outside %s (%d rows, %d columns)",
+				pl.Region, r, dev.Name, dev.Rows, len(dev.Columns))
+			continue
+		}
+		// Re-count the tiles the rectangle encloses by scanning the
+		// device's column kinds, and require them to cover the region's
+		// re-derived tile need.
+		var got resource.Vector
+		for c := r.Col0; c <= r.Col1; c++ {
+			got = got.Add(resource.Vector{}.Set(dev.Columns[c], r.Height()))
+		}
+		views := make([]partView, 0, len(s.Regions[pl.Region].Parts))
+		for _, part := range s.Regions[pl.Region].Parts {
+			views = append(views, partView{set: part.Set, resources: part.Resources})
+		}
+		var need resource.Vector
+		for _, v := range views {
+			need = need.Max(v.resources)
+		}
+		tiles := device.Tiles(need)
+		if !tiles.FitsIn(got) {
+			rep.addf("plan.tiles", "region %d rectangle encloses %v tiles, needs %v",
+				pl.Region, got, tiles)
+		}
+		for j := i + 1; j < len(p.Placements); j++ {
+			o := p.Placements[j].Rect
+			if r.Row0 <= o.Row1 && o.Row0 <= r.Row1 && r.Col0 <= o.Col1 && o.Col0 <= r.Col1 {
+				rep.addf("plan.overlap", "placements for regions %d and %d overlap",
+					pl.Region, p.Placements[j].Region)
+			}
+		}
+	}
+}
+
+func checkWrappers(rep *Report, sub Subject) {
+	s := sub.Scheme
+	w := sub.Wrappers
+	if len(w.Regions) != len(s.Regions) {
+		rep.addf("wrap.shape", "%d wrapper regions for %d scheme regions", len(w.Regions), len(s.Regions))
+		return
+	}
+	for ri := range s.Regions {
+		parts := s.Regions[ri].Parts
+		if len(w.Regions[ri]) != len(parts) {
+			rep.addf("wrap.shape", "region %d has %d wrappers for %d parts",
+				ri, len(w.Regions[ri]), len(parts))
+			continue
+		}
+		for pi, m := range w.Regions[ri] {
+			if m == nil {
+				rep.addf("wrap.missing", "region %d part %d has no wrapper", ri, pi)
+				continue
+			}
+			// One submodule instance per member mode: the wrapper
+			// instantiates exactly the part's mode set.
+			subs := 0
+			for _, inst := range m.Instances {
+				if inst.Prim == netlist.SubModule {
+					subs++
+				}
+			}
+			if want := parts[pi].Set.Len(); subs != want {
+				rep.addf("wrap.modes", "region %d part %d wrapper instantiates %d modes, part has %d",
+					ri, pi, subs, want)
+			}
+		}
+	}
+	if (w.Static != nil) != (len(s.Static) > 0) {
+		rep.addf("wrap.static", "static wrapper present=%t, scheme has %d promoted parts",
+			w.Static != nil, len(s.Static))
+	}
+}
+
+func checkUCF(rep *Report, sub Subject) {
+	s := sub.Scheme
+	parsed, err := ucf.Parse(strings.NewReader(sub.UCF))
+	if err != nil {
+		rep.addf("ucf.parse", "%v", err)
+		return
+	}
+	groups := make(map[string]ucf.ParsedGroup, len(parsed.Groups))
+	for _, g := range parsed.Groups {
+		groups[g.Name] = g
+	}
+	for ri := range s.Regions {
+		name := fmt.Sprintf("pblock_prr%d", ri+1)
+		g, ok := groups[name]
+		if !ok {
+			rep.addf("ucf.group", "no AREA_GROUP %q for region %d", name, ri)
+			continue
+		}
+		if !g.Reconfigurable {
+			rep.addf("ucf.reconfig", "%s lacks RECONFIG_MODE = TRUE", name)
+		}
+		if len(g.Ranges) == 0 {
+			rep.addf("ucf.range", "%s has no RANGE constraints", name)
+		}
+		if want := fmt.Sprintf("prr%d", ri+1); g.Inst != want {
+			rep.addf("ucf.inst", "%s constrains instance %q, want %q", name, g.Inst, want)
+		}
+		// Cross-check the SLICE range rows against the placement, when
+		// both are available: the Y extent encodes the placed tile rows.
+		if sub.Plan == nil {
+			continue
+		}
+		for _, pl := range sub.Plan.Placements {
+			if pl.Region != ri {
+				continue
+			}
+			for _, rng := range g.Ranges {
+				if !strings.HasPrefix(rng, "SLICE_") {
+					continue
+				}
+				_, y0, _, y1, err := ucf.SliceExtent(rng)
+				if err != nil {
+					rep.addf("ucf.range", "%s: %v", name, err)
+					continue
+				}
+				wantY0 := device.CLBsPerTile * pl.Rect.Row0
+				wantY1 := device.CLBsPerTile*(pl.Rect.Row1+1) - 1
+				if y0 != wantY0 || y1 != wantY1 {
+					rep.addf("ucf.range", "%s SLICE rows Y%d:Y%d disagree with placement rows Y%d:Y%d",
+						name, y0, y1, wantY0, wantY1)
+				}
+			}
+		}
+	}
+	if extra := len(parsed.Groups) - len(s.Regions); extra > 0 {
+		rep.addf("ucf.group", "UCF defines %d area groups for %d regions", len(parsed.Groups), len(s.Regions))
+	}
+}
+
+func checkBitstreams(rep *Report, sub Subject, frames []int) {
+	s := sub.Scheme
+	bits := sub.Bitstreams
+	if len(bits.PerRegion) != len(s.Regions) {
+		rep.addf("bits.shape", "%d bitstream regions for %d scheme regions",
+			len(bits.PerRegion), len(s.Regions))
+		return
+	}
+	addrOf := map[int]bitstream.FAR{}
+	if sub.Plan != nil {
+		for _, pl := range sub.Plan.Placements {
+			addrOf[pl.Region] = bitstream.FAR{Row: pl.Rect.Row0, Major: pl.Rect.Col0}
+		}
+	}
+	for ri := range s.Regions {
+		if len(bits.PerRegion[ri]) != len(s.Regions[ri].Parts) {
+			rep.addf("bits.shape", "region %d has %d bitstreams for %d parts",
+				ri, len(bits.PerRegion[ri]), len(s.Regions[ri].Parts))
+			continue
+		}
+		for pi, bs := range bits.PerRegion[ri] {
+			if bs == nil {
+				rep.addf("bits.missing", "region %d part %d has no bitstream", ri, pi)
+				continue
+			}
+			if bs.Region != ri || bs.Part != pi {
+				rep.addf("bits.slot", "bitstream at region %d part %d labels itself (%d, %d)",
+					ri, pi, bs.Region, bs.Part)
+			}
+			if ri < len(frames) && bs.Frames != frames[ri] {
+				rep.addf("bits.frames", "region %d part %d carries %d frames, region spans %d",
+					ri, pi, bs.Frames, frames[ri])
+			}
+			if want, ok := addrOf[ri]; ok && bs.Addr != want {
+				rep.addf("bits.far", "region %d part %d targets FAR %+v, placement origin is %+v",
+					ri, pi, bs.Addr, want)
+			}
+			checkPacket(rep, ri, pi, bs)
+		}
+	}
+}
+
+// checkPacket statically validates the packet framing and CRC of one
+// bitstream. The dynamic equivalent happens in the replay (the port
+// parses the same stream); the static pass localises the failure when a
+// stream is malformed rather than merely mis-sized.
+func checkPacket(rep *Report, ri, pi int, bs *bitstream.Bitstream) {
+	w := bs.Words
+	payload := bs.Frames * device.WordsPerFrame
+	if len(w) != payload+10 {
+		rep.addf("bits.packet", "region %d part %d stream is %d words, want %d for %d frames",
+			ri, pi, len(w), payload+10, bs.Frames)
+		return
+	}
+	if w[0] != bitstream.DummyWord || w[1] != bitstream.SyncWord {
+		rep.addf("bits.packet", "region %d part %d missing sync header", ri, pi)
+		return
+	}
+	if w[2] != bitstream.CmdWriteFAR || bitstream.UnpackFAR(w[3]) != bs.Addr {
+		rep.addf("bits.packet", "region %d part %d FAR word disagrees with Addr %+v", ri, pi, bs.Addr)
+	}
+	if w[4] != bitstream.CmdWriteFDRI || int(w[5]&0x07FFFFFF) != payload {
+		rep.addf("bits.packet", "region %d part %d FDRI header does not announce %d payload words",
+			ri, pi, payload)
+		return
+	}
+	body := w[6 : 6+payload]
+	if got := bitstream.Checksum(body); got != w[6+payload+1] || w[6+payload] != bitstream.CmdWriteCRC {
+		rep.addf("bits.crc", "region %d part %d CRC word does not match its payload", ri, pi)
+	}
+	if w[len(w)-2] != bitstream.CmdDesync || w[len(w)-1] != bitstream.DesyncValue {
+		rep.addf("bits.packet", "region %d part %d missing desync trailer", ri, pi)
+	}
+}

@@ -1,0 +1,323 @@
+// Package check is an independent result-verification oracle for
+// partitioning results. It re-derives every claim a solve result makes —
+// feasibility, semantic validity and cost — from first principles, using
+// only the ground-truth models (internal/resource, internal/device, the
+// icap frame replay) and never the optimiser that produced the result.
+//
+// The package deliberately does not import internal/partition,
+// internal/cost or internal/exact: a checker that shares arithmetic with
+// the optimiser can only confirm that the optimiser agrees with itself.
+// Feasibility is recomputed from the design's mode utilisations and the
+// device tile model; cost is recomputed by assembling real partial
+// bitstreams and replaying configuration transitions through an
+// icap.Port (see replay.go). An import-hygiene test pins this boundary.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prpart/internal/bitstream"
+	"prpart/internal/cluster"
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/modeset"
+	"prpart/internal/resource"
+	"prpart/internal/scheme"
+	"prpart/internal/wrapper"
+)
+
+// Violation is one broken invariant found by the oracle.
+type Violation struct {
+	// Rule names the invariant ("feas.part-fit", "cost.total", ...).
+	Rule string
+	// Detail explains the specific failure.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Report collects the oracle's findings for one result.
+type Report struct {
+	// Violations lists every broken invariant, in check order.
+	Violations []Violation
+	// ReplayedTotal and ReplayedWorst are the icap-derived transition
+	// costs in frames, valid when the cost replay ran (Replayed true).
+	ReplayedTotal, ReplayedWorst int
+	Replayed                     bool
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// addf appends a violation.
+func (r *Report) addf(rule, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// String renders the report for logs and error messages.
+func (r *Report) String() string {
+	if r.OK() {
+		return "check: ok"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d violation(s)", len(r.Violations))
+	for _, v := range r.Violations {
+		b.WriteString("\n  " + v.String())
+	}
+	return b.String()
+}
+
+// Subject is one solve result under verification: the scheme with its
+// reported cost, the device and budget it claims to fit, and whatever
+// back-end artifacts the flow produced (each checked only when present).
+type Subject struct {
+	// Scheme is the partitioning under test (required).
+	Scheme *scheme.Scheme
+	// Device is the target FPGA (required for the cost replay and the
+	// floorplan checks; nil skips both).
+	Device *device.Device
+	// Budget is the claimed resource cap; zero means the device capacity.
+	Budget resource.Vector
+	// Total and Worst are the reported transition costs in frames.
+	Total, Worst int
+
+	// Optional artifacts, verified for mutual consistency when non-nil.
+	Plan       *floorplan.Plan
+	Wrappers   *wrapper.Set
+	Bitstreams *bitstream.Set
+	UCF        string
+}
+
+// Verify runs every applicable check and returns the findings. A nil or
+// structurally hopeless subject yields a report whose violations say so
+// rather than a panic.
+func Verify(sub Subject) *Report {
+	rep := &Report{}
+	s := sub.Scheme
+	if s == nil || s.Design == nil {
+		rep.addf("subject", "no scheme or design to verify")
+		return rep
+	}
+	if err := s.Design.Validate(); err != nil {
+		rep.addf("design", "design invalid: %v", err)
+		return rep
+	}
+	frames := checkFeasibility(rep, sub)
+	checkSemantic(rep, s)
+	if sub.Device != nil {
+		replayCost(rep, sub, frames)
+	}
+	checkArtifacts(rep, sub, frames)
+	return rep
+}
+
+// partView is a base partition as the checker sees it: the mode set with
+// resources re-summed from the design, independent of the value the
+// optimiser stored.
+type partView struct {
+	set       modeset.Set
+	resources resource.Vector
+}
+
+// regionGeometry re-derives a region's quantised area and frame count
+// from the design's mode utilisations and the device tile model — the
+// checker's own arithmetic, shared by feasibility, replay and the
+// artifact checks so they agree with each other (and only then compared
+// against the optimiser's claims).
+func regionGeometry(parts []partView) (area resource.Vector, frames int) {
+	var need resource.Vector
+	for _, p := range parts {
+		need = need.Max(p.resources)
+	}
+	tiles := device.Tiles(need)
+	return device.TilesToPrimitives(tiles), device.FramesForTiles(tiles)
+}
+
+// viewParts recomputes each part's resource need from the design and
+// flags parts whose stored resources drifted from that ground truth.
+func viewParts(rep *Report, d *design.Design, where string, parts []cluster.BasePartition) []partView {
+	out := make([]partView, 0, len(parts))
+	for pi, p := range parts {
+		refs := p.Set.Refs()
+		if len(refs) == 0 {
+			rep.addf("feas.part-empty", "%s part %d has an empty mode set", where, pi)
+			continue
+		}
+		var sum resource.Vector
+		bad := false
+		for _, r := range refs {
+			if r.Module < 0 || r.Module >= len(d.Modules) ||
+				r.Mode < 1 || r.Mode > len(d.Modules[r.Module].Modes) {
+				rep.addf("feas.part-ref", "%s part %d references unknown mode %s", where, pi, r)
+				bad = true
+				continue
+			}
+			sum = sum.Add(d.ModeResources(r))
+		}
+		if bad {
+			continue
+		}
+		if sum != p.Resources {
+			rep.addf("feas.part-resources",
+				"%s part %d claims %v, modes sum to %v", where, pi, p.Resources, sum)
+		}
+		out = append(out, partView{set: p.Set, resources: sum})
+	}
+	return out
+}
+
+// checkFeasibility re-derives the scheme's area claims: every part fits
+// its region's quantised allocation, and the whole scheme — fixed static
+// logic, promoted static parts, and quantised region areas — fits the
+// budget and the device, componentwise. It returns each region's derived
+// frame count for the later checks.
+func checkFeasibility(rep *Report, sub Subject) (frames []int) {
+	s := sub.Scheme
+	d := s.Design
+	frames = make([]int, len(s.Regions))
+	total := d.Static
+	for ri := range s.Regions {
+		views := viewParts(rep, d, fmt.Sprintf("region %d", ri), s.Regions[ri].Parts)
+		area, fr := regionGeometry(views)
+		frames[ri] = fr
+		for pi, v := range views {
+			if !v.resources.FitsIn(area) {
+				rep.addf("feas.part-fit", "region %d part %d needs %v, region provides %v",
+					ri, pi, v.resources, area)
+			}
+		}
+		if len(views) > 0 && fr <= 0 {
+			rep.addf("feas.region-frames", "region %d derives %d frames for a non-empty region", ri, fr)
+		}
+		total = total.Add(area)
+	}
+	for _, v := range viewParts(rep, d, "static", s.Static) {
+		total = total.Add(v.resources)
+	}
+	budget := sub.Budget
+	if budget.IsZero() && sub.Device != nil {
+		budget = sub.Device.Capacity
+	}
+	if !budget.IsZero() && !total.FitsIn(budget) {
+		rep.addf("feas.budget", "scheme needs %v, budget is %v", total, budget)
+	}
+	// Physical device fit is deliberately not a componentwise capacity
+	// comparison here: the budget may legitimately exceed a capacity
+	// component (the paper's case-study budget does). The device is the
+	// floorplanner's problem, and the oracle checks it physically — the
+	// plan checks verify every placed rectangle, and the cost replay
+	// places the scheme itself when the subject carries no plan.
+	return frames
+}
+
+// checkSemantic re-derives — without calling scheme.Validate — that the
+// activation table realises every configuration: shape and index ranges,
+// full mode coverage by static logic plus active parts, no spurious
+// activations (mode-0 normalisation: a region stays inactive in every
+// configuration that needs none of its modes), and mutual exclusion (one
+// part per region per configuration, which the single-index activation
+// row makes structural and the range check enforces).
+func checkSemantic(rep *Report, s *scheme.Scheme) {
+	d := s.Design
+	if len(s.Active) != len(d.Configurations) {
+		rep.addf("sem.shape", "%d activation rows for %d configurations",
+			len(s.Active), len(d.Configurations))
+		return
+	}
+	staticSet := modeset.Set{}
+	for _, p := range s.Static {
+		staticSet = staticSet.Union(p.Set)
+	}
+	// Every mode placed anywhere must be used by some configuration:
+	// carrying dead modes in a region inflates its area for nothing.
+	used := make(map[design.ModeRef]bool)
+	for _, r := range d.UsedModes() {
+		used[r] = true
+	}
+	place := func(where string, set modeset.Set) {
+		for _, r := range set.Refs() {
+			if !used[r] {
+				rep.addf("sem.dead-mode", "%s carries mode %s, which no configuration uses", where, r)
+			}
+		}
+	}
+	place("static logic", staticSet)
+	for ri := range s.Regions {
+		for pi, p := range s.Regions[ri].Parts {
+			place(fmt.Sprintf("region %d part %d", ri, pi), p.Set)
+		}
+	}
+	for ci := range d.Configurations {
+		row := s.Active[ci]
+		if len(row) != len(s.Regions) {
+			rep.addf("sem.shape", "config %d: %d activation columns for %d regions",
+				ci, len(row), len(s.Regions))
+			continue
+		}
+		cfg := modeset.New(d.ConfigModes(ci)...)
+		provided := staticSet
+		for ri, pi := range row {
+			if pi == scheme.Inactive {
+				continue
+			}
+			if pi < 0 || pi >= len(s.Regions[ri].Parts) {
+				rep.addf("sem.range", "config %d region %d: part index %d out of range",
+					ci, ri, pi)
+				continue
+			}
+			part := s.Regions[ri].Parts[pi]
+			if !part.Set.Intersects(cfg) {
+				rep.addf("sem.spurious",
+					"config %d region %d: active part %v shares no mode with the configuration",
+					ci, ri, part.Set.Refs())
+			}
+			provided = provided.Union(part.Set)
+		}
+		for _, r := range cfg.Refs() {
+			if !provided.Contains(r) {
+				rep.addf("sem.coverage", "config %d: mode %s not provided by static logic or any active region",
+					ci, r)
+			}
+		}
+	}
+}
+
+// RegionFrames re-derives each region's frame count from the stored part
+// resources and the device tile model — the same arithmetic the
+// feasibility pass uses. Callers feed it to DuplicateRowInvariance.
+func RegionFrames(s *scheme.Scheme) []int {
+	fr := make([]int, len(s.Regions))
+	for ri := range s.Regions {
+		parts := make([]partView, 0, len(s.Regions[ri].Parts))
+		for _, p := range s.Regions[ri].Parts {
+			parts = append(parts, partView{set: p.Set, resources: p.Resources})
+		}
+		_, fr[ri] = regionGeometry(parts)
+	}
+	return fr
+}
+
+// Fingerprint summarises a scheme up to region order and part labelling:
+// the sorted multiset of derived region frame counts, the static
+// resource sum, and the region count. Two isomorphic schemes — equal up
+// to permuting modules, modes or regions — share a fingerprint.
+func Fingerprint(s *scheme.Scheme) string {
+	fr := make([]int, 0, len(s.Regions))
+	for ri := range s.Regions {
+		parts := make([]partView, 0, len(s.Regions[ri].Parts))
+		for _, p := range s.Regions[ri].Parts {
+			parts = append(parts, partView{set: p.Set, resources: p.Resources})
+		}
+		_, f := regionGeometry(parts)
+		fr = append(fr, f)
+	}
+	sort.Ints(fr)
+	var st resource.Vector
+	for _, p := range s.Static {
+		st = st.Add(p.Resources)
+	}
+	return fmt.Sprintf("regions=%d frames=%v static=%v", len(s.Regions), fr, st)
+}

@@ -1,0 +1,241 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"prpart/internal/check"
+	"prpart/internal/core"
+	"prpart/internal/design"
+	"prpart/internal/resource"
+	"prpart/internal/scheme"
+)
+
+// solved runs the full flow on the paper's case study and wraps the
+// result as the oracle's subject — the common fixture every mutation
+// test perturbs.
+func solved(t *testing.T) (*core.Result, check.Subject) {
+	t.Helper()
+	res, err := core.Run(design.VideoReceiver(), core.Options{
+		Device: "FX70T",
+		Budget: design.CaseStudyBudget(),
+	})
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	return res, check.Subject{
+		Scheme:     res.Scheme,
+		Device:     res.Device,
+		Budget:     res.Budget,
+		Total:      res.Summary.Total,
+		Worst:      res.Summary.Worst,
+		Plan:       res.Plan,
+		Wrappers:   res.Wrappers,
+		Bitstreams: res.Bitstreams,
+		UCF:        res.UCF,
+	}
+}
+
+func wantRule(t *testing.T, rep *check.Report, rule string) {
+	t.Helper()
+	for _, v := range rep.Violations {
+		if v.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("no %s violation; got %v", rule, rep.Violations)
+}
+
+func TestVerifyAcceptsSolvedResult(t *testing.T) {
+	_, sub := solved(t)
+	rep := check.Verify(sub)
+	if !rep.OK() {
+		t.Fatalf("valid result rejected:\n%s", rep)
+	}
+	if !rep.Replayed {
+		t.Fatal("cost replay did not run")
+	}
+	if rep.ReplayedTotal != sub.Total || rep.ReplayedWorst != sub.Worst {
+		t.Fatalf("replay derived (%d, %d), reported (%d, %d)",
+			rep.ReplayedTotal, rep.ReplayedWorst, sub.Total, sub.Worst)
+	}
+}
+
+func TestVerifyWithoutDeviceSkipsReplay(t *testing.T) {
+	_, sub := solved(t)
+	sub.Device = nil
+	sub.Plan, sub.Wrappers, sub.Bitstreams, sub.UCF = nil, nil, nil, ""
+	rep := check.Verify(sub)
+	if !rep.OK() {
+		t.Fatalf("unexpected violations: %s", rep)
+	}
+	if rep.Replayed {
+		t.Fatal("replay ran without a device")
+	}
+}
+
+func TestVerifyFlagsInflatedTotal(t *testing.T) {
+	_, sub := solved(t)
+	sub.Total++
+	wantRule(t, check.Verify(sub), "cost.total")
+}
+
+func TestVerifyFlagsDeflatedWorst(t *testing.T) {
+	_, sub := solved(t)
+	sub.Worst--
+	wantRule(t, check.Verify(sub), "cost.worst")
+}
+
+func TestVerifyFlagsDriftedPartResources(t *testing.T) {
+	res, sub := solved(t)
+	mut := cloneScheme(res.Scheme)
+	mut.Regions[0].Parts[0].Resources = mut.Regions[0].Parts[0].Resources.Add(resource.New(1, 0, 0))
+	sub.Scheme = mut
+	wantRule(t, check.Verify(sub), "feas.part-resources")
+}
+
+func TestVerifyFlagsTightBudget(t *testing.T) {
+	_, sub := solved(t)
+	sub.Budget = resource.New(1, 1, 1)
+	wantRule(t, check.Verify(sub), "feas.budget")
+}
+
+func TestVerifyFlagsSpuriousActivation(t *testing.T) {
+	res, sub := solved(t)
+	mut := cloneScheme(res.Scheme)
+	// Find a configuration/region the solver left inactive and force a
+	// part onto it: activating a region the configuration does not need
+	// violates mode-0 normalisation.
+	found := false
+	for ci := range mut.Active {
+		for ri, pi := range mut.Active[ci] {
+			if pi == scheme.Inactive {
+				mut.Active[ci][ri] = 0
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("scheme has no inactive slot to corrupt")
+	}
+	sub.Scheme = mut
+	rep := check.Verify(sub)
+	if rep.OK() {
+		t.Fatalf("spurious activation not flagged")
+	}
+	if !hasPrefix(rep, "sem.") && !hasPrefix(rep, "cost.") {
+		t.Fatalf("unexpected rules: %s", rep)
+	}
+}
+
+func TestVerifyFlagsMissingCoverage(t *testing.T) {
+	res, sub := solved(t)
+	mut := cloneScheme(res.Scheme)
+	// Deactivate every region in configuration 0: its modes are no
+	// longer provided by anything.
+	for ri := range mut.Active[0] {
+		mut.Active[0][ri] = scheme.Inactive
+	}
+	sub.Scheme = mut
+	rep := check.Verify(sub)
+	wantRule(t, rep, "sem.coverage")
+}
+
+func TestVerifyFlagsTruncatedActivation(t *testing.T) {
+	res, sub := solved(t)
+	mut := cloneScheme(res.Scheme)
+	mut.Active = mut.Active[:len(mut.Active)-1]
+	sub.Scheme = mut
+	wantRule(t, check.Verify(sub), "sem.shape")
+}
+
+func TestVerifyFlagsCorruptBitstream(t *testing.T) {
+	_, sub := solved(t)
+	bits := sub.Bitstreams
+	if len(bits.PerRegion) == 0 || len(bits.PerRegion[0]) == 0 {
+		t.Skip("no bitstreams to corrupt")
+	}
+	bs := bits.PerRegion[0][0].Clone()
+	bs.Words[7] ^= 0xFFFF     // payload word: breaks the CRC
+	bits.PerRegion[0][0] = bs // each test gets a fresh fixture
+	rep := check.Verify(sub)
+	wantRule(t, rep, "bits.crc")
+	// The replay drives the same stream through the port, which must
+	// reject it too.
+	wantRule(t, rep, "cost.load")
+}
+
+func TestVerifyFlagsForeignUCF(t *testing.T) {
+	_, sub := solved(t)
+	sub.UCF = strings.Replace(sub.UCF, "RECONFIG_MODE", "IGNORED_MODE", 1)
+	wantRule(t, check.Verify(sub), "ucf.reconfig")
+}
+
+func TestVerifyFlagsWrongPlanDevice(t *testing.T) {
+	res, sub := solved(t)
+	mut := *res.Plan
+	mut.Device = nil
+	sub.Plan = &mut
+	wantRule(t, check.Verify(sub), "plan.device")
+}
+
+func TestRegionFramesMatchReplay(t *testing.T) {
+	res, sub := solved(t)
+	rep := check.Verify(sub)
+	if !rep.OK() {
+		t.Fatalf("fixture invalid: %s", rep)
+	}
+	frames := check.RegionFrames(res.Scheme)
+	if len(frames) != len(res.Scheme.Regions) {
+		t.Fatalf("got %d frame counts for %d regions", len(frames), len(res.Scheme.Regions))
+	}
+	for ri, f := range frames {
+		if f <= 0 {
+			t.Fatalf("region %d derives %d frames", ri, f)
+		}
+	}
+}
+
+func TestDuplicateRowInvarianceHolds(t *testing.T) {
+	res, _ := solved(t)
+	frames := check.RegionFrames(res.Scheme)
+	for r := range res.Scheme.Active {
+		if vs := check.DuplicateRowInvariance(res.Scheme, frames, r); len(vs) != 0 {
+			t.Fatalf("row %d: %v", r, vs)
+		}
+	}
+	if vs := check.DuplicateRowInvariance(res.Scheme, frames, len(res.Scheme.Active)); len(vs) == 0 {
+		t.Fatal("out-of-range row not flagged")
+	}
+}
+
+func hasPrefix(rep *check.Report, prefix string) bool {
+	for _, v := range rep.Violations {
+		if strings.HasPrefix(v.Rule, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneScheme deep-copies the mutable parts of a scheme so mutation
+// tests never corrupt the shared fixture.
+func cloneScheme(s *scheme.Scheme) *scheme.Scheme {
+	ns := *s
+	ns.Regions = make([]scheme.Region, len(s.Regions))
+	for i, r := range s.Regions {
+		nr := r
+		nr.Parts = append(nr.Parts[:0:0], r.Parts...)
+		ns.Regions[i] = nr
+	}
+	ns.Static = append(s.Static[:0:0], s.Static...)
+	ns.Active = make([][]int, len(s.Active))
+	for i, row := range s.Active {
+		ns.Active[i] = append(row[:0:0], row...)
+	}
+	return &ns
+}

@@ -1,0 +1,50 @@
+package check_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestImportHygiene pins the oracle's independence: the non-test files
+// of internal/check must not import the optimiser or its cost model.
+// A checker that shares arithmetic with the code under test can only
+// confirm that the code agrees with itself.
+func TestImportHygiene(t *testing.T) {
+	forbidden := []string{
+		"prpart/internal/partition",
+		"prpart/internal/cost",
+		"prpart/internal/exact",
+		"prpart/internal/core",
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, bad := range forbidden {
+				if path == bad || strings.HasPrefix(path, bad+"/") {
+					t.Errorf("%s imports %s — the oracle must stay independent of the optimiser", name, path)
+				}
+			}
+		}
+	}
+}

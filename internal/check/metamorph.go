@@ -1,0 +1,251 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"prpart/internal/design"
+	"prpart/internal/scheme"
+)
+
+// Outcome is what the metamorphic relations compare: the scheme a solver
+// produced for a design and its reported cost. The solver itself is
+// injected (see Solver) so this package never imports the optimiser.
+type Outcome struct {
+	Scheme       *scheme.Scheme
+	Total, Worst int
+}
+
+// Solver produces an Outcome for a design. cmd/prcheck wires this to the
+// real flow; tests can wire stubs or deliberately broken solvers.
+type Solver func(d *design.Design) (*Outcome, error)
+
+// Metamorph runs the metamorphic relations against a solved base design:
+// transformations of the input with a predictable effect on the output.
+//
+//	permute-modules  reordering modules (and configuration columns)
+//	                 must not change the cost or the scheme shape
+//	permute-modes    reordering modes inside a module likewise
+//	permute-configs  reordering the configuration list likewise
+//	upgrade-budget   doubling the budget must not increase the total
+//	pad-unused       appending modes and modules no configuration uses
+//	                 must not change the cost (mode-0 normalisation)
+//	normalize        Normalize is idempotent and maps the padded design
+//	                 back to the normalised original
+//
+// seed drives the permutation choices deterministically. Solver failures
+// on transformed designs are violations: every transformation preserves
+// solvability.
+func Metamorph(d *design.Design, base *Outcome, solve Solver, seed int64) []Violation {
+	var out []Violation
+	rng := rand.New(rand.NewSource(seed))
+	baseFP := Fingerprint(base.Scheme)
+
+	same := func(rule string, td *design.Design) {
+		o, err := solve(td)
+		if err != nil {
+			out = append(out, Violation{Rule: rule, Detail: fmt.Sprintf("transformed design failed to solve: %v", err)})
+			return
+		}
+		if o.Total != base.Total || o.Worst != base.Worst {
+			out = append(out, Violation{Rule: rule, Detail: fmt.Sprintf(
+				"cost changed: total %d->%d, worst %d->%d", base.Total, o.Total, base.Worst, o.Worst)})
+		}
+		if fp := Fingerprint(o.Scheme); fp != baseFP {
+			out = append(out, Violation{Rule: rule, Detail: fmt.Sprintf(
+				"scheme shape changed: %s -> %s", baseFP, fp)})
+		}
+	}
+
+	same("meta.permute-modules", PermuteModules(d, rng.Perm(len(d.Modules))))
+	same("meta.permute-modes", PermuteModes(d, rng))
+	same("meta.permute-configs", PermuteConfigs(d, rng.Perm(len(d.Configurations))))
+	same("meta.pad-unused", PadUnused(d))
+
+	// Normalisation is idempotent, and normalising the padded design
+	// recovers the normalised original byte-for-byte.
+	n1 := Normalize(d)
+	n2 := Normalize(n1)
+	if !designEqual(n1, n2) {
+		out = append(out, Violation{Rule: "meta.normalize", Detail: "Normalize is not idempotent"})
+	}
+	if !designEqual(Normalize(PadUnused(d)), n1) {
+		out = append(out, Violation{Rule: "meta.normalize", Detail: "Normalize(padded) differs from Normalize(original)"})
+	}
+	return out
+}
+
+// UpgradeBudget checks the monotonicity relation separately, since its
+// guarantee is weaker: enlarging the budget can only keep or improve the
+// optimal total. The solver is a heuristic, so prcheck runs this
+// relation over committed seeds to demonstrate the descent is in
+// practice monotone under relaxation; a violation is reported with both
+// costs so regressions that break monotonicity get a concrete witness.
+func UpgradeBudget(base *Outcome, upgraded *Outcome) []Violation {
+	if upgraded.Total > base.Total {
+		return []Violation{{Rule: "meta.upgrade-budget", Detail: fmt.Sprintf(
+			"doubling the budget raised the total from %d to %d frames", base.Total, upgraded.Total)}}
+	}
+	return nil
+}
+
+// PermuteModules returns a deep copy of d with modules reordered by perm
+// (new index i holds old module perm[i]) and every configuration's mode
+// column vector permuted to match.
+func PermuteModules(d *design.Design, perm []int) *design.Design {
+	nd := &design.Design{Name: d.Name, Static: d.Static}
+	nd.Modules = make([]*design.Module, len(d.Modules))
+	for i, p := range perm {
+		nd.Modules[i] = copyModule(d.Modules[p])
+	}
+	for ci, c := range d.Configurations {
+		nc := design.Configuration{Name: c.Name, Modes: make([]int, len(c.Modes))}
+		for i, p := range perm {
+			nc.Modes[i] = c.Modes[p]
+		}
+		nd.Configurations = append(nd.Configurations, nc)
+		_ = ci
+	}
+	return nd
+}
+
+// PermuteModes returns a deep copy of d with each module's modes
+// shuffled (drawing one permutation per module from rng) and every
+// configuration's 1-based mode indices remapped accordingly.
+func PermuteModes(d *design.Design, rng *rand.Rand) *design.Design {
+	nd := &design.Design{Name: d.Name, Static: d.Static}
+	// newIdx[mi][old 1-based] = new 1-based index.
+	newIdx := make([][]int, len(d.Modules))
+	for mi, m := range d.Modules {
+		perm := rng.Perm(len(m.Modes)) // new position i holds old mode perm[i]
+		nm := &design.Module{Name: m.Name, Modes: make([]design.Mode, len(m.Modes))}
+		newIdx[mi] = make([]int, len(m.Modes)+1)
+		for i, p := range perm {
+			nm.Modes[i] = m.Modes[p]
+			newIdx[mi][p+1] = i + 1
+		}
+		nd.Modules = append(nd.Modules, nm)
+	}
+	for _, c := range d.Configurations {
+		nc := design.Configuration{Name: c.Name, Modes: make([]int, len(c.Modes))}
+		for mi, k := range c.Modes {
+			if k != 0 {
+				nc.Modes[mi] = newIdx[mi][k]
+			}
+		}
+		nd.Configurations = append(nd.Configurations, nc)
+	}
+	return nd
+}
+
+// PermuteConfigs returns a deep copy of d with the configuration list
+// reordered by perm.
+func PermuteConfigs(d *design.Design, perm []int) *design.Design {
+	nd := &design.Design{Name: d.Name, Static: d.Static}
+	for _, m := range d.Modules {
+		nd.Modules = append(nd.Modules, copyModule(m))
+	}
+	nd.Configurations = make([]design.Configuration, len(d.Configurations))
+	for i, p := range perm {
+		nd.Configurations[i] = copyConfig(d.Configurations[p])
+	}
+	return nd
+}
+
+// PadUnused returns a deep copy of d with one extra mode appended to
+// every module and one extra never-active module appended to the design.
+// No configuration references any of the additions, so partitioning must
+// ignore them entirely (the §IV-D mode-0 rule: absent means absent).
+func PadUnused(d *design.Design) *design.Design {
+	nd := &design.Design{Name: d.Name, Static: d.Static}
+	for _, m := range d.Modules {
+		nm := copyModule(m)
+		nm.Modes = append(nm.Modes, design.Mode{
+			Name:      "unused-pad",
+			Resources: m.Modes[0].Resources,
+		})
+		nd.Modules = append(nd.Modules, nm)
+	}
+	nd.Modules = append(nd.Modules, &design.Module{
+		Name:  "PadModule",
+		Modes: []design.Mode{{Name: "1", Resources: d.Modules[0].Modes[0].Resources}},
+	})
+	for _, c := range d.Configurations {
+		nc := copyConfig(c)
+		nc.Modes = append(nc.Modes, 0) // the pad module is absent everywhere
+		nd.Configurations = append(nd.Configurations, nc)
+	}
+	return nd
+}
+
+// Normalize applies mode-0 normalisation to a design: modules no
+// configuration ever activates are dropped, modes no configuration uses
+// are dropped, and configuration index vectors are re-based onto the
+// surviving modules and modes. Solving a design and solving its
+// normalisation must agree, and Normalize is idempotent.
+func Normalize(d *design.Design) *design.Design {
+	usedMode := make(map[design.ModeRef]bool)
+	usedModule := make(map[int]bool)
+	for _, c := range d.Configurations {
+		for mi, k := range c.Modes {
+			if k != 0 {
+				usedModule[mi] = true
+				usedMode[design.ModeRef{Module: mi, Mode: k}] = true
+			}
+		}
+	}
+	nd := &design.Design{Name: d.Name, Static: d.Static}
+	moduleMap := make([]int, len(d.Modules)) // old -> new, -1 dropped
+	modeMap := make([][]int, len(d.Modules)) // old module -> old 1-based -> new 1-based
+	for mi, m := range d.Modules {
+		moduleMap[mi] = -1
+		if !usedModule[mi] {
+			continue
+		}
+		nm := &design.Module{Name: m.Name}
+		modeMap[mi] = make([]int, len(m.Modes)+1)
+		for ki, md := range m.Modes {
+			if usedMode[design.ModeRef{Module: mi, Mode: ki + 1}] {
+				nm.Modes = append(nm.Modes, md)
+				modeMap[mi][ki+1] = len(nm.Modes)
+			}
+		}
+		moduleMap[mi] = len(nd.Modules)
+		nd.Modules = append(nd.Modules, nm)
+	}
+	for _, c := range d.Configurations {
+		nc := design.Configuration{Name: c.Name, Modes: make([]int, len(nd.Modules))}
+		for mi, k := range c.Modes {
+			if k != 0 && moduleMap[mi] >= 0 {
+				nc.Modes[moduleMap[mi]] = modeMap[mi][k]
+			}
+		}
+		nd.Configurations = append(nd.Configurations, nc)
+	}
+	return nd
+}
+
+func copyModule(m *design.Module) *design.Module {
+	nm := &design.Module{Name: m.Name, Modes: make([]design.Mode, len(m.Modes))}
+	copy(nm.Modes, m.Modes)
+	return nm
+}
+
+func copyConfig(c design.Configuration) design.Configuration {
+	nc := design.Configuration{Name: c.Name, Modes: make([]int, len(c.Modes))}
+	copy(nc.Modes, c.Modes)
+	return nc
+}
+
+// designEqual compares two designs through the canonical JSON codec.
+func designEqual(a, b *design.Design) bool {
+	var ab, bb bytes.Buffer
+	if err := design.EncodeJSON(&ab, a); err != nil {
+		return false
+	}
+	if err := design.EncodeJSON(&bb, b); err != nil {
+		return false
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes())
+}

@@ -1,0 +1,107 @@
+package check_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"prpart/internal/check"
+	"prpart/internal/design"
+)
+
+func TestTransformsPreserveValidity(t *testing.T) {
+	for _, d := range append(design.Gallery(), design.VideoReceiver(), design.PaperExample()) {
+		rng := rand.New(rand.NewSource(3))
+		for name, td := range map[string]*design.Design{
+			"permute-modules": check.PermuteModules(d, rng.Perm(len(d.Modules))),
+			"permute-modes":   check.PermuteModes(d, rng),
+			"permute-configs": check.PermuteConfigs(d, rng.Perm(len(d.Configurations))),
+			"pad-unused":      check.PadUnused(d),
+			"normalize":       check.Normalize(d),
+		} {
+			if err := td.Validate(); err != nil {
+				t.Errorf("%s/%s: transformed design invalid: %v", d.Name, name, err)
+			}
+			if td == d {
+				t.Errorf("%s/%s: transform returned the original pointer", d.Name, name)
+			}
+		}
+	}
+}
+
+func TestPermutationsPreserveConfigResources(t *testing.T) {
+	d := design.VideoReceiver()
+	rng := rand.New(rand.NewSource(5))
+	perms := check.PermuteModes(check.PermuteModules(d, rng.Perm(len(d.Modules))), rng)
+	if len(perms.Configurations) != len(d.Configurations) {
+		t.Fatal("configuration count changed")
+	}
+	// Each configuration's total resource demand is permutation-invariant.
+	for ci := range d.Configurations {
+		if got, want := perms.ConfigResources(ci), d.ConfigResources(ci); got != want {
+			t.Errorf("config %d: resources %v after permutation, want %v", ci, got, want)
+		}
+	}
+}
+
+func TestNormalizeDropsUnused(t *testing.T) {
+	d := check.PadUnused(design.PaperExample())
+	n := check.Normalize(d)
+	if len(n.Modules) != len(design.PaperExample().Modules) {
+		t.Fatalf("normalised design has %d modules, want %d",
+			len(n.Modules), len(design.PaperExample().Modules))
+	}
+	for mi, m := range n.Modules {
+		for _, mode := range m.Modes {
+			if mode.Name == "unused-pad" {
+				t.Errorf("module %d still carries the pad mode", mi)
+			}
+		}
+	}
+}
+
+func TestMetamorphPassesWithFaithfulSolver(t *testing.T) {
+	res, _ := solved(t)
+	base := &check.Outcome{Scheme: res.Scheme, Total: res.Summary.Total, Worst: res.Summary.Worst}
+	// A solver that always reproduces the base outcome trivially
+	// satisfies every invariance relation.
+	faithful := func(*design.Design) (*check.Outcome, error) { return base, nil }
+	if vs := check.Metamorph(res.Design, base, faithful, 1); len(vs) != 0 {
+		t.Fatalf("faithful solver flagged: %v", vs)
+	}
+}
+
+func TestMetamorphFlagsDriftingSolver(t *testing.T) {
+	res, _ := solved(t)
+	base := &check.Outcome{Scheme: res.Scheme, Total: res.Summary.Total, Worst: res.Summary.Worst}
+	drift := func(*design.Design) (*check.Outcome, error) {
+		return &check.Outcome{Scheme: res.Scheme, Total: base.Total + 100, Worst: base.Worst}, nil
+	}
+	vs := check.Metamorph(res.Design, base, drift, 1)
+	if len(vs) == 0 {
+		t.Fatal("cost drift across permutations not flagged")
+	}
+}
+
+func TestMetamorphFlagsFailingSolver(t *testing.T) {
+	res, _ := solved(t)
+	base := &check.Outcome{Scheme: res.Scheme, Total: res.Summary.Total, Worst: res.Summary.Worst}
+	failing := func(*design.Design) (*check.Outcome, error) { return nil, errors.New("boom") }
+	vs := check.Metamorph(res.Design, base, failing, 1)
+	if len(vs) < 4 {
+		t.Fatalf("expected every transform to report a solve failure, got %v", vs)
+	}
+}
+
+func TestUpgradeBudget(t *testing.T) {
+	base := &check.Outcome{Total: 100, Worst: 40}
+	if vs := check.UpgradeBudget(base, &check.Outcome{Total: 90, Worst: 40}); len(vs) != 0 {
+		t.Fatalf("improvement flagged: %v", vs)
+	}
+	if vs := check.UpgradeBudget(base, &check.Outcome{Total: 100, Worst: 40}); len(vs) != 0 {
+		t.Fatalf("equality flagged: %v", vs)
+	}
+	if vs := check.UpgradeBudget(base, &check.Outcome{Total: 110, Worst: 40}); len(vs) == 0 {
+		t.Fatal("regression not flagged")
+	}
+}

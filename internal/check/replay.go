@@ -1,0 +1,258 @@
+package check
+
+import (
+	"fmt"
+
+	"prpart/internal/bitstream"
+	"prpart/internal/device"
+	"prpart/internal/floorplan"
+	"prpart/internal/icap"
+	"prpart/internal/scheme"
+)
+
+// maxPairReplayFrames bounds the physically replayed transition volume:
+// below it every configuration pair is individually driven through the
+// port; above it each bitstream is still loaded once (so every frame
+// count comes from a parsed packet stream, never from the optimiser) and
+// the pairwise sums are formed arithmetically from those counts. The
+// bound is deterministic in the subject, so soak output never depends on
+// machine speed.
+const maxPairReplayFrames = 200_000
+
+// replayCost reproduces the reported reconfiguration cost through the
+// icap frame model: it floorplans the scheme (when the subject carries
+// no plan), assembles real partial bitstreams (when the subject carries
+// none), loads each through a fresh port restricted to the placement
+// windows, and re-derives every configuration transition's frame cost
+// from the port's own accounting. The reported Total and Worst must
+// match exactly.
+//
+// derived is the feasibility pass's frame counts, cross-checked against
+// the replayed values so the two independent derivations cannot drift
+// apart silently.
+func replayCost(rep *Report, sub Subject, derived []int) {
+	s := sub.Scheme
+	plan := sub.Plan
+	if plan == nil {
+		// A subject without a plan made no placement claim (the serving
+		// path skips the backend), so the plan built here is replay
+		// scaffolding only: region frame counts derive from tiles and are
+		// device-independent, so any placeable device reproduces the same
+		// cost. Escalate through the catalog like the flow does; only a
+		// scheme no device can place is a finding.
+		dev := sub.Device
+		p, err := floorplan.Place(s, dev)
+		for err != nil {
+			next, nerr := device.NextLarger(dev)
+			if nerr != nil {
+				rep.addf("cost.floorplan", "scheme cannot be floorplanned on %s or any larger device: %v",
+					sub.Device.Name, err)
+				return
+			}
+			dev = next
+			p, err = floorplan.Place(s, dev)
+		}
+		plan = p
+	}
+	bits := sub.Bitstreams
+	if bits == nil {
+		var err error
+		bits, err = bitstream.Assemble(s, plan)
+		if err != nil {
+			rep.addf("cost.assemble", "bitstream assembly failed: %v", err)
+			return
+		}
+	}
+	if len(bits.PerRegion) != len(s.Regions) {
+		rep.addf("cost.shape", "%d bitstream regions for %d scheme regions",
+			len(bits.PerRegion), len(s.Regions))
+		return
+	}
+
+	port := icap.New(0, 0)
+	port.RestrictToPlan(plan)
+
+	// Phase A: load every (region, part) bitstream once. The frame count
+	// credited to a region is what the port parsed out of the packet
+	// stream — FAR, FDRI word count, CRC and all — not what any model
+	// computed.
+	regionFrames := make([]int, len(s.Regions))
+	for ri := range s.Regions {
+		if len(bits.PerRegion[ri]) != len(s.Regions[ri].Parts) {
+			rep.addf("cost.shape", "region %d has %d bitstreams for %d parts",
+				ri, len(bits.PerRegion[ri]), len(s.Regions[ri].Parts))
+			return
+		}
+		for pi, bs := range bits.PerRegion[ri] {
+			before := port.Stats().Frames
+			if _, err := port.Load(bs); err != nil {
+				rep.addf("cost.load", "region %d part %d: %v", ri, pi, err)
+				return
+			}
+			loaded := port.Stats().Frames - before
+			if pi == 0 {
+				regionFrames[ri] = loaded
+			} else if loaded != regionFrames[ri] {
+				rep.addf("cost.region-frames",
+					"region %d part %d loads %d frames, part 0 loaded %d — parts of one region must rewrite the same area",
+					ri, pi, loaded, regionFrames[ri])
+			}
+		}
+		if ri < len(derived) && regionFrames[ri] != derived[ri] {
+			rep.addf("cost.region-frames",
+				"region %d replays %d frames, feasibility model derives %d",
+				ri, regionFrames[ri], derived[ri])
+		}
+	}
+
+	// Phase B: re-derive every unordered configuration pair's transition
+	// cost — the frames of each region both configurations activate with
+	// different parts — from the replayed counts.
+	nCfg := len(s.Active)
+	total, worst := 0, 0
+	physical := 0
+	type pair struct{ i, j, t int }
+	var pairs []pair
+	for i := 0; i < nCfg; i++ {
+		for j := i + 1; j < nCfg; j++ {
+			if len(s.Active[i]) != len(s.Regions) || len(s.Active[j]) != len(s.Regions) {
+				continue // shape violations already reported by the semantic pass
+			}
+			t := 0
+			for ri := range s.Regions {
+				a, b := s.Active[i][ri], s.Active[j][ri]
+				if a != scheme.Inactive && b != scheme.Inactive && a != b {
+					t += regionFrames[ri]
+				}
+			}
+			pairs = append(pairs, pair{i, j, t})
+			total += t
+			physical += t
+			if t > worst {
+				worst = t
+			}
+		}
+	}
+	rep.Replayed = true
+	rep.ReplayedTotal, rep.ReplayedWorst = total, worst
+	if total != sub.Total {
+		rep.addf("cost.total", "reported total %d frames, replay derives %d", sub.Total, total)
+	}
+	if worst != sub.Worst {
+		rep.addf("cost.worst", "reported worst case %d frames, replay derives %d", sub.Worst, worst)
+	}
+
+	// Phase C: when the physical volume is modest, actually drive every
+	// transition through the port — each differing region's target
+	// bitstream is loaded and the pair's cost taken from the port's frame
+	// counter — proving the arithmetic of phase B matches what the fabric
+	// would really do.
+	if physical > maxPairReplayFrames {
+		return
+	}
+	for _, p := range pairs {
+		before := port.Stats().Frames
+		for ri := range s.Regions {
+			a, b := s.Active[p.i][ri], s.Active[p.j][ri]
+			if a != scheme.Inactive && b != scheme.Inactive && a != b {
+				if _, err := port.Load(bits.PerRegion[ri][b]); err != nil {
+					rep.addf("cost.load", "transition %d->%d region %d: %v", p.i, p.j, ri, err)
+					return
+				}
+			}
+		}
+		if got := port.Stats().Frames - before; got != p.t {
+			rep.addf("cost.pair", "transition %d->%d replays %d frames, model says %d",
+				p.i, p.j, got, p.t)
+		}
+	}
+	// The port's busy time must scale with the frames it wrote (eq. 9):
+	// loading everything above took at least the pure frame-transfer time
+	// of the written frames.
+	st := port.Stats()
+	if st.Loads > 0 && st.Busy < port.FrameTime(st.Frames) {
+		rep.addf("cost.time", "port busy %v for %d frames, below the frame-transfer floor %v",
+			st.Busy, st.Frames, port.FrameTime(st.Frames))
+	}
+}
+
+// DuplicateRowInvariance checks the "duplicated configuration" relation
+// at the activation-table level: appending a copy of configuration r's
+// activation row must add exactly r's pairwise costs (the copy is free
+// against its twin), leaving the worst case unchanged. The design codec
+// rejects literally duplicated configurations, so the relation is
+// exercised where it is well-defined: on the cost structure of the
+// solved scheme, using replayed frame counts.
+func DuplicateRowInvariance(s *scheme.Scheme, regionFrames []int, r int) []Violation {
+	var out []Violation
+	nCfg := len(s.Active)
+	if r < 0 || r >= nCfg {
+		return []Violation{{Rule: "meta.dup-config", Detail: "row out of range"}}
+	}
+	cost := func(i, j int) int {
+		t := 0
+		for ri := range regionFrames {
+			if ri >= len(s.Active[i]) || ri >= len(s.Active[j]) {
+				return 0
+			}
+			a, b := s.Active[i][ri], s.Active[j][ri]
+			if a != scheme.Inactive && b != scheme.Inactive && a != b {
+				t += regionFrames[ri]
+			}
+		}
+		return t
+	}
+	baseTotal, baseWorst := 0, 0
+	rowSum := 0
+	for i := 0; i < nCfg; i++ {
+		for j := i + 1; j < nCfg; j++ {
+			t := cost(i, j)
+			baseTotal += t
+			if t > baseWorst {
+				baseWorst = t
+			}
+		}
+		if i != r {
+			rowSum += cost(r, i)
+		}
+	}
+	// Extended table: row nCfg is a copy of row r.
+	ext := append(append([][]int{}, s.Active...), s.Active[r])
+	extTotal, extWorst := 0, 0
+	costExt := func(i, j int) int {
+		t := 0
+		for ri := range regionFrames {
+			if ri >= len(ext[i]) || ri >= len(ext[j]) {
+				return 0
+			}
+			a, b := ext[i][ri], ext[j][ri]
+			if a != scheme.Inactive && b != scheme.Inactive && a != b {
+				t += regionFrames[ri]
+			}
+		}
+		return t
+	}
+	for i := 0; i <= nCfg; i++ {
+		for j := i + 1; j <= nCfg; j++ {
+			t := costExt(i, j)
+			extTotal += t
+			if t > extWorst {
+				extWorst = t
+			}
+		}
+	}
+	if want := baseTotal + rowSum; extTotal != want {
+		out = append(out, Violation{Rule: "meta.dup-config", Detail: fmt.Sprintf(
+			"duplicating config %d changes total from %d to %d, want %d (original plus its row sum)",
+			r, baseTotal, extTotal, want)})
+	}
+	if extWorst != baseWorst {
+		out = append(out, Violation{Rule: "meta.dup-config", Detail: fmt.Sprintf(
+			"duplicating config %d changes worst case from %d to %d", r, baseWorst, extWorst)})
+	}
+	if c := costExt(r, nCfg); c != 0 {
+		out = append(out, Violation{Rule: "meta.dup-config", Detail: fmt.Sprintf(
+			"config %d and its duplicate cost %d frames to switch between; identical configurations must cost 0", r, c)})
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package exact_test
+
+import (
+	"reflect"
+	"testing"
+
+	"prpart/internal/design"
+	"prpart/internal/exact"
+	"prpart/internal/partition"
+)
+
+// TestOptionsParity pins the option surface the differential pass relies
+// on: every exact.Options field must exist in partition.Options under
+// the same name and type with the same meaning, so an exact solve and a
+// restricted greedy solve built from the same inputs cannot silently
+// diverge on option handling. New exact.Options fields must be added
+// here (and to the differential wiring in cmd/prcheck) deliberately.
+func TestOptionsParity(t *testing.T) {
+	et := reflect.TypeOf(exact.Options{})
+	pt := reflect.TypeOf(partition.Options{})
+	want := map[string]bool{"Budget": true, "NoStatic": true}
+	if et.NumField() != len(want) {
+		t.Errorf("exact.Options grew to %d fields; update the differential pass and this pin", et.NumField())
+	}
+	for i := 0; i < et.NumField(); i++ {
+		f := et.Field(i)
+		if !want[f.Name] {
+			t.Errorf("unexpected exact.Options field %s", f.Name)
+			continue
+		}
+		pf, ok := pt.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("partition.Options lacks %s", f.Name)
+			continue
+		}
+		if pf.Type != f.Type {
+			t.Errorf("%s: exact has %v, partition has %v", f.Name, f.Type, pf.Type)
+		}
+	}
+}
+
+// TestSharedOptionHandling drives both solvers through the same
+// option table and requires agreement on the aspects the options
+// control — the contract the differential oracle pass depends on.
+func TestSharedOptionHandling(t *testing.T) {
+	cases := []struct {
+		name     string
+		design   *design.Design
+		noStatic bool
+	}{
+		{"paper-default", design.PaperExample(), false},
+		{"paper-nostatic", design.PaperExample(), true},
+		{"twomodule-default", design.TwoModuleExample(), false},
+		{"twomodule-nostatic", design.TwoModuleExample(), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			budget := tc.design.LargestConfiguration().Scale(3).Add(tc.design.Static)
+			ex, err := exact.Solve(tc.design, exact.Options{Budget: budget, NoStatic: tc.noStatic})
+			if err != nil {
+				t.Fatalf("exact: %v", err)
+			}
+			gr, err := partition.Solve(tc.design, partition.Options{
+				Budget: budget, NoStatic: tc.noStatic, MaxCandidateSets: 1,
+			})
+			if err != nil {
+				t.Fatalf("greedy: %v", err)
+			}
+			// Optimality over the shared candidate set: the heuristic can
+			// never beat the exhaustive optimum.
+			if gr.Summary.Total < ex.Summary.Total {
+				t.Errorf("greedy total %d beats exact optimum %d", gr.Summary.Total, ex.Summary.Total)
+			}
+			// NoStatic must mean the same thing to both: no promoted parts.
+			if tc.noStatic {
+				if len(ex.Scheme.Static) != 0 {
+					t.Errorf("exact promoted %d parts under NoStatic", len(ex.Scheme.Static))
+				}
+				if len(gr.Scheme.Static) != 0 {
+					t.Errorf("greedy promoted %d parts under NoStatic", len(gr.Scheme.Static))
+				}
+			}
+		})
+	}
+}
+
+// TestWeightSymmetrisationEndToEnd complements the unit-level pin in
+// partition (TestTransitionWeightsSymmetrised): feeding the full solver
+// an asymmetric weight matrix and its explicit mean-symmetrised form
+// must produce identical schemes and costs, end to end. The exact solver
+// takes no weights, so the differential pass only ever compares
+// unweighted runs — this test is what licenses that restriction.
+func TestWeightSymmetrisationEndToEnd(t *testing.T) {
+	d := design.VideoReceiver()
+	n := len(d.Configurations)
+	asym := make([][]float64, n)
+	sym := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		asym[i] = make([]float64, n)
+		sym[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				asym[i][j] = float64((i*7+j*2)%5) + 0.25
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sym[i][j] = (asym[i][j] + asym[j][i]) / 2
+		}
+	}
+	a, err := partition.Solve(d, partition.Options{Budget: design.CaseStudyBudget(), TransitionWeights: asym})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := partition.Solve(d, partition.Options{Budget: design.CaseStudyBudget(), TransitionWeights: sym})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary.Total != b.Summary.Total || a.Summary.Worst != b.Summary.Worst {
+		t.Fatalf("asymmetric weights gave (%d, %d), pre-symmetrised gave (%d, %d)",
+			a.Summary.Total, a.Summary.Worst, b.Summary.Total, b.Summary.Worst)
+	}
+	if a.Scheme.String() != b.Scheme.String() {
+		t.Fatalf("schemes differ:\n--- asymmetric\n%s\n--- symmetrised\n%s", a.Scheme, b.Scheme)
+	}
+}

@@ -1,0 +1,183 @@
+package resource
+
+import (
+	"math"
+	"testing"
+)
+
+// The edge-case tables below cover what the happy-path tests skip: zero
+// vectors, extreme magnitudes at the int limits, and mixed-sign deltas,
+// which the search produces transiently when budgets are subtracted
+// before clamping.
+
+func TestSubMixedSigns(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    Vector
+		sub     Vector
+		floor   Vector
+		nonNeg  bool // Sub result
+		fitsInA bool // b.FitsIn(a)
+	}{
+		{"zero-zero", Vector{}, Vector{}, Vector{}, Vector{}, true, true},
+		{"zero-minus-pos", Vector{}, New(1, 2, 3), New(-1, -2, -3), Vector{}, false, false},
+		{"pos-minus-zero", New(1, 2, 3), Vector{}, New(1, 2, 3), New(1, 2, 3), true, true},
+		{"mixed-components", New(5, 1, 0), New(3, 4, 0), New(2, -3, 0), New(2, 0, 0), false, false},
+		{"negative-operands", New(-2, 3, -4), New(1, -1, 2), New(-3, 4, -6), New(0, 4, 0), false, false},
+		{"self-cancel", New(7, 8, 9), New(7, 8, 9), Vector{}, Vector{}, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Sub(tc.b); got != tc.sub {
+				t.Errorf("Sub = %v, want %v", got, tc.sub)
+			}
+			if got := tc.a.SubFloor(tc.b); got != tc.floor {
+				t.Errorf("SubFloor = %v, want %v", got, tc.floor)
+			}
+			if got := tc.a.Sub(tc.b).IsNonNegative(); got != tc.nonNeg {
+				t.Errorf("Sub(...).IsNonNegative = %t, want %t", got, tc.nonNeg)
+			}
+			if got := tc.b.FitsIn(tc.a); got != tc.fitsInA {
+				t.Errorf("FitsIn = %t, want %t", got, tc.fitsInA)
+			}
+			if f := tc.a.SubFloor(tc.b); !f.IsNonNegative() {
+				t.Errorf("SubFloor produced a negative component: %v", f)
+			}
+		})
+	}
+}
+
+func TestMaxWithNegatives(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Vector
+		want Vector
+	}{
+		{"zero-identity-for-nonneg", New(3, 0, 5), Vector{}, New(3, 0, 5)},
+		{"zero-masks-negatives", New(-3, -1, -5), Vector{}, Vector{}},
+		{"componentwise", New(1, 9, -2), New(4, 2, -7), New(4, 9, -2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Max(tc.b); got != tc.want {
+				t.Errorf("Max = %v, want %v", got, tc.want)
+			}
+			if got := tc.b.Max(tc.a); got != tc.want {
+				t.Errorf("Max not commutative: %v vs %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestScaleEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Vector
+		n    int
+		want Vector
+	}{
+		{"by-zero", New(3, 4, 5), 0, Vector{}},
+		{"zero-by-anything", Vector{}, 1 << 20, Vector{}},
+		{"by-negative", New(3, 4, 5), -2, New(-6, -8, -10)},
+		{"negative-by-negative", New(-3, 0, 5), -1, New(3, 0, -5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.v.Scale(tc.n); got != tc.want {
+				t.Errorf("Scale(%d) = %v, want %v", tc.n, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestClampSaturation(t *testing.T) {
+	cases := []struct {
+		name  string
+		v     Vector
+		limit int
+		want  Vector
+	}{
+		{"zero", Vector{}, 100, Vector{}},
+		{"in-range", New(5, 50, 99), 100, New(5, 50, 99)},
+		{"wraps", New(100, 101, 250), 100, New(0, 1, 50)},
+		{"negative-abs", New(-7, -100, -101), 100, New(7, 0, 1)},
+		// -MinInt overflows back to MinInt; Clamp pins it to 0 instead
+		// of handing a negative count to the modulo.
+		{"minint-saturates", New(math.MinInt, math.MinInt, math.MinInt), 100, Vector{}},
+		{"maxint-wraps", New(math.MaxInt, 0, 0), 10, New(math.MaxInt%10, 0, 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Clamp(tc.v, tc.limit)
+			if got != tc.want {
+				t.Errorf("Clamp(%v, %d) = %v, want %v", tc.v, tc.limit, got, tc.want)
+			}
+			if !got.IsNonNegative() {
+				t.Errorf("Clamp produced a negative component: %v", got)
+			}
+			if got.CLB >= tc.limit || got.BRAM >= tc.limit || got.DSP >= tc.limit {
+				t.Errorf("Clamp exceeded limit: %v", got)
+			}
+		})
+	}
+}
+
+func TestAddOverflowWraps(t *testing.T) {
+	// Document (rather than hide) Go's wrapping int semantics at the
+	// extreme: Add does not saturate. Real utilisations are bounded far
+	// below this by Clamp and the device capacities, so the partitioner
+	// never operates in the wrapping regime.
+	v := New(math.MaxInt, 0, 0).Add(New(1, 0, 0))
+	if v.CLB != math.MinInt {
+		t.Fatalf("MaxInt+1 = %d, want wrap to MinInt", v.CLB)
+	}
+	if v.IsNonNegative() {
+		t.Fatal("wrapped component reported as non-negative")
+	}
+}
+
+func TestAggregatesEmptyAndSingleton(t *testing.T) {
+	if got := SumAll(); !got.IsZero() {
+		t.Errorf("SumAll() = %v, want zero", got)
+	}
+	if got := MaxAll(); !got.IsZero() {
+		t.Errorf("MaxAll() = %v, want zero", got)
+	}
+	one := New(2, -3, 4)
+	if got := SumAll(one); got != one {
+		t.Errorf("SumAll(v) = %v, want %v", got, one)
+	}
+	// MaxAll seeds its fold with the zero vector, so negative components
+	// are floored at zero even for a single argument — unlike binary
+	// Max, which passes negatives through.
+	if got, want := MaxAll(one), New(2, 0, 4); got != want {
+		t.Errorf("MaxAll(v) = %v, want %v (negatives floored by the zero seed)", got, want)
+	}
+	neg := MaxAll(New(-5, -1, -9), New(-2, -8, -3))
+	if neg != (Vector{}) {
+		t.Errorf("MaxAll over negatives = %v, want zero (seeded by the zero vector)", neg)
+	}
+}
+
+func TestTotalAndZeroMixedSigns(t *testing.T) {
+	cases := []struct {
+		name   string
+		v      Vector
+		total  int
+		isZero bool
+	}{
+		{"zero", Vector{}, 0, true},
+		{"cancelling-components", New(5, -5, 0), 0, false},
+		{"all-negative", New(-1, -2, -3), -6, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.v.Total(); got != tc.total {
+				t.Errorf("Total = %d, want %d", got, tc.total)
+			}
+			if got := tc.v.IsZero(); got != tc.isZero {
+				t.Errorf("IsZero = %t, want %t", got, tc.isZero)
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"fmt"
+
+	"prpart/internal/check"
+	"prpart/internal/core"
+)
+
+// verifyResult runs the independent oracle over a solve result before it
+// is served. Serving-path results skip the backend, so the oracle places
+// its own floorplan and replays the transition costs from assembled
+// bitstreams — an unplaceable or mis-costed scheme is a finding here,
+// not an inconvenience.
+func verifyResult(res *core.Result) error {
+	rep := check.Verify(check.Subject{
+		Scheme: res.Scheme,
+		Device: res.Device,
+		Budget: res.Budget,
+		Total:  res.Summary.Total,
+		Worst:  res.Summary.Worst,
+	})
+	if rep.OK() {
+		return nil
+	}
+	return fmt.Errorf("serve: result failed verification: %s", rep)
+}

@@ -1,0 +1,146 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"prpart/internal/core"
+	"prpart/internal/design"
+	"prpart/internal/serve"
+)
+
+func postCheck(t *testing.T, ts *httptest.Server, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/solve?check=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestCheckQueryVerifiesResult opts a single request into verification
+// and requires the X-Check: pass marker on the verified response.
+func TestCheckQueryVerifiesResult(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := solveBody(t, design.VideoReceiver(), `{"budget": {"clb": 6800, "bram": 64, "dsp": 150}}`)
+	resp, b := postCheck(t, ts, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("checked solve: status %d: %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Check"); got != "pass" {
+		t.Errorf("X-Check = %q, want pass", got)
+	}
+
+	// An unchecked request must not carry the marker.
+	resp2, b2 := post(t, ts, body)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("unchecked solve: status %d: %s", resp2.StatusCode, b2)
+	}
+	if got := resp2.Header.Get("X-Check"); got != "" {
+		t.Errorf("unchecked X-Check = %q, want empty", got)
+	}
+}
+
+// TestCheckQueryBypassesCacheRead primes the cache with an unchecked
+// solve, then asserts ?check=1 re-solves (the verification must actually
+// run) while returning byte-identical content.
+func TestCheckQueryBypassesCacheRead(t *testing.T) {
+	var calls atomic.Int64
+	srv := serve.New(serve.Config{
+		Workers: 2,
+		Solver: func(ctx context.Context, d *design.Design, opts core.Options) (*core.Result, error) {
+			calls.Add(1)
+			return core.RunContext(ctx, d, opts)
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := solveBody(t, design.VideoReceiver(), `{"budget": {"clb": 6800, "bram": 64, "dsp": 150}}`)
+	_, b1 := post(t, ts, body)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("solver calls after priming = %d, want 1", got)
+	}
+	resp, b2 := postCheck(t, ts, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("checked solve: status %d: %s", resp.StatusCode, b2)
+	}
+	if got := resp.Header.Get("X-Cache"); got == "hit" {
+		t.Error("checked request was served from cache; the oracle never ran")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("solver calls after checked request = %d, want 2", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("checked and unchecked bodies differ for the same key")
+	}
+}
+
+// TestServerWideCheckRejectsCorruptResult runs a solver stub that
+// corrupts the reported cost and requires the serving path to refuse the
+// result with a 500 naming the violated rule.
+func TestServerWideCheckRejectsCorruptResult(t *testing.T) {
+	srv := serve.New(serve.Config{
+		Workers: 2,
+		Check:   true,
+		Solver: func(ctx context.Context, d *design.Design, opts core.Options) (*core.Result, error) {
+			res, err := core.RunContext(ctx, d, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Summary.Total += 7 // lie about the cost
+			return res, nil
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := solveBody(t, design.VideoReceiver(), `{"budget": {"clb": 6800, "bram": 64, "dsp": 150}}`)
+	resp, b := post(t, ts, body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d for a corrupt result, want 500: %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "cost.total") {
+		t.Errorf("error body does not name the violated rule: %s", b)
+	}
+
+	// The refused result must not have been cached.
+	resp2, _ := post(t, ts, body)
+	if got := resp2.Header.Get("X-Cache"); got == "hit" {
+		t.Error("a result that failed verification was served from cache")
+	}
+}
+
+// TestServerWideCheckAcceptsHonestResult is the control: with Check on
+// and the real solver, everything passes and gets the marker.
+func TestServerWideCheckAcceptsHonestResult(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2, Check: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := solveBody(t, design.VideoReceiver(), `{"budget": {"clb": 6800, "bram": 64, "dsp": 150}}`)
+	resp, b := post(t, ts, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Check"); got != "pass" {
+		t.Errorf("X-Check = %q, want pass", got)
+	}
+}

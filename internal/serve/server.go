@@ -55,6 +55,11 @@ type Config struct {
 	Library []*device.Device
 	// Solver overrides the flow entry point (tests). Nil = core.RunContext.
 	Solver SolveFunc
+	// Check verifies every solve with the independent oracle
+	// (internal/check) before serving it; violations surface as 500s.
+	// Individual requests can opt in per call with ?check=1 on
+	// /v1/solve regardless of this setting.
+	Check bool
 }
 
 // Server is the partitioning service: bounded worker pool, solve cache,
@@ -236,9 +241,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Solve-Key", key)
-	if cached, ok := s.cache.Get(key); ok {
-		s.respond(w, "hit", cached)
-		return
+	// The debug query ?check=1 verifies this request's result with the
+	// independent oracle even when the server-wide Check is off. It
+	// bypasses the cache read so the verification actually runs; the
+	// verified body is still cached for everyone else (the bytes are
+	// identical either way).
+	urlCheck := r.URL.Query().Get("check") == "1"
+	docheck := s.cfg.Check || urlCheck
+	if !urlCheck {
+		if cached, ok := s.cache.Get(key); ok {
+			s.respond(w, "hit", cached)
+			return
+		}
 	}
 
 	if timeout == 0 {
@@ -251,7 +265,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	call, leader := s.flight.join(s.baseCtx, key)
+	// Checked and unchecked requests must not coalesce onto each other:
+	// a follower asking for verification would otherwise ride on a
+	// leader that skipped it. The flight key is namespaced; the cache
+	// key is not (the result bytes are the same).
+	fkey := key
+	if docheck {
+		fkey += "+check"
+	}
+	call, leader := s.flight.join(s.baseCtx, fkey)
 	if leader {
 		select {
 		case s.admit <- struct{}{}:
@@ -260,18 +282,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			// 429 below is published to every follower already joined on
 			// this key (see DESIGN.md §8, backpressure semantics).
 			s.cRejected.Inc()
-			s.flight.finish(key, call, nil, http.StatusTooManyRequests, errQueueFull)
+			s.flight.finish(fkey, call, nil, http.StatusTooManyRequests, errQueueFull)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, errQueueFull)
 			return
 		}
 		go func() {
 			defer func() { <-s.admit }()
-			body, status, err := s.solve(call.ctx, key, sp)
+			body, status, err := s.solve(call.ctx, key, sp, docheck)
 			if err == nil {
 				s.cache.Put(key, body)
 			}
-			s.flight.finish(key, call, body, status, err)
+			s.flight.finish(fkey, call, body, status, err)
 		}()
 	} else {
 		s.cCoalesced.Inc()
@@ -289,6 +311,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		cache := "miss"
 		if !leader {
 			cache = "coalesced"
+		}
+		if docheck {
+			w.Header().Set("X-Check", "pass")
 		}
 		s.respond(w, cache, call.body)
 	}
@@ -326,7 +351,7 @@ func (s *Server) respond(w http.ResponseWriter, cache string, body []byte) {
 
 // solve waits for a worker slot, runs the flow under the call context
 // and renders the canonical result bytes.
-func (s *Server) solve(ctx context.Context, key string, sp *SolveSpec) ([]byte, int, error) {
+func (s *Server) solve(ctx context.Context, key string, sp *SolveSpec, docheck bool) ([]byte, int, error) {
 	s.lQueued.Inc()
 	select {
 	case s.sem <- struct{}{}:
@@ -349,6 +374,12 @@ func (s *Server) solve(ctx context.Context, key string, sp *SolveSpec) ([]byte, 
 	if err != nil {
 		s.obs.Emit("serve", "solve.error", obs.Str("key", key), obs.Str("err", err.Error()))
 		return nil, errStatus(err), err
+	}
+	if docheck {
+		if verr := verifyResult(res); verr != nil {
+			s.obs.Emit("serve", "solve.check_failed", obs.Str("key", key), obs.Str("err", verr.Error()))
+			return nil, http.StatusInternalServerError, verr
+		}
 	}
 	var plan *floorplan.Plan
 	if sp.Floorplan {

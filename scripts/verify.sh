@@ -2,7 +2,8 @@
 # Tiered verification for the repo.
 #
 #   scripts/verify.sh          # tier 1 only: build + tests (the CI gate)
-#   scripts/verify.sh all      # tiers 1-3: + vet/race, + fault determinism
+#   scripts/verify.sh all      # tiers 1-4: + vet/race, + fault determinism,
+#                              #            + oracle soak
 #
 # Tier 1  go build + go test             — must always pass (ROADMAP gate)
 # Tier 2  go vet + go test -race         — static checks and race detection,
@@ -15,6 +16,11 @@
 #         stability, so any hidden source of nondeterminism (map order,
 #         shared RNG, time dependence, scheduling) shows up as a flaky
 #         -count run.
+# Tier 4  prcheck -soak — the independent verification oracle (DESIGN.md
+#         §10) re-derives feasibility, semantics and replayed cost for
+#         200 seeded synthetic solves, plus metamorphic relations and a
+#         differential pass against the exact solver. Deterministic for
+#         the fixed seed; the nightly CI job runs more seeds.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -42,6 +48,9 @@ if [ "$1" = "all" ]; then
 	echo "== tier 3: fault-injection, differential and determinism re-runs (x5) =="
 	go test -run 'Fault|Differential|Determinism' -count=5 \
 		./internal/faults/ ./internal/icap/ ./internal/adaptive/ ./cmd/prsim/ ./internal/partition/
+
+	echo "== tier 4: verification-oracle soak =="
+	go run ./cmd/prcheck -soak -seed 1 -n 200
 fi
 
 echo "verify: OK"
