@@ -7,6 +7,13 @@
 //
 //	prpartd [-addr 127.0.0.1:8377] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 30s] [-solve-workers N] [-devices lib.json]
+//	        [-store DIR] [-shutdown-timeout 0s] [-cache-max-body N]
+//
+// With -store the daemon persists every solved result in a
+// content-addressed on-disk store and serves previously-solved keys
+// byte-identically across restarts (X-Cache: store). Corrupt blobs are
+// quarantined under DIR/quarantine and transparently re-solved; a torn
+// ledger tail from a crash is truncated on startup.
 //
 // Endpoints:
 //
@@ -33,9 +40,15 @@ import (
 	"time"
 
 	"prpart/internal/device"
+	"prpart/internal/faults"
 	"prpart/internal/obs"
 	"prpart/internal/serve"
+	"prpart/internal/store"
 )
+
+// newServer builds the serving layer; a variable so tests can wrap the
+// config (e.g. substitute a scripted solver) without flag plumbing.
+var newServer = serve.New
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -56,7 +69,12 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	solveWorkers := fs.Int("solve-workers", 0, "search parallelism inside one solve (0 = serial)")
 	devices := fs.String("devices", "", "custom device library (JSON, see internal/device.LoadLibrary)")
 	drain := fs.Duration("drain", 30*time.Second, "max time to drain in-flight solves on shutdown")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 0, "overrides -drain when set: hard bound on graceful shutdown")
 	doCheck := fs.Bool("check", false, "verify every solve with the independent oracle before serving")
+	storeDir := fs.String("store", "", "persist solved results in this directory (empty = memory only)")
+	storeFaultSeed := fs.Int64("store-fault-seed", 1, "seed for injected store I/O faults (chaos testing)")
+	storeFaultRate := fs.Float64("store-fault-rate", 0, "per-op probability of injected store I/O faults (0 = off)")
+	cacheMaxBody := fs.Int64("cache-max-body", 0, "max bytes of a single cached result body (0 = unbounded)")
 	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +101,30 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		SolveWorkers:   *solveWorkers,
 		Obs:            o,
 		Check:          *doCheck,
+		CacheMaxBody:   *cacheMaxBody,
+	}
+	if *storeDir != "" {
+		sfs := store.OSFS()
+		if *storeFaultRate > 0 {
+			sfs = store.NewFaultFS(sfs, faults.NewIO(*storeFaultSeed, faults.UniformIO(*storeFaultRate)))
+			fmt.Fprintf(out, "prpartd: store fault injection on (seed %d, rate %g)\n",
+				*storeFaultSeed, *storeFaultRate)
+		}
+		st, err := store.Open(store.Config{Dir: *storeDir, FS: sfs, Obs: o})
+		if err != nil {
+			// A store that cannot open is a deployment error worth failing
+			// loudly on; running silently without persistence would betray
+			// the operator's -store intent.
+			return fmt.Errorf("opening store %s: %w", *storeDir, err)
+		}
+		defer st.Close()
+		rec := st.Recovery()
+		fmt.Fprintf(out, "prpartd: store %s: %d keys (%d ledger records", *storeDir, st.Len(), rec.Records)
+		if rec.TruncatedBytes > 0 {
+			fmt.Fprintf(out, ", torn tail of %d bytes truncated", rec.TruncatedBytes)
+		}
+		fmt.Fprintln(out, ")")
+		cfg.Store = st
 	}
 	if *devices != "" {
 		f, err := os.Open(*devices)
@@ -95,7 +137,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 			return err
 		}
 	}
-	srv := serve.New(cfg)
+	srv := newServer(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -107,13 +149,20 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	go func() {
 		<-ctx.Done()
 		fmt.Fprintln(out, "prpartd: draining")
-		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		bound := *drain
+		if *shutdownTimeout > 0 {
+			bound = *shutdownTimeout
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), bound)
 		defer cancel()
 		// Refuse new solves first, let admitted ones finish, then close
 		// the listener and remaining keep-alive connections.
 		derr := srv.Shutdown(dctx)
 		if derr != nil {
-			// Drain deadline hit: abort the stragglers.
+			// Drain deadline hit: say what is being abandoned, then abort
+			// the stragglers.
+			fmt.Fprintf(out, "prpartd: drain timed out after %s with %d solves running, %d queued; aborting\n",
+				bound, srv.Inflight(), srv.Queued())
 			srv.Close()
 		}
 		if herr := httpSrv.Shutdown(dctx); herr != nil && derr == nil {

@@ -14,13 +14,14 @@ import (
 // serve.cache_misses, serve.cache_evictions); the instruments are
 // nil-safe, so a Cache built without observability costs one branch.
 type Cache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu      sync.Mutex
+	max     int
+	maxBody int64      // 0 = unbounded
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
 
-	hits, misses, evictions *obs.Counter
-	entries                 *obs.Level
+	hits, misses, evictions, oversize *obs.Counter
+	entries                           *obs.Level
 }
 
 type cacheEntry struct {
@@ -38,8 +39,19 @@ func NewCache(max int, o *obs.Obs) *Cache {
 		hits:      o.Counter("serve.cache_hits"),
 		misses:    o.Counter("serve.cache_misses"),
 		evictions: o.Counter("serve.cache_evictions"),
+		oversize:  o.Counter("serve.cache_oversize_rejected"),
 		entries:   o.Level("serve.cache_entries"),
 	}
+}
+
+// SetMaxBody bounds the size of a single cached body; larger bodies are
+// refused by Put (counted as serve.cache_oversize_rejected) so one
+// pathological result cannot dominate the cache's memory. 0 disables
+// the bound.
+func (c *Cache) SetMaxBody(n int64) {
+	c.mu.Lock()
+	c.maxBody = n
+	c.mu.Unlock()
 }
 
 // Get returns the cached body for key and promotes the entry.
@@ -58,12 +70,19 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 
 // Put stores a body under key, evicting the least recently used entry
 // when the cache is full. Re-putting an existing key refreshes it.
+// Rejections and refreshes leave the hit/miss/eviction counters and the
+// entries level untouched: the oversize check runs before any eviction,
+// so a body that will never be inserted cannot push victims out first.
 func (c *Cache) Put(key string, body []byte) {
 	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.maxBody > 0 && int64(len(body)) > c.maxBody {
+		c.oversize.Inc()
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).body = body

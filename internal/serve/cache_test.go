@@ -99,3 +99,54 @@ func TestCacheEvictionOrderUnderChurn(t *testing.T) {
 		t.Errorf("evictions = %d, want 12", got)
 	}
 }
+
+// TestCacheOversizeAndRePutAccounting is the regression test for cache
+// accounting: an oversized rejected body must not evict victims or move
+// any counter except the oversize one, and a re-Put of an existing key
+// must not touch hit/miss/eviction accounting at all.
+func TestCacheOversizeAndRePutAccounting(t *testing.T) {
+	o := obs.New()
+	c := serve.NewCache(2, o)
+	c.SetMaxBody(4)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	base := o.Snapshot().Counters
+
+	// Oversized new key: rejected outright, no eviction of a or b.
+	c.Put("big", []byte("too large"))
+	// Oversized re-put of an existing key: rejected, old value kept.
+	c.Put("a", []byte("also too large"))
+	// In-bounds re-put of an existing key: refresh only.
+	c.Put("b", []byte("B2"))
+
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Errorf("a = %q, %v; oversized re-put must keep the old value", v, ok)
+	}
+	if v, ok := c.Get("b"); !ok || !bytes.Equal(v, []byte("B2")) {
+		t.Errorf("b = %q, %v; in-bounds re-put must refresh", v, ok)
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversized body was cached")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	s := o.Snapshot()
+	if got := s.Counters["serve.cache_oversize_rejected"]; got != 2 {
+		t.Errorf("oversize_rejected = %d, want 2", got)
+	}
+	if got, want := s.Counters["serve.cache_evictions"], base["serve.cache_evictions"]; got != want {
+		t.Errorf("evictions moved from %d to %d on rejected/refreshed puts", want, got)
+	}
+	// The three Gets above are the only accounting allowed to move:
+	// 2 hits (a, b) + 1 miss (big).
+	if got, want := s.Counters["serve.cache_hits"], base["serve.cache_hits"]+2; got != want {
+		t.Errorf("hits = %d, want %d", got, want)
+	}
+	if got, want := s.Counters["serve.cache_misses"], base["serve.cache_misses"]+1; got != want {
+		t.Errorf("misses = %d, want %d", got, want)
+	}
+	if lvl := s.Levels["serve.cache_entries"]; lvl.Current != 2 {
+		t.Errorf("entries level = %+v, want 2", lvl)
+	}
+}

@@ -1,0 +1,146 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"prpart/internal/core"
+	"prpart/internal/design"
+	"prpart/internal/faults"
+	"prpart/internal/floorplan"
+	"prpart/internal/obs"
+	"prpart/internal/serve"
+	"prpart/internal/store"
+)
+
+// chaosSpecs is the request mix the chaos harness replays every cycle:
+// distinct cache keys across both example designs and several option
+// variants, so the store carries a realistic population of blobs.
+func chaosSpecs(t *testing.T) [][]byte {
+	t.Helper()
+	budget := `"budget": {"clb": 6800, "bram": 64, "dsp": 150}`
+	return [][]byte{
+		solveBody(t, design.VideoReceiver(), `{`+budget+`}`),
+		solveBody(t, design.VideoReceiver(), `{`+budget+`, "greedy": true}`),
+		solveBody(t, design.VideoReceiver(), `{`+budget+`, "noQuantize": true}`),
+		solveBody(t, design.VideoReceiver(), `{"device": "FX70T", `+budget+`, "floorplan": true}`),
+		solveBody(t, design.PaperExample(), ""),
+		solveBody(t, design.PaperExample(), `{"greedy": true}`),
+	}
+}
+
+// referenceBytes computes what `prpart -json` would print for a request
+// body, straight through the core flow with no serving layer at all.
+func referenceBytes(t *testing.T, body []byte) []byte {
+	t.Helper()
+	sp, _, err := serve.DecodeRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunContext(context.Background(), sp.Design, sp.CoreOptions(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan *floorplan.Plan
+	if sp.Floorplan {
+		if plan, err = floorplan.Place(res.Scheme, res.Device); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := serve.WriteResult(&buf, serve.BuildResult(res, plan)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosKillRestartByteIdentity is the crash-safety end-to-end: a
+// daemon backed by the persistent store is killed (power loss with torn
+// tails) and restarted for several cycles while every disk operation
+// runs through a seeded fault injector. After every recovery the ledger
+// must verify end to end, every key still in the store must serve bytes
+// identical to `prpart -json`, and no request may ever receive corrupt
+// bytes. The same seed must reproduce the same injected faults and the
+// same recovery counters.
+func TestChaosKillRestartByteIdentity(t *testing.T) {
+	bodies := chaosSpecs(t)
+	refs := make([][]byte, len(bodies))
+	for i, b := range bodies {
+		refs[i] = referenceBytes(t, b)
+	}
+
+	const cycles = 6
+	run := func(seed int64) (map[string]int64, faults.IOStats) {
+		o := obs.New()
+		mfs := store.NewMemFS()
+		inj := faults.NewIO(seed, faults.IORates{ShortWrite: 0.06, ReadCorrupt: 0.04, SyncErr: 0.06, RenameErr: 0.04})
+		ffs := store.NewFaultFS(mfs, inj)
+		crashRng := rand.New(rand.NewSource(seed * 17))
+		keys := make([]string, len(bodies))
+
+		for cycle := 0; cycle < cycles; cycle++ {
+			st, err := store.Open(store.Config{Dir: "/d", FS: ffs, Obs: o})
+			if err != nil {
+				t.Fatalf("cycle %d: open store: %v", cycle, err)
+			}
+			srv := serve.New(serve.Config{Workers: 2, Obs: o, Store: st})
+			ts := httptest.NewServer(srv.Handler())
+			for i, body := range bodies {
+				resp, b := post(t, ts, body)
+				if resp.StatusCode != 200 {
+					t.Fatalf("cycle %d, spec %d: status %d: %s", cycle, i, resp.StatusCode, b)
+				}
+				if !bytes.Equal(b, refs[i]) {
+					t.Fatalf("cycle %d, spec %d (X-Cache %s): served bytes differ from prpart -json",
+						cycle, i, resp.Header.Get("X-Cache"))
+				}
+				keys[i] = resp.Header.Get("X-Solve-Key")
+			}
+			ts.Close()
+			srv.Close()
+			st.Close()
+
+			// Kill -9: every file reverts to its synced content plus a
+			// random prefix of whatever was still in flight.
+			mfs.Crash(func(path string, unsynced int) int { return crashRng.Intn(unsynced + 1) })
+
+			// Recovery audit on the bare disk, no fault injection: the
+			// ledger must verify and every surviving key must hold
+			// exactly the canonical bytes.
+			audit, err := store.Open(store.Config{Dir: "/d", FS: mfs, Obs: o})
+			if err != nil {
+				t.Fatalf("cycle %d: recovery open: %v", cycle, err)
+			}
+			if err := audit.VerifyLedger(); err != nil {
+				t.Fatalf("cycle %d: ledger after crash: %v", cycle, err)
+			}
+			for i, k := range keys {
+				if b, ok := audit.Get(k); ok && !bytes.Equal(b, refs[i]) {
+					t.Fatalf("cycle %d: store holds wrong bytes for spec %d after recovery", cycle, i)
+				}
+			}
+			audit.Close()
+		}
+		return o.Snapshot().Counters, inj.Stats()
+	}
+
+	c1, s1 := run(11)
+	c2, s2 := run(11)
+	if s1 != s2 {
+		t.Errorf("same seed, different injected faults:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Total() == 0 {
+		t.Error("chaos run injected zero faults — rates or plumbing broken")
+	}
+	if len(c1) != len(c2) {
+		t.Errorf("counter sets differ in size: %d vs %d", len(c1), len(c2))
+	}
+	for name, v := range c1 {
+		if c2[name] != v {
+			t.Errorf("counter %s: %d vs %d across identical seeded runs", name, v, c2[name])
+		}
+	}
+}

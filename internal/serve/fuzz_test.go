@@ -45,8 +45,8 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{"options": {"transitionWeights": [[0.5]]}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		sp1, to1, err1 := serve.DecodeRequest(data)
-		sp2, to2, err2 := serve.DecodeRequest(data)
+		sp1, m1, err1 := serve.DecodeRequest(data)
+		sp2, m2, err2 := serve.DecodeRequest(data)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
 		}
@@ -56,8 +56,8 @@ func FuzzDecodeRequest(f *testing.F) {
 		if sp1 == nil || sp1.Design == nil {
 			t.Fatal("accepted request with no design")
 		}
-		if to1 < 0 || to1 != to2 {
-			t.Fatalf("timeouts %v and %v (negative or nondeterministic)", to1, to2)
+		if m1.Timeout < 0 || m1 != m2 {
+			t.Fatalf("request meta %+v and %+v (negative timeout or nondeterministic)", m1, m2)
 		}
 		k1, kerr1 := sp1.Key()
 		k2, kerr2 := sp2.Key()

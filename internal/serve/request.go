@@ -51,6 +51,19 @@ type RequestOptions struct {
 	// TimeoutMs caps the solve wall time; 0 uses the server default.
 	// The request is cancelled (HTTP 504) when the deadline passes.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Bulk marks the request as throughput work (batch sweeps, warmup).
+	// Bulk solves are the first to be shed when a latency-sensitive
+	// request would otherwise be refused for lack of capacity; a shed
+	// bulk request gets 503 with Retry-After and should simply retry.
+	Bulk bool `json:"bulk,omitempty"`
+}
+
+// ReqMeta carries the per-request serving directives that are not part
+// of the canonical solve spec (and so do not contribute to the cache
+// key): the wall-time budget and the bulk/latency-sensitive class.
+type ReqMeta struct {
+	Timeout time.Duration
+	Bulk    bool
 }
 
 // BudgetJSON is a resource triple on the wire.
@@ -65,41 +78,43 @@ type BudgetJSON struct {
 const maxWeightDim = 1024
 
 // DecodeRequest parses and validates a solve request body into its
-// canonical SolveSpec plus the request timeout. The decoder is strict:
-// unknown fields, missing designs, both codecs at once, bad pin names
-// and malformed weight matrices are all errors, so a request that
-// decodes is guaranteed to reach the search well-formed.
-func DecodeRequest(body []byte) (*SolveSpec, time.Duration, error) {
+// canonical SolveSpec plus the serving directives (timeout, bulk
+// class). The decoder is strict: unknown fields, missing designs, both
+// codecs at once, bad pin names and malformed weight matrices are all
+// errors, so a request that decodes is guaranteed to reach the search
+// well-formed.
+func DecodeRequest(body []byte) (*SolveSpec, ReqMeta, error) {
+	var meta ReqMeta
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req Request
 	if err := dec.Decode(&req); err != nil {
-		return nil, 0, fmt.Errorf("serve: decoding request: %w", err)
+		return nil, meta, fmt.Errorf("serve: decoding request: %w", err)
 	}
 	// A second JSON value after the request object is a malformed body,
 	// not trailing noise to ignore.
 	if dec.More() {
-		return nil, 0, fmt.Errorf("serve: trailing data after request object")
+		return nil, meta, fmt.Errorf("serve: trailing data after request object")
 	}
 	sp := &SolveSpec{}
 	var con spec.Constraints
 	switch {
 	case len(req.Design) > 0 && req.XML != "":
-		return nil, 0, fmt.Errorf("serve: request carries both a JSON design and an XML design")
+		return nil, meta, fmt.Errorf("serve: request carries both a JSON design and an XML design")
 	case len(req.Design) > 0:
 		d, err := design.DecodeJSON(bytes.NewReader(req.Design))
 		if err != nil {
-			return nil, 0, err
+			return nil, meta, err
 		}
 		sp.Design = d
 	case req.XML != "":
 		d, c, err := spec.ParseDesign(strings.NewReader(req.XML))
 		if err != nil {
-			return nil, 0, err
+			return nil, meta, err
 		}
 		sp.Design, con = d, c
 	default:
-		return nil, 0, fmt.Errorf("serve: request carries no design (want \"design\" or \"xml\")")
+		return nil, meta, fmt.Errorf("serve: request carries no design (want \"design\" or \"xml\")")
 	}
 
 	o := req.Options
@@ -110,7 +125,7 @@ func DecodeRequest(body []byte) (*SolveSpec, time.Duration, error) {
 	sp.Budget = con.Budget
 	if o.Budget != nil {
 		if o.Budget.CLB < 0 || o.Budget.BRAM < 0 || o.Budget.DSP < 0 {
-			return nil, 0, fmt.Errorf("serve: negative budget")
+			return nil, meta, fmt.Errorf("serve: negative budget")
 		}
 		sp.Budget = resource.New(o.Budget.CLB, o.Budget.BRAM, o.Budget.DSP)
 	}
@@ -118,7 +133,7 @@ func DecodeRequest(body []byte) (*SolveSpec, time.Duration, error) {
 	sp.Greedy = o.Greedy
 	sp.NoQuantize = o.NoQuantize
 	if o.MaxCandidateSets < 0 || o.MaxFirstMoves < 0 {
-		return nil, 0, fmt.Errorf("serve: negative search bounds")
+		return nil, meta, fmt.Errorf("serve: negative search bounds")
 	}
 	sp.MaxCandidateSets = o.MaxCandidateSets
 	sp.MaxFirstMoves = o.MaxFirstMoves
@@ -127,32 +142,34 @@ func DecodeRequest(body []byte) (*SolveSpec, time.Duration, error) {
 	for _, name := range o.Pin {
 		r, err := sp.Design.FindMode(strings.TrimSpace(name))
 		if err != nil {
-			return nil, 0, fmt.Errorf("serve: pin: %w", err)
+			return nil, meta, fmt.Errorf("serve: pin: %w", err)
 		}
 		sp.Pinned = append(sp.Pinned, r)
 	}
 	if sp.NoStatic && len(sp.Pinned) > 0 {
-		return nil, 0, fmt.Errorf("serve: pin conflicts with noStatic")
+		return nil, meta, fmt.Errorf("serve: pin conflicts with noStatic")
 	}
 	if w := o.TransitionWeights; w != nil {
 		n := len(sp.Design.Configurations)
 		if n > maxWeightDim || len(w) != n {
-			return nil, 0, fmt.Errorf("serve: transition weights have %d rows for %d configurations", len(w), n)
+			return nil, meta, fmt.Errorf("serve: transition weights have %d rows for %d configurations", len(w), n)
 		}
 		for i, row := range w {
 			if len(row) != n {
-				return nil, 0, fmt.Errorf("serve: transition weight row %d has %d entries, want %d", i, len(row), n)
+				return nil, meta, fmt.Errorf("serve: transition weight row %d has %d entries, want %d", i, len(row), n)
 			}
 			for j, v := range row {
 				if v < 0 || v != v || v > 1e18 {
-					return nil, 0, fmt.Errorf("serve: bad transition weight w(%d,%d) = %g", i, j, v)
+					return nil, meta, fmt.Errorf("serve: bad transition weight w(%d,%d) = %g", i, j, v)
 				}
 			}
 		}
 		sp.Weights = w
 	}
 	if o.TimeoutMs < 0 {
-		return nil, 0, fmt.Errorf("serve: negative timeoutMs")
+		return nil, meta, fmt.Errorf("serve: negative timeoutMs")
 	}
-	return sp, time.Duration(o.TimeoutMs) * time.Millisecond, nil
+	meta.Timeout = time.Duration(o.TimeoutMs) * time.Millisecond
+	meta.Bulk = o.Bulk
+	return sp, meta, nil
 }

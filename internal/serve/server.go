@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,9 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"prpart/internal/core"
@@ -17,6 +21,7 @@ import (
 	"prpart/internal/floorplan"
 	"prpart/internal/obs"
 	"prpart/internal/partition"
+	"prpart/internal/store"
 )
 
 // SolveFunc runs the flow for one request. The default is
@@ -60,6 +65,16 @@ type Config struct {
 	// Individual requests can opt in per call with ?check=1 on
 	// /v1/solve regardless of this setting.
 	Check bool
+	// Store is an optional persistent second tier behind the in-memory
+	// cache: every solved body is written through, and a restarted
+	// daemon serves previously-solved keys byte-identically from disk
+	// (X-Cache: store) without re-running the search. Store errors
+	// degrade to memory-only serving; they never fail a request.
+	Store *store.Store
+	// CacheMaxBody bounds the size of a single cached body (0 = no
+	// bound). Oversized bodies are still served and persisted, just not
+	// held in the memory tier.
+	CacheMaxBody int64
 }
 
 // Server is the partitioning service: bounded worker pool, solve cache,
@@ -68,6 +83,7 @@ type Server struct {
 	cfg    Config
 	obs    *obs.Obs
 	cache  *Cache
+	store  *store.Store
 	flight flightGroup
 	solver SolveFunc
 
@@ -79,10 +95,16 @@ type Server struct {
 	started  time.Time
 	mux      *http.ServeMux
 
+	ewmaNs int64 // atomic: smoothed solve wall time, 0 = unknown
+
+	shedMu   sync.Mutex
+	shedList *list.List // of context.CancelCauseFunc, front = oldest bulk solve
+
 	// Instruments (all nil-safe).
-	cRequests, cSolves, cCoalesced, cRejected, cErrors *obs.Counter
-	lQueued, lInflight                                 *obs.Level
-	tSolve                                             *obs.Timer
+	cRequests, cSolves, cCoalesced, cRejected, cErrors  *obs.Counter
+	cPanics, cRejectedDeadline, cBulkShed, cStoreServes *obs.Counter
+	lQueued, lInflight                                  *obs.Level
+	tSolve                                              *obs.Timer
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -109,21 +131,28 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		obs:      cfg.Obs,
 		cache:    NewCache(cfg.CacheEntries, cfg.Obs),
+		store:    cfg.Store,
 		solver:   cfg.Solver,
 		sem:      make(chan struct{}, cfg.Workers),
 		admit:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		draining: make(chan struct{}),
 		started:  time.Now(),
+		shedList: list.New(),
 
-		cRequests:  cfg.Obs.Counter("serve.requests"),
-		cSolves:    cfg.Obs.Counter("serve.solves"),
-		cCoalesced: cfg.Obs.Counter("serve.coalesced"),
-		cRejected:  cfg.Obs.Counter("serve.rejected_queue_full"),
-		cErrors:    cfg.Obs.Counter("serve.errors"),
-		lQueued:    cfg.Obs.Level("serve.queue_depth"),
-		lInflight:  cfg.Obs.Level("serve.inflight"),
-		tSolve:     cfg.Obs.Timer("serve.solve"),
+		cRequests:         cfg.Obs.Counter("serve.requests"),
+		cSolves:           cfg.Obs.Counter("serve.solves"),
+		cCoalesced:        cfg.Obs.Counter("serve.coalesced"),
+		cRejected:         cfg.Obs.Counter("serve.rejected_queue_full"),
+		cErrors:           cfg.Obs.Counter("serve.errors"),
+		cPanics:           cfg.Obs.Counter("serve.solver_panics"),
+		cRejectedDeadline: cfg.Obs.Counter("serve.rejected_deadline"),
+		cBulkShed:         cfg.Obs.Counter("serve.bulk_shed"),
+		cStoreServes:      cfg.Obs.Counter("serve.store_serves"),
+		lQueued:           cfg.Obs.Level("serve.queue_depth"),
+		lInflight:         cfg.Obs.Level("serve.inflight"),
+		tSolve:            cfg.Obs.Timer("serve.solve"),
 	}
+	s.cache.SetMaxBody(cfg.CacheMaxBody)
 	if s.solver == nil {
 		s.solver = core.RunContext
 	}
@@ -141,6 +170,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Obs returns the service's instrument registry.
 func (s *Server) Obs() *obs.Obs { return s.obs }
+
+// Inflight returns the number of solves currently running a search.
+func (s *Server) Inflight() int64 { return s.lInflight.Value() }
+
+// Queued returns the number of admitted solves waiting for a worker.
+func (s *Server) Queued() int64 { return s.lQueued.Value() }
 
 // Shutdown drains the server gracefully: new solve requests are refused
 // with 503, while every admitted solve runs to completion. It returns
@@ -202,7 +237,80 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-var errQueueFull = errors.New("serve: queue full")
+var (
+	errQueueFull        = errors.New("serve: queue full")
+	errDeadlineTooTight = errors.New("serve: estimated queue wait exceeds request deadline")
+	errShedForLatency   = errors.New("serve: bulk solve shed for latency-sensitive work")
+)
+
+// estimateWait predicts how long a newly admitted solve will sit in the
+// queue before a worker picks it up: zero while a worker is idle or no
+// solve has completed yet, otherwise one smoothed solve time per wave
+// of already-queued leaders ahead of it. It is a scheduling estimate
+// over racy channel lengths, not an accounting fact — good enough to
+// refuse work that cannot possibly meet its deadline.
+func (s *Server) estimateWait() time.Duration {
+	avg := time.Duration(atomic.LoadInt64(&s.ewmaNs))
+	if avg <= 0 {
+		return 0
+	}
+	workers := cap(s.sem)
+	if len(s.sem) < workers {
+		return 0
+	}
+	queued := int(s.lQueued.Value())
+	return time.Duration(queued/workers+1) * avg
+}
+
+// observeSolve folds one completed solve's wall time into the smoothed
+// estimate (EWMA, alpha 0.3).
+func (s *Server) observeSolve(d time.Duration) {
+	for {
+		old := atomic.LoadInt64(&s.ewmaNs)
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)*3/10
+		}
+		if nw <= 0 {
+			nw = 1
+		}
+		if atomic.CompareAndSwapInt64(&s.ewmaNs, old, nw) {
+			return
+		}
+	}
+}
+
+// shedRegister enrolls a running bulk solve as sheddable; the returned
+// element is handed back to shedUnregister when the solve ends.
+func (s *Server) shedRegister(cancel context.CancelCauseFunc) *list.Element {
+	s.shedMu.Lock()
+	defer s.shedMu.Unlock()
+	return s.shedList.PushBack(cancel)
+}
+
+func (s *Server) shedUnregister(el *list.Element) {
+	s.shedMu.Lock()
+	s.shedList.Remove(el) // no-op if already shed
+	s.shedMu.Unlock()
+}
+
+// shedOldestBulk cancels the longest-running sheddable bulk solve so a
+// latency-sensitive request can take its capacity. Returns false when
+// nothing is sheddable.
+func (s *Server) shedOldestBulk() bool {
+	s.shedMu.Lock()
+	el := s.shedList.Front()
+	if el != nil {
+		s.shedList.Remove(el)
+	}
+	s.shedMu.Unlock()
+	if el == nil {
+		return false
+	}
+	el.Value.(context.CancelCauseFunc)(errShedForLatency)
+	s.cBulkShed.Inc()
+	return true
+}
 
 // handleSolve is POST /v1/solve: decode, consult the cache, coalesce,
 // queue, solve, respond. The response body of a 200 is byte-identical
@@ -230,7 +338,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, fmt.Errorf("serve: reading body: %w", err))
 		return
 	}
-	sp, timeout, err := DecodeRequest(body)
+	sp, meta, err := DecodeRequest(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -253,8 +361,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.respond(w, "hit", cached)
 			return
 		}
+		// Second tier: the persistent store. Bytes coming back from disk
+		// are hash-verified by the store itself (a corrupt blob reads as
+		// a miss and quarantines), so anything returned here is exactly
+		// what a fresh solve would have produced.
+		if s.store != nil {
+			if body, ok := s.store.Get(key); ok {
+				s.cache.Put(key, body)
+				s.cStoreServes.Inc()
+				s.respond(w, "store", body)
+				return
+			}
+		}
 	}
 
+	timeout := meta.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
 	}
@@ -275,9 +396,37 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	call, leader := s.flight.join(s.baseCtx, fkey)
 	if leader {
+		// Deadline-aware admission: refuse work that cannot possibly
+		// meet its deadline instead of letting it queue, burn a slot and
+		// time out anyway. Retry-After carries the wait estimate.
+		if dl, ok := wctx.Deadline(); ok {
+			if est := s.estimateWait(); est > 0 && est > time.Until(dl) {
+				s.cRejectedDeadline.Inc()
+				s.flight.finish(fkey, call, nil, http.StatusTooManyRequests, errDeadlineTooTight)
+				w.Header().Set("Retry-After", strconv.Itoa(int(est/time.Second)+1))
+				writeError(w, http.StatusTooManyRequests, errDeadlineTooTight)
+				return
+			}
+		}
+		admitted := false
 		select {
 		case s.admit <- struct{}{}:
+			admitted = true
 		default:
+		}
+		if !admitted && !meta.Bulk {
+			// Admission is full but this request is latency-sensitive:
+			// shed the oldest running bulk solve and wait for the freed
+			// capacity (bounded by the request's own deadline).
+			if s.shedOldestBulk() {
+				select {
+				case s.admit <- struct{}{}:
+					admitted = true
+				case <-wctx.Done():
+				}
+			}
+		}
+		if !admitted {
 			// Coalesced waiters share the leader's admission fate: the
 			// 429 below is published to every follower already joined on
 			// this key (see DESIGN.md §8, backpressure semantics).
@@ -287,11 +436,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusTooManyRequests, errQueueFull)
 			return
 		}
+		bulk := meta.Bulk
 		go func() {
 			defer func() { <-s.admit }()
-			body, status, err := s.solve(call.ctx, key, sp, docheck)
+			sctx := call.ctx
+			if bulk {
+				bctx, bcancel := context.WithCancelCause(call.ctx)
+				el := s.shedRegister(bcancel)
+				defer s.shedUnregister(el)
+				defer bcancel(nil)
+				sctx = bctx
+			}
+			body, status, err := s.solveGuarded(sctx, key, sp, docheck)
+			if err != nil && errors.Is(context.Cause(sctx), errShedForLatency) {
+				status, err = http.StatusServiceUnavailable, errShedForLatency
+			}
 			if err == nil {
 				s.cache.Put(key, body)
+				s.persist(key, body, docheck)
 			}
 			s.flight.finish(fkey, call, body, status, err)
 		}()
@@ -301,7 +463,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	deliver := func() {
 		if call.err != nil {
-			if call.status == http.StatusTooManyRequests {
+			if call.status == http.StatusTooManyRequests || errors.Is(call.err, errShedForLatency) {
 				w.Header().Set("Retry-After", "1")
 			}
 			s.cErrors.Inc()
@@ -349,6 +511,36 @@ func (s *Server) respond(w http.ResponseWriter, cache string, body []byte) {
 	w.Write(body)
 }
 
+// solveGuarded is solve behind a panic barrier: a panicking solver (or
+// renderer) downs one request with a 500, never the daemon. The solve
+// path's own defers release the worker slot and levels during unwind.
+func (s *Server) solveGuarded(ctx context.Context, key string, sp *SolveSpec, docheck bool) (body []byte, status int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cPanics.Inc()
+			s.obs.Emit("serve", "solve.panic", obs.Str("key", key), obs.Str("panic", fmt.Sprint(r)))
+			body, status, err = nil, http.StatusInternalServerError, fmt.Errorf("serve: solver panicked: %v", r)
+		}
+	}()
+	return s.solve(ctx, key, sp, docheck)
+}
+
+// persist writes a solved body through to the store tier. Failures
+// degrade to memory-only serving: the store counts them, the request
+// already has its answer.
+func (s *Server) persist(key string, body []byte, checked bool) {
+	if s.store == nil {
+		return
+	}
+	v := store.VerdictUnchecked
+	if checked {
+		v = store.VerdictPass
+	}
+	if err := s.store.Put(key, body, v); err != nil {
+		s.obs.Emit("serve", "store.put_error", obs.Str("key", key), obs.Str("err", err.Error()))
+	}
+}
+
 // solve waits for a worker slot, runs the flow under the call context
 // and renders the canonical result bytes.
 func (s *Server) solve(ctx context.Context, key string, sp *SolveSpec, docheck bool) ([]byte, int, error) {
@@ -370,7 +562,9 @@ func (s *Server) solve(ctx context.Context, key string, sp *SolveSpec, docheck b
 
 	copts := sp.CoreOptions(s.cfg.SolveWorkers, s.obs)
 	copts.Library = s.cfg.Library
+	begin := time.Now()
 	res, err := s.solver(ctx, sp.Design, copts)
+	s.observeSolve(time.Since(begin))
 	if err != nil {
 		s.obs.Emit("serve", "solve.error", obs.Str("key", key), obs.Str("err", err.Error()))
 		return nil, errStatus(err), err
@@ -410,6 +604,16 @@ type healthState struct {
 		Misses    int64 `json:"misses"`
 		Evictions int64 `json:"evictions"`
 	} `json:"cache"`
+	Store *storeHealth `json:"store,omitempty"`
+}
+
+// storeHealth summarizes the persistent tier in /healthz.
+type storeHealth struct {
+	Keys            int   `json:"keys"`
+	Hits            int64 `json:"hits"`
+	CorruptBlobs    int64 `json:"corruptBlobs"`
+	QuarantinedKeys int64 `json:"quarantinedKeys"`
+	RecoveredBytes  int64 `json:"recoveredTruncatedBytes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -425,6 +629,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st.Cache.Hits = snap.Counters["serve.cache_hits"]
 	st.Cache.Misses = snap.Counters["serve.cache_misses"]
 	st.Cache.Evictions = snap.Counters["serve.cache_evictions"]
+	if s.store != nil {
+		st.Store = &storeHealth{
+			Keys:            s.store.Len(),
+			Hits:            snap.Counters["store.hits"],
+			CorruptBlobs:    snap.Counters["store.corrupt_blobs"],
+			QuarantinedKeys: snap.Counters["store.quarantined_keys"],
+			RecoveredBytes:  s.store.Recovery().TruncatedBytes,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if st.Status != "ok" {
 		w.WriteHeader(http.StatusServiceUnavailable)

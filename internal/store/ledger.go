@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The ledger is the store's append-only integrity record: one framed,
+// CRC-protected entry per event (a result persisted, a blob
+// quarantined). Replaying it rebuilds the key → blob index exactly, and
+// because every record carries its own checksum, a torn tail left by a
+// crash mid-append is detectable and truncatable without guesswork.
+//
+// Record wire format (all integers little-endian):
+//
+//	magic   [4]byte  "prL1"
+//	payload uint32   payload length (fixedPayload + len(key))
+//	payload:
+//	    kind    uint8   1 = put, 2 = quarantine
+//	    verdict uint8   0 = unchecked, 1 = oracle pass
+//	    size    int64   blob size in bytes
+//	    blob    [32]byte  SHA-256 of the blob content
+//	    keyLen  uint16  length of key
+//	    key     []byte  the solve key ("sha256:<hex>")
+//	crc     uint32   CRC-32C (Castagnoli) over the payload
+//
+// The layout is versioned by the magic; any change bumps it.
+
+// RecordKind discriminates ledger entries.
+type RecordKind uint8
+
+const (
+	// RecordPut maps a solve key to a blob.
+	RecordPut RecordKind = 1
+	// RecordQuarantine revokes a key whose blob failed verification on
+	// read; the blob itself is moved to the quarantine directory.
+	RecordQuarantine RecordKind = 2
+)
+
+// Verdict is the prcheck oracle's standing on a stored result.
+type Verdict uint8
+
+const (
+	// VerdictUnchecked marks a result stored without oracle
+	// verification.
+	VerdictUnchecked Verdict = 0
+	// VerdictPass marks a result the independent oracle verified before
+	// it was stored.
+	VerdictPass Verdict = 1
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictUnchecked:
+		return "unchecked"
+	case VerdictPass:
+		return "pass"
+	}
+	return fmt.Sprintf("Verdict(%d)", uint8(v))
+}
+
+// Record is one decoded ledger entry.
+type Record struct {
+	Kind    RecordKind
+	Verdict Verdict
+	Size    int64
+	Blob    [32]byte
+	Key     string
+}
+
+const (
+	ledgerMagic  = "prL1"
+	fixedPayload = 1 + 1 + 8 + 32 + 2 // kind + verdict + size + blob + keyLen
+	headerLen    = 4 + 4              // magic + payload length
+	crcLen       = 4
+
+	// maxKeyLen bounds the key a record may carry: solve keys are
+	// "sha256:" + 64 hex characters, so anything near this bound is
+	// hostile or corrupt, and the bound keeps the decoder's allocations
+	// small on fuzzed input.
+	maxKeyLen = 512
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrShortRecord reports that the buffer ends before the record does —
+// at the ledger tail this is the signature of a torn append, repaired
+// by truncation.
+var ErrShortRecord = errors.New("store: truncated ledger record")
+
+// ErrBadRecord reports a structurally invalid record: wrong magic,
+// out-of-range fields or a CRC mismatch.
+var ErrBadRecord = errors.New("store: corrupt ledger record")
+
+// AppendRecord encodes r onto buf and returns the extended buffer.
+func AppendRecord(buf []byte, r Record) ([]byte, error) {
+	if len(r.Key) == 0 || len(r.Key) > maxKeyLen {
+		return nil, fmt.Errorf("store: record key length %d out of range [1,%d]", len(r.Key), maxKeyLen)
+	}
+	if r.Kind != RecordPut && r.Kind != RecordQuarantine {
+		return nil, fmt.Errorf("store: record kind %d invalid", r.Kind)
+	}
+	if r.Verdict != VerdictUnchecked && r.Verdict != VerdictPass {
+		return nil, fmt.Errorf("store: record verdict %d invalid", r.Verdict)
+	}
+	if r.Size < 0 {
+		return nil, fmt.Errorf("store: record size %d negative", r.Size)
+	}
+	payload := fixedPayload + len(r.Key)
+	buf = append(buf, ledgerMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+	p0 := len(buf)
+	buf = append(buf, byte(r.Kind), byte(r.Verdict))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Size))
+	buf = append(buf, r.Blob[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Key)))
+	buf = append(buf, r.Key...)
+	crc := crc32.Checksum(buf[p0:], crcTable)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return buf, nil
+}
+
+// DecodeRecord decodes the first record in b, returning it and the
+// number of bytes consumed. ErrShortRecord means b ends mid-record
+// (possible torn tail); ErrBadRecord means the bytes cannot be a
+// record at any length.
+func DecodeRecord(b []byte) (Record, int, error) {
+	var r Record
+	if len(b) < headerLen {
+		return r, 0, ErrShortRecord
+	}
+	if string(b[:4]) != ledgerMagic {
+		return r, 0, fmt.Errorf("%w: bad magic %q", ErrBadRecord, b[:4])
+	}
+	payload := int(binary.LittleEndian.Uint32(b[4:8]))
+	if payload < fixedPayload || payload > fixedPayload+maxKeyLen {
+		return r, 0, fmt.Errorf("%w: payload length %d out of range", ErrBadRecord, payload)
+	}
+	total := headerLen + payload + crcLen
+	if len(b) < total {
+		return r, 0, ErrShortRecord
+	}
+	p := b[headerLen : headerLen+payload]
+	crc := binary.LittleEndian.Uint32(b[headerLen+payload:])
+	if crc32.Checksum(p, crcTable) != crc {
+		return r, 0, fmt.Errorf("%w: CRC mismatch", ErrBadRecord)
+	}
+	r.Kind = RecordKind(p[0])
+	r.Verdict = Verdict(p[1])
+	r.Size = int64(binary.LittleEndian.Uint64(p[2:10]))
+	copy(r.Blob[:], p[10:42])
+	keyLen := int(binary.LittleEndian.Uint16(p[42:44]))
+	if keyLen == 0 || fixedPayload+keyLen != payload {
+		return r, 0, fmt.Errorf("%w: key length %d inconsistent with payload %d", ErrBadRecord, keyLen, payload)
+	}
+	if r.Kind != RecordPut && r.Kind != RecordQuarantine {
+		return r, 0, fmt.Errorf("%w: kind %d", ErrBadRecord, r.Kind)
+	}
+	if r.Verdict != VerdictUnchecked && r.Verdict != VerdictPass {
+		return r, 0, fmt.Errorf("%w: verdict %d", ErrBadRecord, r.Verdict)
+	}
+	if r.Size < 0 {
+		return r, 0, fmt.Errorf("%w: negative size", ErrBadRecord)
+	}
+	r.Key = string(p[44:])
+	return r, total, nil
+}
+
+// scanLedger decodes records from data until the first malformed or
+// truncated one, returning the decoded records and the byte offset of
+// the clean prefix. A non-nil tailErr describes why scanning stopped
+// early (nil when the whole buffer parsed).
+func scanLedger(data []byte) (recs []Record, goodLen int, tailErr error) {
+	off := 0
+	for off < len(data) {
+		r, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, r)
+		off += n
+	}
+	return recs, off, nil
+}

@@ -21,6 +21,11 @@
 #         200 seeded synthetic solves, plus metamorphic relations and a
 #         differential pass against the exact solver. Deterministic for
 #         the fixed seed; the nightly CI job runs more seeds.
+# Tier 5  go test -run 'Chaos' -count=2 — the crash-safety end-to-end
+#         (DESIGN.md §11): kill-and-restart cycles over the persistent
+#         store under seeded disk-fault injection, asserting
+#         byte-identity with `prpart -json`, ledger integrity after
+#         every recovery and counter determinism across seeded runs.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -51,6 +56,9 @@ if [ "$1" = "all" ]; then
 
 	echo "== tier 4: verification-oracle soak =="
 	go run ./cmd/prcheck -soak -seed 1 -n 200
+
+	echo "== tier 5: crash-safety chaos (x2) =="
+	go test -run 'Chaos' -count=2 ./internal/store/ ./internal/serve/ ./cmd/prpartd/
 fi
 
 echo "verify: OK"
