@@ -26,6 +26,7 @@ import (
 	"prpart/internal/experiments"
 	"prpart/internal/floorplan"
 	"prpart/internal/icap"
+	"prpart/internal/multilevel"
 	"prpart/internal/partition"
 	"prpart/internal/synthetic"
 )
@@ -324,6 +325,30 @@ func BenchmarkCostModel(b *testing.B) {
 		total = m.Total()
 	}
 	b.ReportMetric(float64(total), "total_frames")
+}
+
+// BenchmarkMultilevelHuge measures the scale tier the multilevel engine
+// exists for: one prgen huge-tier design (10³ modes) through the full
+// coarsen–partition–refine chain. The direct engine cannot enumerate at
+// this size at all, so there is no like-for-like baseline; the gate is
+// this benchmark's own history (results/BENCH_pr7.json onward).
+func BenchmarkMultilevelHuge(b *testing.B) {
+	d := synthetic.GenerateHuge(1, 1)[0]
+	opts := multilevel.Options{
+		Partition: partition.Options{Budget: partition.Modular(d).TotalResources()},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *multilevel.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = multilevel.Solve(d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Partition.Summary.Total), "total_frames")
+	b.ReportMetric(float64(res.Stats.Levels), "levels")
 }
 
 // BenchmarkGalleryDesigns runs the full evaluation procedure on the

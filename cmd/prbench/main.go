@@ -22,6 +22,7 @@ import (
 	"prpart/internal/benchfmt"
 	"prpart/internal/design"
 	"prpart/internal/experiments"
+	"prpart/internal/multilevel"
 	"prpart/internal/obs"
 	"prpart/internal/partition"
 	"prpart/internal/report"
@@ -42,6 +43,7 @@ type env struct {
 	seed    int64
 	workers int
 	md      bool
+	ml      bool
 	obs     *obs.Obs
 
 	sweepOnce bool
@@ -57,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "directory for CSV dumps (optional)")
 	md := fs.Bool("md", false, "render tables as Markdown instead of aligned text")
+	ml := fs.Bool("multilevel", false, "drive the sweep through the multilevel engine (delegates at paper scale; a coarsening A/B switch)")
 	ablN := fs.Int("abl-n", 100, "ablation corpus size")
 	jsonOut := fs.Bool("json", false, "write a benchmark-regression report (BENCH_<rev>.json) instead of tables")
 	rev := fs.String("rev", "dev", "revision label for the -json report")
@@ -69,7 +72,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	e := &env{out: out, csvDir: *csvDir, n: *n, seed: *seed, workers: *workers, md: *md, obs: o}
+	e := &env{out: out, csvDir: *csvDir, n: *n, seed: *seed, workers: *workers, md: *md, ml: *ml, obs: o}
 	if *jsonOut {
 		path := *jsonPath
 		if path == "" {
@@ -129,7 +132,11 @@ func (e *env) sweep() ([]*experiments.Outcome, error) {
 	}
 	start := time.Now()
 	designs := synthetic.Generate(e.seed, e.n)
-	outs, err := experiments.Sweep(designs, partition.Options{Obs: e.obs}, e.workers)
+	solve := experiments.Solver(partition.Solve)
+	if e.ml {
+		solve = multilevel.Solver(multilevel.Options{})
+	}
+	outs, err := experiments.SweepSolver(designs, partition.Options{Obs: e.obs}, e.workers, solve)
 	if err != nil {
 		return nil, err
 	}
@@ -287,10 +294,26 @@ func (e *env) microBenchmarks(r *benchfmt.Report) error {
 	// The closest external proxy for one descent: a single candidate
 	// set explored greedy-only (no restarts, no seeding).
 	greedyOpts := partition.Options{Budget: design.CaseStudyBudget(), GreedyOnly: true}
-	return record("greedy_descent", func(b *testing.B) {
+	if err := record("greedy_descent", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := partition.Solve(caseStudy, greedyOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	// The scale tier: one 10³-mode design through the full multilevel
+	// chain (coarsen, coarse solve, refine at every level).
+	huge := synthetic.GenerateHuge(1, 1)[0]
+	hugeOpts := multilevel.Options{
+		Partition: partition.Options{Budget: partition.Modular(huge).TotalResources()},
+	}
+	return record("multilevel_huge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := multilevel.Solve(huge, hugeOpts); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -34,14 +34,23 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "corpus seed")
 	outDir := fs.String("out", "", "output directory (one XML per design)")
 	index := fs.Int("index", -1, "write only design #index to stdout")
+	scale := fs.String("scale", "paper", "corpus tier: paper (§V distribution) or huge (10³–10⁴ modes, for -multilevel)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	generate := synthetic.Generate
+	switch *scale {
+	case "paper":
+	case "huge":
+		generate = synthetic.GenerateHuge
+	default:
+		return fmt.Errorf("unknown -scale %q (want paper or huge)", *scale)
 	}
 	if *index >= 0 {
 		if *index >= *n {
 			return fmt.Errorf("-index %d out of range (corpus size %d)", *index, *n)
 		}
-		designs := synthetic.Generate(*seed, *index+1)
+		designs := generate(*seed, *index+1)
 		return spec.WriteDesign(os.Stdout, designs[*index], spec.Constraints{})
 	}
 	if *outDir == "" {
@@ -51,7 +60,7 @@ func run(args []string) error {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
-	designs := synthetic.Generate(*seed, *n)
+	designs := generate(*seed, *n)
 	for i, d := range designs {
 		path := filepath.Join(*outDir, fmt.Sprintf("%s.xml", d.Name))
 		f, err := os.Create(path)

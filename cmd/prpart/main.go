@@ -49,6 +49,9 @@ func run(args []string, out io.Writer) (err error) {
 	explain := fs.Bool("explain", false, "print the search moves that produced the scheme")
 	doCheck := fs.Bool("check", false, "verify the result with the independent oracle (internal/check)")
 	keyOnly := fs.Bool("key", false, "print the content-addressed solve key (as prpartd computes it) and exit")
+	multilevel := fs.Bool("multilevel", false, "solve through the coarsen-partition-refine engine (for very large designs)")
+	mlSeed := fs.Int64("ml-seed", 0, "multilevel coarsening seed")
+	mlThreshold := fs.Int("ml-threshold", 0, "multilevel delegation cutoff in modes (0: engine default)")
 	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,11 +76,20 @@ func run(args []string, out io.Writer) (err error) {
 	// The canonical request: shared with prpartd so the CLI and the
 	// daemon derive identical cache keys and result bytes.
 	sspec := &serve.SolveSpec{
-		Design:   d,
-		Device:   con.Device,
-		Budget:   con.Budget,
-		NoStatic: *noStatic,
-		Greedy:   *greedy,
+		Design:              d,
+		Device:              con.Device,
+		Budget:              con.Budget,
+		NoStatic:            *noStatic,
+		Greedy:              *greedy,
+		Multilevel:          *multilevel,
+		MultilevelSeed:      *mlSeed,
+		MultilevelThreshold: *mlThreshold,
+	}
+	if !*multilevel && (*mlSeed != 0 || *mlThreshold != 0) {
+		return fmt.Errorf("-ml-seed/-ml-threshold require -multilevel")
+	}
+	if *multilevel && *pin != "" {
+		return fmt.Errorf("-multilevel does not support -pin")
 	}
 	if *dev != "" {
 		sspec.Device = *dev

@@ -38,6 +38,15 @@ type Solver func(d *design.Design) (*Outcome, error)
 // on transformed designs are violations: every transformation preserves
 // solvability.
 func Metamorph(d *design.Design, base *Outcome, solve Solver, seed int64) []Violation {
+	return MetamorphAs("meta", d, base, solve, seed)
+}
+
+// MetamorphAs is Metamorph with a caller-chosen rule prefix, so
+// engine-specific runs (the multilevel suite reports under
+// "multilevel-meta") stay distinguishable in reports from the standard
+// flow's "meta" rules while sharing the relations and their
+// implementation.
+func MetamorphAs(prefix string, d *design.Design, base *Outcome, solve Solver, seed int64) []Violation {
 	var out []Violation
 	rng := rand.New(rand.NewSource(seed))
 	baseFP := Fingerprint(base.Scheme)
@@ -58,20 +67,20 @@ func Metamorph(d *design.Design, base *Outcome, solve Solver, seed int64) []Viol
 		}
 	}
 
-	same("meta.permute-modules", PermuteModules(d, rng.Perm(len(d.Modules))))
-	same("meta.permute-modes", PermuteModes(d, rng))
-	same("meta.permute-configs", PermuteConfigs(d, rng.Perm(len(d.Configurations))))
-	same("meta.pad-unused", PadUnused(d))
+	same(prefix+".permute-modules", PermuteModules(d, rng.Perm(len(d.Modules))))
+	same(prefix+".permute-modes", PermuteModes(d, rng))
+	same(prefix+".permute-configs", PermuteConfigs(d, rng.Perm(len(d.Configurations))))
+	same(prefix+".pad-unused", PadUnused(d))
 
 	// Normalisation is idempotent, and normalising the padded design
 	// recovers the normalised original byte-for-byte.
 	n1 := Normalize(d)
 	n2 := Normalize(n1)
 	if !designEqual(n1, n2) {
-		out = append(out, Violation{Rule: "meta.normalize", Detail: "Normalize is not idempotent"})
+		out = append(out, Violation{Rule: prefix + ".normalize", Detail: "Normalize is not idempotent"})
 	}
 	if !designEqual(Normalize(PadUnused(d)), n1) {
-		out = append(out, Violation{Rule: "meta.normalize", Detail: "Normalize(padded) differs from Normalize(original)"})
+		out = append(out, Violation{Rule: prefix + ".normalize", Detail: "Normalize(padded) differs from Normalize(original)"})
 	}
 	return out
 }

@@ -23,6 +23,7 @@ import (
 	"prpart/internal/device"
 	"prpart/internal/floorplan"
 	"prpart/internal/icap"
+	"prpart/internal/multilevel"
 	"prpart/internal/partition"
 	"prpart/internal/resource"
 	"prpart/internal/scheme"
@@ -47,6 +48,17 @@ type Options struct {
 	Library []*device.Device
 	// Partition tunes the search (Budget inside it is overwritten).
 	Partition partition.Options
+	// Multilevel routes partitioning through the coarsen–partition–refine
+	// engine (internal/multilevel) instead of calling the search engine
+	// directly — the scale path for designs far beyond the direct
+	// engine's enumeration limits. Designs at or under the threshold
+	// still delegate to the standard engine, byte for byte.
+	Multilevel bool
+	// MultilevelSeed drives the coarsening tie-breaks (default 0).
+	MultilevelSeed int64
+	// MultilevelThreshold overrides the delegation cutoff in modes
+	// (default multilevel.DefaultThreshold).
+	MultilevelThreshold int
 	// SkipBackend stops after partitioning (no floorplan, wrappers or
 	// bitstreams) — what the evaluation sweeps use.
 	SkipBackend bool
@@ -130,7 +142,7 @@ func RunContext(ctx context.Context, d *design.Design, opts Options) (*Result, e
 		}
 		popts := opts.Partition
 		popts.Budget = budget
-		res, err := partition.SolveContext(ctx, d, popts)
+		res, err := solve(ctx, d, popts, opts)
 		if err != nil {
 			lastErr = fmt.Errorf("core: %s: %w", dev.Name, err)
 			continue
@@ -164,6 +176,24 @@ func RunContext(ctx context.Context, d *design.Design, opts Options) (*Result, e
 		lastErr = errors.New("core: no candidate devices")
 	}
 	return nil, lastErr
+}
+
+// solve dispatches partitioning to the engine the options select: the
+// direct search engine, or the multilevel coarsen–partition–refine
+// chain when opts.Multilevel is set.
+func solve(ctx context.Context, d *design.Design, popts partition.Options, opts Options) (*partition.Result, error) {
+	if !opts.Multilevel {
+		return partition.SolveContext(ctx, d, popts)
+	}
+	mres, err := multilevel.SolveContext(ctx, d, multilevel.Options{
+		Partition: popts,
+		Seed:      opts.MultilevelSeed,
+		Threshold: opts.MultilevelThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mres.Partition, nil
 }
 
 // backend runs floorplanning, wrapper generation, UCF generation and

@@ -70,11 +70,22 @@ func smallestFor(list []*device.Device, s *scheme.Scheme) (*device.Device, error
 	return nil, fmt.Errorf("experiments: scheme %s (%v) exceeds the largest sweep device", s.Name, need)
 }
 
+// Solver abstracts the partitioning engine the sweep drives: the direct
+// search engine (partition.Solve) or the multilevel chain
+// (multilevel.Solver). The budget arrives inside opts.
+type Solver func(d *design.Design, opts partition.Options) (*partition.Result, error)
+
 // EvaluateDesign runs the full §V procedure for one design against the
-// sweep catalog. When opts.Obs is set it maintains counters
-// experiments.designs, experiments.upsized, experiments.fallback_single
-// and experiments.smaller_than_modular, and timer experiments.evaluate.
+// sweep catalog with the standard engine. When opts.Obs is set it
+// maintains counters experiments.designs, experiments.upsized,
+// experiments.fallback_single and experiments.smaller_than_modular, and
+// timer experiments.evaluate.
 func EvaluateDesign(index int, d *design.Design, opts partition.Options) (*Outcome, error) {
+	return EvaluateDesignSolver(index, d, opts, partition.Solve)
+}
+
+// EvaluateDesignSolver is EvaluateDesign with an injected engine.
+func EvaluateDesignSolver(index int, d *design.Design, opts partition.Options, solve Solver) (*Outcome, error) {
 	stopEval := opts.Obs.Timer("experiments.evaluate").Time()
 	defer stopEval()
 	list := device.SweepCatalog()
@@ -100,7 +111,7 @@ func EvaluateDesign(index int, d *design.Design, opts partition.Options) (*Outco
 	for i := start; i < len(list); i++ {
 		o := opts
 		o.Budget = list[i].Capacity
-		res, err := partition.Solve(d, o)
+		res, err := solve(d, o)
 		if err == nil {
 			out.Proposed = res.Summary
 			out.ProposedDev = list[i].Name
@@ -139,9 +150,15 @@ func EvaluateDesign(index int, d *design.Design, opts partition.Options) (*Outco
 	return out, nil
 }
 
-// Sweep evaluates a corpus in parallel, preserving input order. Workers
-// defaults to GOMAXPROCS when <= 0.
+// Sweep evaluates a corpus in parallel with the standard engine,
+// preserving input order. Workers defaults to GOMAXPROCS when <= 0.
 func Sweep(designs []*design.Design, opts partition.Options, workers int) ([]*Outcome, error) {
+	return SweepSolver(designs, opts, workers, partition.Solve)
+}
+
+// SweepSolver is Sweep with an injected engine (the -multilevel sweep
+// hands multilevel.Solver here).
+func SweepSolver(designs []*design.Design, opts partition.Options, workers int, solve Solver) ([]*Outcome, error) {
 	stopSweep := opts.Obs.Timer("experiments.sweep").Time()
 	defer stopSweep()
 	if workers <= 0 {
@@ -156,7 +173,7 @@ func Sweep(designs []*design.Design, opts partition.Options, workers int) ([]*Ou
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outs[i], errs[i] = EvaluateDesign(i, designs[i], opts)
+				outs[i], errs[i] = EvaluateDesignSolver(i, designs[i], opts, solve)
 			}
 		}()
 	}

@@ -1,0 +1,121 @@
+package multilevel
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prpart/internal/check"
+	"prpart/internal/design"
+	"prpart/internal/partition"
+	"prpart/internal/synthetic"
+)
+
+// dumpArtifact writes a failing design to $PRPART_MULTILEVEL_ARTIFACTS
+// (CI uploads the directory), so scale-tier failures arrive with a
+// reproducer instead of just a seed.
+func dumpArtifact(t *testing.T, d *design.Design) {
+	dir := os.Getenv("PRPART_MULTILEVEL_ARTIFACTS")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, d.Name+".json"))
+	if err != nil {
+		t.Logf("artifact create: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := design.EncodeJSON(f, d); err != nil {
+		t.Logf("artifact encode: %v", err)
+	}
+	t.Logf("failing design dumped to %s", f.Name())
+}
+
+// TestMultilevelHugeSolves is the acceptance gate at the scale the
+// engine exists for: a prgen huge-tier design (10³ modes; smaller under
+// the race detector, which slows the inner loops ~10×) must coarsen,
+// solve, refine and verify inside the 60-second CI budget, and do so
+// deterministically.
+func TestMultilevelHugeSolves(t *testing.T) {
+	var d *design.Design
+	if raceEnabled {
+		rng := rand.New(rand.NewSource(1))
+		d = synthetic.HugeOne(rng, synthetic.Logic, "huge-race-300", 300)
+	} else {
+		d = synthetic.GenerateHuge(1, 1)[0] // 1000-mode tier
+	}
+	if got := len(d.AllModes()); got < 300 {
+		t.Fatalf("generator produced %d modes, want >= 300", got)
+	}
+	budget := partition.Modular(d).TotalResources()
+	opts := Options{Partition: partition.Options{Budget: budget}, Seed: 1}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := SolveContext(ctx, d, opts)
+	if err != nil {
+		dumpArtifact(t, d)
+		t.Fatalf("%s: multilevel solve failed: %v", d.Name, err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("%s: modes=%d configs=%d levels=%d nodes=%v coarseSolved=%v total=%d regions=%d static=%d elapsed=%s",
+		d.Name, len(d.AllModes()), len(d.Configurations), res.Stats.Levels, res.Stats.Nodes,
+		res.Stats.CoarseSolved, res.Partition.Summary.Total, res.Partition.Summary.Regions,
+		len(res.Partition.Scheme.Static), elapsed)
+
+	rep := check.Verify(check.Subject{
+		Scheme: res.Partition.Scheme,
+		Budget: budget,
+		Total:  res.Partition.Summary.Total,
+		Worst:  res.Partition.Summary.Worst,
+	})
+	if !rep.OK() {
+		dumpArtifact(t, d)
+		t.Fatalf("%s: oracle rejected the huge-scale result:\n%s", d.Name, rep)
+	}
+
+	again, err := SolveContext(ctx, d, opts)
+	if err != nil {
+		dumpArtifact(t, d)
+		t.Fatalf("%s: rerun failed: %v", d.Name, err)
+	}
+	if got, want := fingerprint(d, again.Partition), fingerprint(d, res.Partition); got != want {
+		dumpArtifact(t, d)
+		t.Fatalf("%s: huge-scale solve is not deterministic", d.Name)
+	}
+}
+
+// TestGenerateHugeDeterministic pins the huge tier's generator contract:
+// same seed, same designs, sizes cycling through HugeSizes, and every
+// design valid with the advertised mode count (within the granularity
+// of whole modules).
+func TestGenerateHugeDeterministic(t *testing.T) {
+	a := synthetic.GenerateHuge(7, 2)
+	b := synthetic.GenerateHuge(7, 2)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("GenerateHuge returned %d and %d designs, want 2", len(a), len(b))
+	}
+	for i := range a {
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("design %d invalid: %v", i, err)
+		}
+		if a[i].Name != b[i].Name {
+			t.Fatalf("names diverge: %q vs %q", a[i].Name, b[i].Name)
+		}
+		if ga, gb := len(a[i].AllModes()), len(b[i].AllModes()); ga != gb {
+			t.Fatalf("design %d: mode counts diverge: %d vs %d", i, ga, gb)
+		}
+		want := synthetic.HugeSizes[i%len(synthetic.HugeSizes)]
+		if got := len(a[i].AllModes()); got < want || got > want+4 {
+			t.Fatalf("design %d: %d modes, want about %d", i, got, want)
+		}
+	}
+}

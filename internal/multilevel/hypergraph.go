@@ -1,0 +1,347 @@
+package multilevel
+
+import (
+	"sort"
+
+	"prpart/internal/compat"
+	"prpart/internal/connmat"
+	"prpart/internal/design"
+	"prpart/internal/modeset"
+	"prpart/internal/resource"
+)
+
+// The coarsening layer views the connectivity matrix as a hypergraph:
+// modes are nodes, each configuration is a hyperedge over the modes it
+// activates. Heavy-edge matching contracts pairs of nodes that co-occur
+// in many configurations — exactly the pairs the paper's agglomerative
+// clustering would group first — under per-resource node-weight caps so
+// no coarse node grows so large that the coarse instance becomes
+// trivially infeasible. Matching is fully deterministic for a given
+// seed: edge order is (weight desc, seeded pair rank, index), and node
+// ranks are hashes of the canonical mode *names*, so the same design
+// presented with permuted module/mode/configuration order coarsens
+// along the same merge tree.
+
+// node is one hypergraph node: a set of original (fine) modes that the
+// coarsening has contracted together.
+type node struct {
+	// set is the underlying fine modes.
+	set modeset.Set
+	// res is the sum of the constituent modes' resources — a safe
+	// overestimate of any region that must host the node (the region
+	// wrapper may need every constituent across configurations).
+	res resource.Vector
+	// mask marks the configurations that activate any constituent.
+	mask compat.Mask
+	// rank is a seeded, permutation-invariant tie-break priority,
+	// derived from the constituent mode names.
+	rank uint64
+}
+
+// level is one rung of the coarsening ladder.
+type level struct {
+	nodes []node
+	// configNodes[ci] lists the node indices configuration ci activates,
+	// ascending. Two nodes co-occur in ci iff both appear in the row.
+	configNodes [][]int
+	// from maps each node index of the next-finer level to its node in
+	// this level; nil on the finest level.
+	from []int
+}
+
+// maxActive returns the largest hyperedge size (active nodes per
+// configuration) at this level.
+func (lv *level) maxActive() int {
+	m := 0
+	for _, row := range lv.configNodes {
+		if len(row) > m {
+			m = len(row)
+		}
+	}
+	return m
+}
+
+// totalRes sums the node resources — invariant across levels (each
+// contraction adds its operands' vectors), which the property suite
+// asserts.
+func (lv *level) totalRes() resource.Vector {
+	var v resource.Vector
+	for i := range lv.nodes {
+		v = v.Add(lv.nodes[i].res)
+	}
+	return v
+}
+
+// mix is a 64-bit finalizer (splitmix64) used to derive node ranks and
+// to combine them under contraction.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nameRank hashes a mode's canonical name under the seed (FNV-1a over
+// the bytes, then mixed with the seed). Names — unlike indices —
+// survive module/mode/configuration permutations, which is what makes
+// the merge tree permutation-invariant.
+func nameRank(seed int64, name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return mix(h ^ uint64(seed))
+}
+
+// finestLevel builds level 0 from the connectivity matrix: one node per
+// used mode. Nodes are ordered by rank, not declaration order: every
+// downstream index-ordered decision (coarse id assignment, move
+// enumeration in the refinement descent, region sorting) then inherits
+// the ranks' permutation invariance, so presenting the same design with
+// its modules, modes or configurations shuffled yields the same scheme
+// shape — the property the metamorphic suite checks.
+func finestLevel(d *design.Design, m *connmat.Matrix, seed int64) *level {
+	modes := m.Modes()
+	nCfg := m.NumConfigs()
+	lv := &level{
+		nodes:       make([]node, len(modes)),
+		configNodes: make([][]int, nCfg),
+	}
+	order := make([]int, len(modes))
+	for i := range order {
+		order[i] = i
+	}
+	ranks := make([]uint64, len(modes))
+	for i, r := range modes {
+		ranks[i] = nameRank(seed, d.ModeName(r))
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if ranks[order[a]] != ranks[order[b]] {
+			return ranks[order[a]] < ranks[order[b]]
+		}
+		return d.ModeName(modes[order[a]]) < d.ModeName(modes[order[b]])
+	})
+	col2node := make([]int, len(modes))
+	for id, col := range order {
+		col2node[col] = id
+		r := modes[col]
+		lv.nodes[id] = node{
+			set:  modeset.New(r),
+			res:  d.ModeResources(r),
+			mask: compat.NewMask(nCfg),
+			rank: ranks[col],
+		}
+	}
+	for ci := 0; ci < nCfg; ci++ {
+		refs := d.ConfigModes(ci)
+		row := make([]int, 0, len(refs))
+		for _, r := range refs {
+			id := col2node[m.Column(r)]
+			row = append(row, id)
+			lv.nodes[id].mask.Set(ci)
+		}
+		sort.Ints(row)
+		lv.configNodes[ci] = row
+	}
+	return lv
+}
+
+// edge is one accumulated co-occurrence pair.
+type edge struct {
+	a, b int
+	w    int64
+}
+
+// levelEdges enumerates the positive-weight node pairs of a level by
+// walking each hyperedge's active list — Σ |edge|² work, sparse in the
+// number of nodes — and accumulating co-occurrence counts.
+func levelEdges(lv *level) []edge {
+	acc := make(map[uint64]int64)
+	for _, row := range lv.configNodes {
+		for i := 0; i < len(row); i++ {
+			for j := i + 1; j < len(row); j++ {
+				acc[uint64(row[i])<<32|uint64(row[j])]++
+			}
+		}
+	}
+	edges := make([]edge, 0, len(acc))
+	for k, w := range acc {
+		edges = append(edges, edge{a: int(k >> 32), b: int(k & 0xffffffff), w: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		ri := mix(lv.nodes[edges[i].a].rank ^ lv.nodes[edges[i].b].rank)
+		rj := mix(lv.nodes[edges[j].a].rank ^ lv.nodes[edges[j].b].rank)
+		if ri != rj {
+			return ri < rj
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	return edges
+}
+
+// coarsening imbalance parameters. epsBase is the slack granted to the
+// tightest resource; looser resources get proportionally more (they are
+// nowhere near their budget, so a lopsided node cannot hurt
+// feasibility). maxCapRelax bounds the cap-doubling rounds when
+// matching stalls — by the last round the caps are ×2⁸ and effectively
+// unbounded, so coarsening can always terminate.
+const (
+	epsBase     = 0.25
+	maxCapRelax = 8
+)
+
+// nodeCaps derives the per-resource maximum coarse-node weight: the
+// perfectly balanced share total/target, inflated by a per-resource
+// epsilon scaled from the tightest resource's utilisation (mt-KaHyPar's
+// individual-epsilon recipe), then doubled per relaxation round.
+func nodeCaps(total, budget resource.Vector, target, round int) resource.Vector {
+	if target < 1 {
+		target = 1
+	}
+	tight := 0.0
+	for _, k := range resource.Kinds {
+		t, b := total.Get(k), budget.Get(k)
+		if t == 0 {
+			continue
+		}
+		u := float64(t)
+		if b > 0 {
+			u = float64(t) / float64(b)
+		}
+		if u > tight {
+			tight = u
+		}
+	}
+	var caps resource.Vector
+	for _, k := range resource.Kinds {
+		t, b := total.Get(k), budget.Get(k)
+		if t == 0 {
+			continue
+		}
+		u := float64(t)
+		if b > 0 {
+			u = float64(t) / float64(b)
+		}
+		eps := epsBase
+		if u > 0 && tight > u {
+			eps = epsBase * tight / u
+		}
+		if eps > 1 {
+			eps = 1
+		}
+		cap := int(float64(t)*(1+eps))/target + 1
+		cap <<= uint(round)
+		caps = caps.Set(k, cap)
+	}
+	return caps
+}
+
+// matchLevel greedily matches nodes along the sorted edge list: an edge
+// is taken when both endpoints are unmatched and the merged resource
+// vector fits the caps. Only positive-weight (co-occurring) pairs are
+// ever candidates, so two mutually exclusive nodes — in particular two
+// modes of the same module — are never directly contracted.
+func matchLevel(lv *level, edges []edge, caps resource.Vector) ([]int, int) {
+	match := make([]int, len(lv.nodes))
+	for i := range match {
+		match[i] = -1
+	}
+	pairs := 0
+	for _, e := range edges {
+		if match[e.a] >= 0 || match[e.b] >= 0 {
+			continue
+		}
+		if !lv.nodes[e.a].res.Add(lv.nodes[e.b].res).FitsIn(caps) {
+			continue
+		}
+		match[e.a], match[e.b] = e.b, e.a
+		pairs++
+	}
+	return match, pairs
+}
+
+// contract builds the next-coarser level from a matching. Coarse ids
+// are assigned in ascending order of the smaller endpoint, keeping the
+// level deterministic.
+func contract(lv *level, match []int) *level {
+	next := &level{from: make([]int, len(lv.nodes))}
+	for i := range lv.nodes {
+		j := match[i]
+		if j >= 0 && j < i {
+			next.from[i] = next.from[j]
+			continue
+		}
+		id := len(next.nodes)
+		next.from[i] = id
+		n := lv.nodes[i]
+		merged := node{set: n.set, res: n.res, rank: n.rank}
+		if j > i {
+			o := lv.nodes[j]
+			merged.set = merged.set.Union(o.set)
+			merged.res = merged.res.Add(o.res)
+			merged.rank = mix(merged.rank ^ o.rank)
+		}
+		next.nodes = append(next.nodes, merged)
+	}
+	nCfg := len(lv.configNodes)
+	next.configNodes = make([][]int, nCfg)
+	for i := range next.nodes {
+		next.nodes[i].mask = compat.NewMask(nCfg)
+	}
+	seen := make([]int, len(next.nodes))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for ci, row := range lv.configNodes {
+		out := make([]int, 0, len(row))
+		for _, fine := range row {
+			id := next.from[fine]
+			if seen[id] == ci {
+				continue
+			}
+			seen[id] = ci
+			out = append(out, id)
+			next.nodes[id].mask.Set(ci)
+		}
+		sort.Ints(out)
+		next.configNodes[ci] = out
+	}
+	return next
+}
+
+// coarsen builds the full ladder: level 0 is one node per used mode,
+// each subsequent level contracts a heavy-edge matching, until the node
+// count and the largest hyperedge are under the targets (or matching
+// stalls through every cap relaxation).
+func coarsen(d *design.Design, m *connmat.Matrix, budget resource.Vector, seed int64, targetNodes, maxCfgNodes int) []*level {
+	levels := []*level{finestLevel(d, m, seed)}
+	round := 0
+	for {
+		cur := levels[len(levels)-1]
+		if len(cur.nodes) <= targetNodes && cur.maxActive() <= maxCfgNodes {
+			break
+		}
+		caps := nodeCaps(cur.totalRes(), budget, targetNodes, round)
+		match, pairs := matchLevel(cur, levelEdges(cur), caps)
+		if pairs == 0 {
+			round++
+			if round > maxCapRelax {
+				break
+			}
+			continue
+		}
+		levels = append(levels, contract(cur, match))
+	}
+	return levels
+}

@@ -1,0 +1,190 @@
+package multilevel
+
+import (
+	"fmt"
+	"sort"
+
+	"prpart/internal/cluster"
+	"prpart/internal/design"
+	"prpart/internal/device"
+	"prpart/internal/partition"
+	"prpart/internal/scheme"
+)
+
+// grouping is a partition of a level's nodes into region groups plus a
+// static set — the state handed between levels.
+type grouping struct {
+	groups [][]int
+	static []int
+}
+
+// singletons is the trivial grouping: every node its own region.
+func singletons(n int) grouping {
+	g := grouping{groups: make([][]int, n)}
+	for i := range g.groups {
+		g.groups[i] = []int{i}
+	}
+	return g
+}
+
+// coarseDesign materialises a level as a standalone design the standard
+// engine can solve: one single-mode module per node (named by node
+// index), each original configuration projected onto the nodes it
+// activates, duplicates collapsed (design.Validate rejects duplicate
+// configurations, and contraction routinely makes distinct fine
+// configurations indistinguishable at a coarse level).
+func coarseDesign(d *design.Design, lv *level) (*design.Design, error) {
+	cd := &design.Design{Name: d.Name + "-coarse", Static: d.Static}
+	for i := range lv.nodes {
+		cd.Modules = append(cd.Modules, &design.Module{
+			Name:  fmt.Sprintf("N%04d", i),
+			Modes: []design.Mode{{Name: "1", Resources: lv.nodes[i].res}},
+		})
+	}
+	seen := make(map[string]bool)
+	for ci := range lv.configNodes {
+		row := lv.configNodes[ci]
+		key := fmt.Sprint(row)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		modes := make([]int, len(lv.nodes))
+		for _, id := range row {
+			modes[id] = 1
+		}
+		cd.Configurations = append(cd.Configurations, design.Configuration{Modes: modes})
+	}
+	if err := cd.Validate(); err != nil {
+		return nil, fmt.Errorf("multilevel: coarse design invalid: %w", err)
+	}
+	return cd, nil
+}
+
+// schemeGrouping maps a coarse-design scheme back to a grouping over
+// the level's nodes: each region's parts reference coarse modules,
+// whose indices are node indices.
+func schemeGrouping(sch *scheme.Scheme) grouping {
+	var g grouping
+	for _, reg := range sch.Regions {
+		var ids []int
+		for _, p := range reg.Parts {
+			for _, r := range p.Set.Refs() {
+				ids = append(ids, r.Module)
+			}
+		}
+		sort.Ints(ids)
+		g.groups = append(g.groups, ids)
+	}
+	for _, p := range sch.Static {
+		for _, r := range p.Set.Refs() {
+			g.static = append(g.static, r.Module)
+		}
+	}
+	sort.Ints(g.static)
+	return g
+}
+
+// project expands a grouping of the coarser level lv (which was built
+// by contracting fine) onto fine's nodes. Children of one coarse node
+// may be mutually incompatible with children of another (contraction
+// merges wrapper-style: constituents co-reside, they don't co-activate
+// with siblings' constituents), so each coarse region's child set is
+// re-packed first-fit into pairwise-compatible subgroups: children are
+// taken largest-frames-first and each lands in the first subgroup whose
+// accumulated configuration mask it does not intersect. Static coarse
+// nodes project losslessly — static capacity is additive.
+func project(fine, lv *level, g grouping) grouping {
+	children := make([][]int, len(lv.nodes))
+	for i, id := range lv.from {
+		children[id] = append(children[id], i)
+	}
+	var out grouping
+	for _, grp := range g.groups {
+		var kids []int
+		for _, id := range grp {
+			kids = append(kids, children[id]...)
+		}
+		sort.Slice(kids, func(a, b int) bool {
+			fa := device.Frames(fine.nodes[kids[a]].res)
+			fb := device.Frames(fine.nodes[kids[b]].res)
+			if fa != fb {
+				return fa > fb
+			}
+			return kids[a] < kids[b]
+		})
+		var subs [][]int
+		var masks []maskAcc
+		for _, kid := range kids {
+			placed := false
+			for si := range subs {
+				if !masks[si].intersects(fine.nodes[kid].mask) {
+					subs[si] = append(subs[si], kid)
+					masks[si].or(fine.nodes[kid].mask)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				subs = append(subs, []int{kid})
+				masks = append(masks, newMaskAcc(fine.nodes[kid].mask))
+			}
+		}
+		out.groups = append(out.groups, subs...)
+	}
+	for _, id := range g.static {
+		out.static = append(out.static, children[id]...)
+	}
+	sort.Ints(out.static)
+	return out
+}
+
+// maskAcc is a mutable union of configuration masks (compat.Mask's own
+// Union allocates a fresh mask per call).
+type maskAcc struct{ words []uint64 }
+
+func newMaskAcc(m []uint64) maskAcc {
+	return maskAcc{words: append([]uint64(nil), m...)}
+}
+
+func (a *maskAcc) or(m []uint64) {
+	for i := range a.words {
+		a.words[i] |= m[i]
+	}
+}
+
+func (a *maskAcc) intersects(m []uint64) bool {
+	for i := range a.words {
+		if a.words[i]&m[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// warmStart converts a level and a grouping into the partition engine's
+// refinement input: one candidate part per node (its fine mode set, its
+// summed resources) and the level's activation table.
+func warmStart(lv *level, g grouping) partition.WarmStart {
+	ws := partition.WarmStart{
+		Parts:  make([]cluster.BasePartition, len(lv.nodes)),
+		Active: make([][]bool, len(lv.configNodes)),
+		Groups: g.groups,
+		Static: g.static,
+	}
+	for i := range lv.nodes {
+		ws.Parts[i] = cluster.BasePartition{
+			Set:        lv.nodes[i].set,
+			FreqWeight: lv.nodes[i].mask.Count(),
+			Resources:  lv.nodes[i].res,
+		}
+	}
+	for ci, row := range lv.configNodes {
+		act := make([]bool, len(lv.nodes))
+		for _, id := range row {
+			act[id] = true
+		}
+		ws.Active[ci] = act
+	}
+	return ws
+}

@@ -1,0 +1,193 @@
+package multilevel
+
+import (
+	"fmt"
+	"testing"
+
+	"prpart/internal/check"
+	"prpart/internal/cluster"
+	"prpart/internal/connmat"
+	"prpart/internal/design"
+	"prpart/internal/partition"
+	"prpart/internal/scheme"
+	"prpart/internal/synthetic"
+)
+
+// propertyDesigns is a corpus for the structural invariants: varied
+// enough to coarsen several levels deep, small enough to be cheap.
+func propertyDesigns(t testing.TB) []*design.Design {
+	n := 40
+	if raceEnabled || testing.Short() {
+		n = 10
+	}
+	designs := []*design.Design{design.PaperExample(), design.VideoReceiver()}
+	return append(designs, synthetic.Generate(2, n)...)
+}
+
+// ladders builds the coarsening ladder for a design under the forced
+// test parameters.
+func ladder(t *testing.T, d *design.Design) []*level {
+	t.Helper()
+	m := connmat.New(d)
+	budget := partition.Modular(d).TotalResources()
+	return coarsen(d, m, budget, 1, 8, 4)
+}
+
+// TestMatchingNeverMergesExclusiveNodes asserts the heavy-edge matching
+// safety property: a contraction only ever merges two nodes whose
+// configuration masks intersect — nodes that co-occur in at least one
+// configuration. Mutually exclusive nodes (in particular two modes of
+// the same module, which no configuration activates together) are never
+// directly contracted, so wrapper-style coarse nodes always correspond
+// to pairs the paper's clustering could also have grouped.
+func TestMatchingNeverMergesExclusiveNodes(t *testing.T) {
+	for _, d := range propertyDesigns(t) {
+		levels := ladder(t, d)
+		for l := 0; l+1 < len(levels); l++ {
+			fine, coarse := levels[l], levels[l+1]
+			children := make([][]int, len(coarse.nodes))
+			for i, id := range coarse.from {
+				children[id] = append(children[id], i)
+			}
+			for id, kids := range children {
+				switch len(kids) {
+				case 1:
+					// carried over unmatched
+				case 2:
+					a, b := &fine.nodes[kids[0]], &fine.nodes[kids[1]]
+					if !a.mask.Intersects(b.mask) {
+						t.Fatalf("%s: level %d node %d merged exclusive fine nodes %v and %v",
+							d.Name, l+1, id, a.set.Refs(), b.set.Refs())
+					}
+				default:
+					t.Fatalf("%s: level %d node %d has %d children; matching must pair at most two",
+						d.Name, l+1, id, len(kids))
+				}
+			}
+		}
+	}
+}
+
+// TestCoarseningPreservesTotals asserts the resource-conservation
+// invariant: contraction sums its operands' vectors, so every level of
+// the ladder accounts for exactly the same total resources, and node
+// counts are non-increasing (strictly decreasing whenever a level was
+// added, since a level is only appended when at least one pair matched).
+func TestCoarseningPreservesTotals(t *testing.T) {
+	for _, d := range propertyDesigns(t) {
+		levels := ladder(t, d)
+		want := levels[0].totalRes()
+		for l, lv := range levels {
+			if got := lv.totalRes(); got != want {
+				t.Fatalf("%s: level %d totals %v, level 0 totals %v", d.Name, l, got, want)
+			}
+			if l > 0 && len(lv.nodes) >= len(levels[l-1].nodes) {
+				t.Fatalf("%s: level %d has %d nodes, finer level has %d — contraction must shrink",
+					d.Name, l, len(lv.nodes), len(levels[l-1].nodes))
+			}
+		}
+	}
+}
+
+// groupingScheme materialises a level-0 grouping as a concrete scheme:
+// one region per group with one part per node, an activation table
+// derived from the nodes' configuration masks, and static parts for the
+// static nodes. It fails the test if any group holds two nodes active in
+// the same configuration — the internal-compatibility property the
+// projection must maintain.
+func groupingScheme(t *testing.T, label string, d *design.Design, lv *level, g grouping) *scheme.Scheme {
+	t.Helper()
+	sch := &scheme.Scheme{Design: d, Name: "projected"}
+	for _, grp := range g.groups {
+		var reg scheme.Region
+		for _, id := range grp {
+			n := &lv.nodes[id]
+			reg.Parts = append(reg.Parts, cluster.BasePartition{
+				Set:        n.set,
+				FreqWeight: n.mask.Count(),
+				Resources:  n.res,
+			})
+		}
+		sch.Regions = append(sch.Regions, reg)
+	}
+	for _, id := range g.static {
+		n := &lv.nodes[id]
+		sch.Static = append(sch.Static, cluster.BasePartition{
+			Set:        n.set,
+			FreqWeight: n.mask.Count(),
+			Resources:  n.res,
+		})
+	}
+	nCfg := len(lv.configNodes)
+	sch.Active = make([][]int, nCfg)
+	for ci := 0; ci < nCfg; ci++ {
+		row := make([]int, len(g.groups))
+		for ri, grp := range g.groups {
+			row[ri] = scheme.Inactive
+			for pi, id := range grp {
+				if !lv.nodes[id].mask.Has(ci) {
+					continue
+				}
+				if row[ri] != scheme.Inactive {
+					t.Fatalf("%s: group %d holds nodes %v and %v, both active in config %d",
+						label, ri, grp[row[ri]], id, ci)
+				}
+				row[ri] = pi
+			}
+		}
+		sch.Active[ci] = row
+	}
+	return sch
+}
+
+// TestProjectionYieldsValidPartition asserts the uncoarsening property:
+// projecting ANY grouping of a coarse level down the full ladder yields
+// a grouping of the finest level whose groups are internally compatible
+// and which materialises into a scheme that passes both scheme.Validate
+// and the solver-independent oracle's feasibility + semantic checks. The
+// two extreme coarse groupings — every node alone, and everything in one
+// group — bracket the space the refinement actually hands down.
+func TestProjectionYieldsValidPartition(t *testing.T) {
+	for _, d := range propertyDesigns(t) {
+		levels := ladder(t, d)
+		if len(levels) < 2 {
+			// Nothing was contracted: projection is the identity, and an
+			// arbitrary coarse grouping is not a partition of anything.
+			continue
+		}
+		top := levels[len(levels)-1]
+
+		allInOne := grouping{groups: [][]int{make([]int, len(top.nodes))}}
+		for i := range top.nodes {
+			allInOne.groups[0][i] = i
+		}
+		halfStatic := singletons(len(top.nodes))
+		halfStatic.groups = halfStatic.groups[:len(top.nodes)-len(top.nodes)/2]
+		for i := len(top.nodes) - len(top.nodes)/2; i < len(top.nodes); i++ {
+			halfStatic.static = append(halfStatic.static, i)
+		}
+
+		for gi, g := range []grouping{singletons(len(top.nodes)), allInOne, halfStatic} {
+			label := fmt.Sprintf("%s/grouping-%d", d.Name, gi)
+			for l := len(levels) - 1; l > 0; l-- {
+				g = project(levels[l-1], levels[l], g)
+			}
+			placed := 0
+			for _, grp := range g.groups {
+				placed += len(grp)
+			}
+			if placed+len(g.static) != len(levels[0].nodes) {
+				t.Fatalf("%s: projection placed %d+%d nodes of %d",
+					label, placed, len(g.static), len(levels[0].nodes))
+			}
+			sch := groupingScheme(t, label, d, levels[0], g)
+			if err := sch.Validate(); err != nil {
+				t.Fatalf("%s: projected scheme invalid: %v", label, err)
+			}
+			rep := check.Verify(check.Subject{Scheme: sch, Budget: sch.TotalResources()})
+			if !rep.OK() {
+				t.Fatalf("%s: oracle rejected the projected scheme:\n%s", label, rep)
+			}
+		}
+	}
+}

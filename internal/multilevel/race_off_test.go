@@ -1,0 +1,7 @@
+//go:build !race
+
+package multilevel
+
+// raceEnabled selects corpus and design sizes: full scale normally,
+// trimmed under the race detector's ~10-20× slowdown.
+const raceEnabled = false

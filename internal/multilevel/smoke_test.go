@@ -1,0 +1,27 @@
+package multilevel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"prpart/internal/partition"
+	"prpart/internal/synthetic"
+)
+
+// TestMultilevelSmoke is a fast end-to-end sanity pass (the full-size
+// acceptance run lives in huge_test.go).
+func TestMultilevelSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := synthetic.HugeOne(rng, synthetic.Logic, "smoke", 300)
+	budget := partition.Modular(d).TotalResources()
+	start := time.Now()
+	res, err := Solve(d, Options{Partition: partition.Options{Budget: budget}, Seed: 1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	t.Logf("modes=300 configs=%d levels=%d nodes=%v coarseSolved=%v refineStates=%d total=%d regions=%d static=%d elapsed=%s",
+		len(d.Configurations), res.Stats.Levels, res.Stats.Nodes, res.Stats.CoarseSolved,
+		res.Stats.RefineStates, res.Partition.Summary.Total, res.Partition.Summary.Regions,
+		len(res.Partition.Scheme.Static), time.Since(start))
+}

@@ -1,6 +1,11 @@
 package partition
 
-import "sort"
+import (
+	"context"
+	"sort"
+
+	"prpart/internal/design"
+)
 
 // This file retains the pre-incremental search engine, verbatim, as the
 // oracle for differential testing (the same role baselines.go plays for
@@ -179,4 +184,15 @@ func (s *searcher) referenceGreedy(st *state, allowStatic, allowTransfers bool, 
 		cur = s.referenceApply(cur, moves[bestIdx])
 		record(cur)
 	}
+}
+
+// ReferenceSolve runs the retained pre-incremental engine end to end —
+// the differential oracle SolveContext's optimised path is proven
+// against. Exported so suites outside this package (the multilevel
+// differential tests) can compare against the same oracle.
+func ReferenceSolve(ctx context.Context, d *design.Design, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return solveSearch(ctx, d, opts, true)
 }

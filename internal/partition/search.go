@@ -364,6 +364,12 @@ type group struct {
 	sumSq   int64           // Σ over parts of (activation count)²
 	act     []int32         // per config: active part + 1 (weighted mode only)
 	contrib int64           // frames × (weighted) differing-pair mass
+	// mask is the union of the parts' configuration masks — present only
+	// when the searcher runs with useMasks (the multilevel refine path),
+	// where it makes group-pair compatibility O(configs/64) instead of
+	// O(|ga|·|gb|). Nil on the standard path, which keeps the original
+	// pairwise probe and its exact allocation profile.
+	mask compat.Mask
 }
 
 // diffPairs is the number of configuration pairs whose transition
@@ -392,6 +398,14 @@ type searcher struct {
 	// (see delta.go); reset per candidate set, shared across the sets a
 	// worker processes.
 	sc *scratch
+
+	// useMasks switches group construction and move legality onto
+	// group-level configuration masks (see group.mask). Only the Refine
+	// warm-start path sets it: at multilevel scale a region holds
+	// thousands of parts and the pairwise GroupCompatible probe is the
+	// bottleneck, while the standard path must keep its byte- and
+	// allocation-identical behaviour.
+	useMasks bool
 
 	// Observability instruments, resolved once per searcher; all nil when
 	// Options.Obs is nil, making every update a single branch.

@@ -3,6 +3,7 @@ package partition
 import (
 	"sort"
 
+	"prpart/internal/compat"
 	"prpart/internal/cost"
 	"prpart/internal/device"
 	"prpart/internal/resource"
@@ -105,7 +106,36 @@ func (s *searcher) newGroup(parts ...int) *group {
 	} else {
 		g.contrib = g.frames * g.diffPairs()
 	}
+	if s.useMasks {
+		mask := compat.NewMask(len(s.d.Configurations))
+		for _, pi := range parts {
+			pm := s.tab.Mask(pi)
+			for w := range mask {
+				mask[w] |= pm[w]
+			}
+		}
+		g.mask = mask
+	}
 	return g
+}
+
+// groupsCompatible reports whether two groups may merge. With masks
+// (the Refine path) the probe is a single mask intersection — a group's
+// mask is the union of its parts' masks, so disjoint masks ⇔ every
+// cross pair compatible; otherwise it is the original pairwise walk.
+func (s *searcher) groupsCompatible(ga, gb *group) bool {
+	if ga.mask != nil && gb.mask != nil {
+		return !ga.mask.Intersects(gb.mask)
+	}
+	return s.tab.GroupCompatible(ga.parts, gb.parts)
+}
+
+// partCompatible reports whether candidate part p may join group g.
+func (s *searcher) partCompatible(p int, g *group) bool {
+	if g.mask != nil {
+		return !s.tab.Mask(p).Intersects(g.mask)
+	}
+	return s.tab.GroupCompatible([]int{p}, g.parts)
 }
 
 // activation maps each configuration to the active part of the group
@@ -253,7 +283,7 @@ func (s *searcher) apply(st *state, mv move) *state {
 func (s *searcher) appendLegalMoves(out []move, st *state, allowStatic, allowTransfers bool) []move {
 	for i := 0; i < len(st.groups); i++ {
 		for j := i + 1; j < len(st.groups); j++ {
-			if s.tab.GroupCompatible(st.groups[i].parts, st.groups[j].parts) {
+			if s.groupsCompatible(st.groups[i], st.groups[j]) {
 				out = append(out, move{i: i, j: j, part: -1})
 			}
 		}
@@ -270,7 +300,7 @@ func (s *searcher) appendLegalMoves(out []move, st *state, allowStatic, allowTra
 				if j == i {
 					continue
 				}
-				if s.tab.GroupCompatible([]int{p}, st.groups[j].parts) {
+				if s.partCompatible(p, st.groups[j]) {
 					out = append(out, move{i: i, j: j, part: k})
 				}
 			}

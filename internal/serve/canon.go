@@ -49,6 +49,13 @@ type SolveSpec struct {
 	Weights [][]float64
 	// Floorplan asks for region placements in the result.
 	Floorplan bool
+	// Multilevel routes the solve through the coarsen–partition–refine
+	// engine; MultilevelSeed and MultilevelThreshold tune it. The three
+	// fields are hashed into the cache key only when Multilevel is set,
+	// so every pre-existing request keeps its key.
+	Multilevel          bool
+	MultilevelSeed      int64
+	MultilevelThreshold int
 }
 
 // keySchema versions the canonical byte layout Key hashes. Bump it
@@ -93,6 +100,10 @@ func (sp *SolveSpec) Key() (string, error) {
 		}
 		io.WriteString(h, "\n")
 	}
+	if sp.Multilevel {
+		fmt.Fprintf(h, "multilevel seed=%d threshold=%d\n",
+			sp.MultilevelSeed, sp.MultilevelThreshold)
+	}
 	return fmt.Sprintf("sha256:%x", h.Sum(nil)), nil
 }
 
@@ -100,9 +111,12 @@ func (sp *SolveSpec) Key() (string, error) {
 // obs are execution details layered on top of the canonical request.
 func (sp *SolveSpec) CoreOptions(workers int, o *obs.Obs) core.Options {
 	return core.Options{
-		Device:      sp.Device,
-		Budget:      sp.Budget,
-		SkipBackend: true,
+		Device:              sp.Device,
+		Budget:              sp.Budget,
+		SkipBackend:         true,
+		Multilevel:          sp.Multilevel,
+		MultilevelSeed:      sp.MultilevelSeed,
+		MultilevelThreshold: sp.MultilevelThreshold,
 		Partition: partition.Options{
 			NoStatic:          sp.NoStatic,
 			GreedyOnly:        sp.Greedy,

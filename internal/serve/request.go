@@ -48,6 +48,13 @@ type RequestOptions struct {
 	TransitionWeights [][]float64 `json:"transitionWeights,omitempty"`
 	// Floorplan adds region placements to the result.
 	Floorplan bool `json:"floorplan,omitempty"`
+	// Multilevel routes the solve through the coarsen–partition–refine
+	// engine (the scale path for very large designs); the seed drives
+	// its deterministic coarsening tie-breaks and the threshold sets
+	// the delegation cutoff in modes (0 = engine default).
+	Multilevel          bool  `json:"multilevel,omitempty"`
+	MultilevelSeed      int64 `json:"multilevelSeed,omitempty"`
+	MultilevelThreshold int   `json:"multilevelThreshold,omitempty"`
 	// TimeoutMs caps the solve wall time; 0 uses the server default.
 	// The request is cancelled (HTTP 504) when the deadline passes.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
@@ -165,6 +172,26 @@ func DecodeRequest(body []byte) (*SolveSpec, ReqMeta, error) {
 			}
 		}
 		sp.Weights = w
+	}
+	if o.MultilevelThreshold < 0 {
+		return nil, meta, fmt.Errorf("serve: negative multilevelThreshold")
+	}
+	if !o.Multilevel && (o.MultilevelSeed != 0 || o.MultilevelThreshold != 0) {
+		return nil, meta, fmt.Errorf("serve: multilevelSeed/multilevelThreshold require multilevel")
+	}
+	if o.Multilevel {
+		// The multilevel engine documents exactly these restrictions
+		// (multilevel.ErrWeights / ErrPinned); reject them at decode
+		// time so the client gets a 400, not a failed solve.
+		if sp.Weights != nil {
+			return nil, meta, fmt.Errorf("serve: multilevel does not support transitionWeights")
+		}
+		if len(sp.Pinned) > 0 {
+			return nil, meta, fmt.Errorf("serve: multilevel does not support pin")
+		}
+		sp.Multilevel = true
+		sp.MultilevelSeed = o.MultilevelSeed
+		sp.MultilevelThreshold = o.MultilevelThreshold
 	}
 	if o.TimeoutMs < 0 {
 		return nil, meta, fmt.Errorf("serve: negative timeoutMs")

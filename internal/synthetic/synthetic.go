@@ -71,7 +71,14 @@ const (
 // modeResources draws a mode utilisation for the class: CLBs uniform in
 // [MinCLBs, MaxCLBs], BRAM/DSP from ranges proportional to the CLB count.
 func modeResources(rng *rand.Rand, c Class) resource.Vector {
-	clb := MinCLBs + rng.Intn(MaxCLBs-MinCLBs+1)
+	return modeResourcesRange(rng, c, MinCLBs, MaxCLBs)
+}
+
+// modeResourcesRange is modeResources with an explicit CLB range; the
+// huge tier draws much smaller modes so 10³–10⁴ of them still fit a
+// real device budget.
+func modeResourcesRange(rng *rand.Rand, c Class, minCLB, maxCLB int) resource.Vector {
+	clb := minCLB + rng.Intn(maxCLB-minCLB+1)
 	bramLo, bramHi, dspLo, dspHi := 0, 0, 0, 0
 	switch c {
 	case Logic:
@@ -170,3 +177,124 @@ func Generate(seed int64, n int) []*design.Design {
 // ClassOf recovers the class a generated design was drawn from (designs
 // are named "syn-NNNN-<class>").
 func ClassOf(i int) Class { return Class(i % int(NumClasses)) }
+
+// Huge-tier distribution parameters. The paper's corpus stops at 24
+// modes; the huge tier targets the multilevel engine's 10³–10⁴-mode
+// regime. Modes are small (a deep design is made of many narrow
+// kernels, not thousands of 4000-CLB giants) and configurations are
+// sparse — each activates a few dozen of the thousands of modules, the
+// shape that makes the connectivity hypergraph worth coarsening.
+const (
+	// HugeMinCLBs / HugeMaxCLBs is the per-mode CLB range.
+	HugeMinCLBs = 8
+	HugeMaxCLBs = 96
+	// HugeActiveLo / HugeActiveHi is the active-module count per
+	// configuration.
+	HugeActiveLo = 24
+	HugeActiveHi = 48
+)
+
+// HugeSizes is the target mode counts GenerateHuge cycles through.
+var HugeSizes = []int{1000, 2500, 5000, 10000}
+
+// HugeOne generates one huge synthetic design with (at least)
+// targetModes modes. Coverage is systematic rather than rejection-
+// sampled: a shuffled worklist of (module, mode) slots guarantees every
+// mode appears in some configuration without the coupon-collector
+// blowup random sampling would need at this scale, and a further ~20%
+// of purely random configurations keeps the co-occurrence structure
+// from being a disjoint partition of the slot list.
+func HugeOne(rng *rand.Rand, c Class, name string, targetModes int) *design.Design {
+	d := &design.Design{
+		Name:   name,
+		Static: resource.New(StaticCLBs, StaticBRAMs, 0),
+	}
+	total := 0
+	for total < targetModes {
+		m := &design.Module{Name: fmt.Sprintf("M%d", len(d.Modules))}
+		nModes := MinModes + rng.Intn(MaxModes-MinModes+1)
+		for k := 0; k < nModes; k++ {
+			m.Modes = append(m.Modes, design.Mode{
+				Name:      fmt.Sprintf("%d", k+1),
+				Resources: modeResourcesRange(rng, c, HugeMinCLBs, HugeMaxCLBs),
+			})
+		}
+		d.Modules = append(d.Modules, m)
+		total += nModes
+	}
+
+	// Shuffled worklist of every (module, mode) slot still uncovered.
+	remaining := d.AllModes()
+	rng.Shuffle(len(remaining), func(i, j int) {
+		remaining[i], remaining[j] = remaining[j], remaining[i]
+	})
+	seen := make(map[string]bool)
+	addConfig := func(modes []int) {
+		key := fmt.Sprint(modes)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		d.Configurations = append(d.Configurations, design.Configuration{Modes: modes})
+	}
+	targetActives := func() int {
+		return HugeActiveLo + rng.Intn(HugeActiveHi-HugeActiveLo+1)
+	}
+	for len(remaining) > 0 {
+		modes := make([]int, len(d.Modules))
+		active := 0
+		target := targetActives()
+		// Take uncovered slots first — at most one per module per
+		// configuration (modes of a module are mutually exclusive).
+		rest := remaining[:0]
+		for _, r := range remaining {
+			if active < target && modes[r.Module] == 0 {
+				modes[r.Module] = r.Mode
+				active++
+				continue
+			}
+			rest = append(rest, r)
+		}
+		remaining = rest
+		// Top up with random already-covered modules so late coverage
+		// configurations are not suspiciously thin.
+		for guard := 0; active < target && guard < 10*target; guard++ {
+			mi := rng.Intn(len(d.Modules))
+			if modes[mi] != 0 {
+				continue
+			}
+			modes[mi] = 1 + rng.Intn(len(d.Modules[mi].Modes))
+			active++
+		}
+		addConfig(modes)
+	}
+	nExtra := len(d.Configurations)/5 + 2
+	for i := 0; i < nExtra; i++ {
+		modes := make([]int, len(d.Modules))
+		target := targetActives()
+		for active := 0; active < target; {
+			mi := rng.Intn(len(d.Modules))
+			if modes[mi] != 0 {
+				continue
+			}
+			modes[mi] = 1 + rng.Intn(len(d.Modules[mi].Modes))
+			active++
+		}
+		addConfig(modes)
+	}
+	return d
+}
+
+// GenerateHuge produces n huge designs, classes cycling as in Generate
+// and target sizes cycling through HugeSizes, from a deterministic
+// stream.
+func GenerateHuge(seed int64, n int) []*design.Design {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*design.Design, n)
+	for i := range out {
+		c := Class(i % int(NumClasses))
+		size := HugeSizes[i%len(HugeSizes)]
+		out[i] = HugeOne(rng, c, fmt.Sprintf("huge-%04d-%d-%s", i, size, c), size)
+	}
+	return out
+}

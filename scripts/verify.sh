@@ -26,6 +26,10 @@
 #         store under seeded disk-fault injection, asserting
 #         byte-identity with `prpart -json`, ledger integrity after
 #         every recovery and counter determinism across seeded runs.
+# Tier 6  go test -run Multilevel -count=2 — the multilevel engine's
+#         differential, property, metamorphic and huge-scale suites
+#         (DESIGN.md §12) twice over, so the seeded coarsening and
+#         refinement chain proves bit-stable across processes.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -59,6 +63,9 @@ if [ "$1" = "all" ]; then
 
 	echo "== tier 5: crash-safety chaos (x2) =="
 	go test -run 'Chaos' -count=2 ./internal/store/ ./internal/serve/ ./cmd/prpartd/
+
+	echo "== tier 6: multilevel engine re-runs (x2) =="
+	go test -run Multilevel -count=2 ./internal/multilevel/
 fi
 
 echo "verify: OK"
