@@ -7,12 +7,25 @@
 //
 // Experiments: table1, table2, table3, table4, table5, fig7, fig8, fig9,
 // claims, classes, gallery, ablation, weighted, all.
+//
+// With -daemon the synthetic sweep runs as an HTTP client of a prpartd
+// instance booted in-process (or an external one named by -daemon-url),
+// driving /v1/solve/batch (-daemon-mode batch) or the async job API
+// (-daemon-mode async) instead of calling the library — the end-to-end
+// check that the daemon's batch and async surfaces produce the exact
+// metrics of the in-process evaluation:
+//
+//	prbench -exp claims -n 100 -daemon
+//	prbench -exp claims -n 100 -daemon -daemon-mode async
+//	prbench -exp fig7 -daemon -daemon-url http://127.0.0.1:8377
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,6 +39,7 @@ import (
 	"prpart/internal/obs"
 	"prpart/internal/partition"
 	"prpart/internal/report"
+	"prpart/internal/serve"
 	"prpart/internal/synthetic"
 )
 
@@ -46,6 +60,10 @@ type env struct {
 	ml      bool
 	obs     *obs.Obs
 
+	daemon     bool
+	daemonURL  string
+	daemonMode string
+
 	sweepOnce bool
 	sweepNs   int64
 	outs      []*experiments.Outcome
@@ -60,6 +78,9 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "directory for CSV dumps (optional)")
 	md := fs.Bool("md", false, "render tables as Markdown instead of aligned text")
 	ml := fs.Bool("multilevel", false, "drive the sweep through the multilevel engine (delegates at paper scale; a coarsening A/B switch)")
+	daemon := fs.Bool("daemon", false, "run the sweep as a batch/async client of a prpartd daemon (booted in-process unless -daemon-url)")
+	daemonURL := fs.String("daemon-url", "", "base URL of an already-running daemon to sweep against (implies -daemon)")
+	daemonMode := fs.String("daemon-mode", "batch", "daemon sweep surface: batch (/v1/solve/batch) or async (/v1/jobs)")
 	ablN := fs.Int("abl-n", 100, "ablation corpus size")
 	jsonOut := fs.Bool("json", false, "write a benchmark-regression report (BENCH_<rev>.json) instead of tables")
 	rev := fs.String("rev", "dev", "revision label for the -json report")
@@ -72,7 +93,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	e := &env{out: out, csvDir: *csvDir, n: *n, seed: *seed, workers: *workers, md: *md, ml: *ml, obs: o}
+	e := &env{
+		out: out, csvDir: *csvDir, n: *n, seed: *seed, workers: *workers,
+		md: *md, ml: *ml, obs: o,
+		daemon: *daemon || *daemonURL != "", daemonURL: *daemonURL, daemonMode: *daemonMode,
+	}
+	if e.daemon && e.daemonMode != "batch" && e.daemonMode != "async" {
+		return fmt.Errorf("unknown -daemon-mode %q (want batch or async)", e.daemonMode)
+	}
 	if *jsonOut {
 		path := *jsonPath
 		if path == "" {
@@ -133,10 +161,20 @@ func (e *env) sweep() ([]*experiments.Outcome, error) {
 	start := time.Now()
 	designs := synthetic.Generate(e.seed, e.n)
 	solve := experiments.Solver(partition.Solve)
-	if e.ml {
+	var cleanup func()
+	if e.daemon {
+		var err error
+		solve, cleanup, err = e.daemonSolver()
+		if err != nil {
+			return nil, err
+		}
+	} else if e.ml {
 		solve = multilevel.Solver(multilevel.Options{})
 	}
 	outs, err := experiments.SweepSolver(designs, partition.Options{Obs: e.obs}, e.workers, solve)
+	if cleanup != nil {
+		cleanup()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +183,45 @@ func (e *env) sweep() ([]*experiments.Outcome, error) {
 	e.outs = outs
 	e.sweepOnce = true
 	return outs, nil
+}
+
+// daemonSolver returns a Solver that drives the sweep over HTTP: against
+// -daemon-url when set, otherwise against a prpartd serving layer booted
+// in-process on a loopback port. The cleanup func tears down the batcher
+// and any booted daemon after the sweep.
+func (e *env) daemonSolver() (experiments.Solver, func(), error) {
+	cfg := experiments.RemoteConfig{
+		BaseURL:    e.daemonURL,
+		Multilevel: e.ml,
+	}
+	var stops []func()
+	if cfg.BaseURL == "" {
+		srv := serve.New(serve.Config{Workers: e.workers, Obs: e.obs})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		cfg.BaseURL = "http://" + ln.Addr().String()
+		stops = append(stops, func() { httpSrv.Close(); srv.Close() })
+		fmt.Fprintf(e.out, "[daemon: booted in-process at %s]\n", cfg.BaseURL)
+	}
+	fmt.Fprintf(e.out, "[daemon: sweeping via %s against %s]\n", e.daemonMode, cfg.BaseURL)
+	var solve experiments.Solver
+	if e.daemonMode == "async" {
+		solve = experiments.AsyncSolver(cfg)
+	} else {
+		b := experiments.NewBatcher(cfg)
+		stops = append(stops, b.Close)
+		solve = b.Solver()
+	}
+	return solve, func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
 }
 
 // benchJSON runs the headline experiments under instrumentation and

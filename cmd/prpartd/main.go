@@ -8,6 +8,8 @@
 //	prpartd [-addr 127.0.0.1:8377] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 30s] [-solve-workers N] [-devices lib.json]
 //	        [-store DIR] [-shutdown-timeout 0s] [-cache-max-body N]
+//	        [-interactive-depth N] [-bulk-depth N] [-bulk-share N]
+//	        [-batch-max N] [-jitter-seed S] [-jobs-retention N]
 //
 // With -store the daemon persists every solved result in a
 // content-addressed on-disk store and serves previously-solved keys
@@ -17,10 +19,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve   solve a design (JSON envelope, see internal/serve)
-//	GET  /healthz    liveness + queue/cache state
-//	GET  /metrics    obs instrument dump (text)
-//	GET  /debug/vars obs instrument dump (JSON)
+//	POST   /v1/solve             solve a design (JSON envelope, see internal/serve)
+//	POST   /v1/solve/batch       solve N designs in one body (bulk tier, in-batch dedupe)
+//	POST   /v1/jobs              submit an async solve, poll the returned id
+//	GET    /v1/jobs/{id}         job record (queued|running|done|failed|canceled)
+//	GET    /v1/jobs/{id}/result  result body of a done job
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /healthz              liveness + queue/cache/jobs state
+//	GET    /metrics              obs instrument dump (text)
+//	GET    /debug/vars           obs instrument dump (JSON)
+//
+// Scheduling is two-tier: interactive solves (POST /v1/solve) and bulk
+// work (batch members, async jobs, requests marked "bulk": true) queue
+// separately with independent depth bounds (-interactive-depth,
+// -bulk-depth); contended dequeues grant every -bulk-share'th slot to
+// the bulk tier so neither side starves. Refusals carry a seeded,
+// jittered Retry-After (-jitter-seed) so synchronized clients do not
+// retry in lockstep.
 //
 // A 200 response body is byte-identical to `prpart -json` on the same
 // input, and X-Solve-Key matches `prpart -key`.
@@ -75,6 +90,12 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	storeFaultSeed := fs.Int64("store-fault-seed", 1, "seed for injected store I/O faults (chaos testing)")
 	storeFaultRate := fs.Float64("store-fault-rate", 0, "per-op probability of injected store I/O faults (0 = off)")
 	cacheMaxBody := fs.Int64("cache-max-body", 0, "max bytes of a single cached result body (0 = unbounded)")
+	interactiveDepth := fs.Int("interactive-depth", 0, "admitted interactive solves before 429 (0 = workers+queue)")
+	bulkDepth := fs.Int("bulk-depth", 0, "admitted bulk solves before 503 (0 = workers+4x queue)")
+	bulkShare := fs.Int("bulk-share", 0, "grant every Nth contended dequeue to the bulk tier (0 = default 4)")
+	batchMax := fs.Int("batch-max", 0, "max requests in one /v1/solve/batch body (0 = default 256)")
+	jitterSeed := fs.Int64("jitter-seed", 0, "seed for Retry-After jitter (deterministic backpressure hints)")
+	jobsRetention := fs.Int("jobs-retention", 0, "finished async jobs kept pollable in memory (0 = default 1024)")
 	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +123,13 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		Obs:            o,
 		Check:          *doCheck,
 		CacheMaxBody:   *cacheMaxBody,
+
+		InteractiveDepth: *interactiveDepth,
+		BulkDepth:        *bulkDepth,
+		BulkShare:        *bulkShare,
+		MaxBatchItems:    *batchMax,
+		JitterSeed:       *jitterSeed,
+		JobsRetention:    *jobsRetention,
 	}
 	if *storeDir != "" {
 		sfs := store.OSFS()

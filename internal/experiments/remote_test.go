@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prpart/internal/design"
+	"prpart/internal/partition"
+	"prpart/internal/resource"
+	"prpart/internal/serve"
+	"prpart/internal/store"
+	"prpart/internal/synthetic"
+)
+
+// normalizeOutcome strips the one field the wire result cannot carry
+// (the scheme object) so remote and in-process outcomes compare with
+// reflect.DeepEqual over everything that feeds the paper's figures and
+// claims: all three summaries, all three devices, and the three flags.
+func normalizeOutcome(o *Outcome) Outcome {
+	c := *o
+	c.ProposedScheme = nil
+	return c
+}
+
+func assertOutcomesIdentical(t *testing.T, got, want []*Outcome, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outcomes, want %d", label, len(got), len(want))
+	}
+	bad := 0
+	for i := range want {
+		g, w := normalizeOutcome(got[i]), normalizeOutcome(want[i])
+		if !reflect.DeepEqual(g, w) {
+			bad++
+			if bad <= 3 {
+				t.Errorf("%s: design %d (%s) diverges:\n remote     %+v\n in-process %+v", label, i, want[i].Name, g, w)
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%s: %d/%d outcomes diverge from the in-process sweep", label, bad, len(want))
+	}
+}
+
+// TestRemoteBatchSweepParity runs the §V sweep over 100 synthetic
+// designs twice — in process, then as a /v1/solve/batch client of a
+// booted daemon — and requires metric-identical outcomes. This is the
+// tentpole's end-to-end contract: the batch surface canonicalizes,
+// keys, schedules and solves exactly like the library call.
+func TestRemoteBatchSweepParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	designs := synthetic.Generate(7, 100)
+	local, err := Sweep(designs, partition.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := serve.New(serve.Config{Workers: 8})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	b := NewBatcher(RemoteConfig{BaseURL: ts.URL, BatchSize: 8})
+	defer b.Close()
+	remote, err := SweepSolver(designs, partition.Options{}, 8, b.Solver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOutcomesIdentical(t, remote, local, "batch sweep")
+
+	// The claims pipeline consumes remote outcomes unchanged.
+	if rc, lc := ComputeClaims(remote), ComputeClaims(local); rc != lc {
+		t.Errorf("claims diverge: remote %+v, local %+v", rc, lc)
+	}
+
+	// The daemon saw batched traffic, not 100 lone solves.
+	snap := srv.Obs().Snapshot()
+	if snap.Counters["serve.batches"] == 0 {
+		t.Error("no /v1/solve/batch requests reached the daemon")
+	}
+}
+
+// hostSwitch routes every request to the currently-live daemon, giving
+// the chaos test a stable BaseURL across a kill/restart.
+type hostSwitch struct {
+	mu   sync.Mutex
+	base *url.URL
+}
+
+func (h *hostSwitch) set(raw string) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		panic(err)
+	}
+	h.mu.Lock()
+	h.base = u
+	h.mu.Unlock()
+}
+
+func (h *hostSwitch) RoundTrip(r *http.Request) (*http.Response, error) {
+	h.mu.Lock()
+	base := h.base
+	h.mu.Unlock()
+	r2 := r.Clone(r.Context())
+	r2.URL.Scheme = base.Scheme
+	r2.URL.Host = base.Host
+	return http.DefaultTransport.RoundTrip(r2)
+}
+
+// TestRemoteAsyncSweepSurvivesRestart is the chaos acceptance test: a
+// 100-design sweep driven through the async job API, with the daemon
+// killed and restarted (same persistent store) mid-sweep. The sweep
+// must complete with no lost designs, no duplicated outcomes, and
+// metrics identical to the in-process run — lost in-flight jobs are
+// resubmitted by the client and answered idempotently through the
+// content-addressed store.
+func TestRemoteAsyncSweepSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	designs := synthetic.Generate(7, 100)
+	local, err := Sweep(designs, partition.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The store shared across daemon lives. With PRPART_JOBS_ARTIFACTS
+	// set (the CI e2e job), it lives on the real filesystem so a failure
+	// leaves the ledger — every persisted job record and result — behind
+	// for the artifact-upload step; otherwise it is a MemFS.
+	scfg := store.Config{Dir: "chaos", FS: store.NewMemFS()}
+	if dir := os.Getenv("PRPART_JOBS_ARTIFACTS"); dir != "" {
+		scfg = store.Config{Dir: filepath.Join(dir, "async-sweep-store")}
+		if err := os.MkdirAll(scfg.Dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	openStore := func() *store.Store {
+		st, err := store.Open(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	type daemonLife struct {
+		srv *serve.Server
+		ts  *httptest.Server
+		st  *store.Store
+	}
+	boot := func() daemonLife {
+		st := openStore()
+		srv := serve.New(serve.Config{Workers: 4, Store: st})
+		return daemonLife{srv: srv, ts: httptest.NewServer(srv.Handler()), st: st}
+	}
+	kill := func(l daemonLife) {
+		l.ts.CloseClientConnections()
+		l.ts.Close()
+		l.srv.Close()
+		l.st.Close()
+	}
+
+	life1 := boot()
+	hs := &hostSwitch{}
+	hs.set(life1.ts.URL)
+	cfg := RemoteConfig{
+		BaseURL:      "http://daemon.invalid",
+		Client:       &http.Client{Transport: hs},
+		PollInterval: 5 * time.Millisecond,
+		RetryBase:    20 * time.Millisecond,
+		MaxAttempts:  200,
+	}
+
+	// Count completed solves so the kill lands mid-sweep, after some
+	// results are already persisted and others are queued or running.
+	var completed atomic.Int64
+	inner := AsyncSolver(cfg)
+	counting := func(d *design.Design, opts partition.Options) (*partition.Result, error) {
+		res, err := inner(d, opts)
+		if err == nil {
+			completed.Add(1)
+		}
+		return res, err
+	}
+
+	sweepDone := make(chan struct{})
+	var restarted sync.WaitGroup
+	restarted.Add(1)
+	go func() {
+		defer restarted.Done()
+		for completed.Load() < 15 {
+			select {
+			case <-sweepDone: // sweep failed before the kill point
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		// Kill: drop every client connection, then tear the daemon down.
+		kill(life1)
+		// Restart on the same store; point the stable URL at the new life.
+		life2 := boot()
+		hs.set(life2.ts.URL)
+		t.Cleanup(func() { kill(life2) })
+	}()
+
+	remote, err := SweepSolver(designs, partition.Options{}, 8, counting)
+	close(sweepDone)
+	restarted.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOutcomesIdentical(t, remote, local, "async sweep across restart")
+
+	// No lost or duplicated work: exactly one outcome per design, in
+	// corpus order.
+	seen := map[string]bool{}
+	for i, o := range remote {
+		if o == nil || o.Index != i || o.Name != designs[i].Name {
+			t.Fatalf("outcome %d is %+v, want design %s at its own index", i, o, designs[i].Name)
+		}
+		if seen[o.Name] {
+			t.Fatalf("design %s appears twice in the sweep output", o.Name)
+		}
+		seen[o.Name] = true
+	}
+}
+
+// TestRemoteAsyncSingleSolve exercises the submit/poll/fetch path
+// without chaos: one design, metric-identical to the library call.
+func TestRemoteAsyncSingleSolve(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	d := design.PaperExample()
+	solver := AsyncSolver(RemoteConfig{BaseURL: ts.URL, PollInterval: 5 * time.Millisecond})
+	local, err := EvaluateDesign(0, d, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := EvaluateDesignSolver(0, d, partition.Options{}, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOutcomesIdentical(t, []*Outcome{remote}, []*Outcome{local}, "async single")
+	if n := srv.Obs().Snapshot().Counters["serve.jobs_submitted"]; n == 0 {
+		t.Error("no async jobs reached the daemon")
+	}
+}
+
+// TestRemoteBatchInfeasibleEscalates pins the sentinel contract: a 422
+// from the daemon must come back as partition.ErrNoScheme itself so the
+// escalation loop keeps walking the device catalog instead of aborting.
+func TestRemoteBatchInfeasibleEscalates(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	b := NewBatcher(RemoteConfig{BaseURL: ts.URL})
+	defer b.Close()
+	solver := b.Solver()
+
+	d := design.PaperExample()
+	// A budget far too small for any scheme at all.
+	_, err := solver(d, partition.Options{Budget: resource.New(1, 0, 0)})
+	if err == nil {
+		t.Fatal("one-CLB budget was feasible")
+	}
+	if err != partition.ErrNoScheme && err != partition.ErrInfeasible {
+		t.Fatalf("infeasible remote solve returned %v, want the exact partition sentinel", err)
+	}
+}

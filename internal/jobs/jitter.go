@@ -1,0 +1,43 @@
+package jobs
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Jitter spreads Retry-After hints so a fleet of synchronized batch
+// clients refused in the same instant doesn't retry in lockstep and
+// recreate the very overload that refused them. Seeded: the same seed
+// yields the same hint sequence, which keeps backpressure behaviour
+// reproducible in tests and chaos runs.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter returns a jitter source with a deterministic stream.
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// RetryAfter converts a wait estimate into a Retry-After header value
+// in whole seconds: the base plus a uniform random extra in [0, base),
+// rounded up, never below 1. A nil Jitter degrades to the un-jittered
+// ceiling.
+func (j *Jitter) RetryAfter(base time.Duration) int {
+	if base < time.Second {
+		base = time.Second
+	}
+	d := base
+	if j != nil {
+		j.mu.Lock()
+		d += time.Duration(j.rng.Int63n(int64(base)))
+		j.mu.Unlock()
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -1,0 +1,74 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterSeededDeterminism pins the jitter contract: identical seeds
+// yield identical Retry-After sequences (reproducible backpressure in
+// tests and chaos runs), distinct seeds diverge, and every value stays
+// inside [ceil(base), ceil(2*base)] seconds with a floor of 1.
+func TestJitterSeededDeterminism(t *testing.T) {
+	bases := []time.Duration{
+		0, 500 * time.Millisecond, time.Second, 1500 * time.Millisecond,
+		3 * time.Second, 10 * time.Second, time.Second, 7 * time.Second,
+	}
+	a, b := NewJitter(42), NewJitter(42)
+	var seqA, seqB []int
+	for _, base := range bases {
+		seqA = append(seqA, a.RetryAfter(base))
+		seqB = append(seqB, b.RetryAfter(base))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, seqA, seqB)
+		}
+	}
+
+	c := NewJitter(43)
+	diverged := false
+	for i, base := range bases {
+		if c.RetryAfter(base) != seqA[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical sequences")
+	}
+
+	for i, base := range bases {
+		eff := base
+		if eff < time.Second {
+			eff = time.Second
+		}
+		lo := 1
+		hi := int(2*eff/time.Second) + 1
+		if seqA[i] < lo || seqA[i] > hi {
+			t.Fatalf("RetryAfter(%v) = %d outside [%d,%d]", base, seqA[i], lo, hi)
+		}
+	}
+
+	// The nil jitter degrades to the plain ceiling — still never 0, so
+	// a client always backs off at least a second.
+	var nj *Jitter
+	if got := nj.RetryAfter(0); got != 1 {
+		t.Fatalf("nil jitter RetryAfter(0) = %d, want 1", got)
+	}
+	if got := nj.RetryAfter(2500 * time.Millisecond); got != 3 {
+		t.Fatalf("nil jitter RetryAfter(2.5s) = %d, want 3", got)
+	}
+}
+
+// TestJitterSpreads: over many draws with the same base, the jitter
+// actually uses the spread (more than one distinct value).
+func TestJitterSpreads(t *testing.T) {
+	j := NewJitter(7)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[j.RetryAfter(10*time.Second)] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("64 draws over a 10s base produced only %d distinct values", len(seen))
+	}
+}

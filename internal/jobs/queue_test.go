@@ -1,0 +1,208 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func mkTicket(tier Tier) *Ticket {
+	return &Ticket{tier: tier, ctx: context.Background(), fn: func(context.Context) {}}
+}
+
+func TestTierQueueFIFO(t *testing.T) {
+	tq := newTierQueue(4)
+	a, b, c := mkTicket(Interactive), mkTicket(Interactive), mkTicket(Interactive)
+	tq.push(a)
+	tq.push(b)
+	if got := tq.pop(); got != a {
+		t.Fatal("pop broke FIFO order")
+	}
+	tq.push(c)
+	if got := tq.pop(); got != b {
+		t.Fatal("pop broke FIFO order after refill")
+	}
+	if got := tq.pop(); got != c {
+		t.Fatal("pop lost the last entry")
+	}
+	if tq.len(Interactive) != 0 {
+		t.Fatal("len after draining is not 0")
+	}
+}
+
+func TestTierQueueRemove(t *testing.T) {
+	tq := newTierQueue(4)
+	a, b := mkTicket(Bulk), mkTicket(Bulk)
+	tq.push(a)
+	tq.push(b)
+	if !tq.remove(a) {
+		t.Fatal("remove of queued ticket failed")
+	}
+	if tq.remove(a) {
+		t.Fatal("double remove succeeded")
+	}
+	if got := tq.pop(); got != b {
+		t.Fatal("removed ticket still popped")
+	}
+	if tq.remove(b) {
+		t.Fatal("remove of dispatched ticket succeeded")
+	}
+}
+
+func TestTierQueueBulkShareNormalized(t *testing.T) {
+	for _, bad := range []int{-3, 0, 1} {
+		if tq := newTierQueue(bad); tq.bulkEvery != 2 {
+			t.Errorf("bulkEvery %d normalized to %d, want 2", bad, tq.bulkEvery)
+		}
+	}
+	if tq := newTierQueue(7); tq.bulkEvery != 7 {
+		t.Error("valid bulkEvery was rewritten")
+	}
+}
+
+// TestTierQueueSingleTierServedDirectly: with only one tier waiting,
+// that tier is always served — bulk is not held back when interactive
+// is idle.
+func TestTierQueueSingleTierServedDirectly(t *testing.T) {
+	tq := newTierQueue(4)
+	for i := 0; i < 10; i++ {
+		tq.push(mkTicket(Bulk))
+	}
+	for i := 0; i < 10; i++ {
+		got := tq.pop()
+		if got == nil || got.tier != Bulk {
+			t.Fatalf("pop %d with only bulk waiting = %v", i, got)
+		}
+	}
+	if tq.pop() != nil {
+		t.Fatal("pop on empty queue")
+	}
+}
+
+// TestTierQueueMixedLoadFairness is the acceptance-criterion scheduler
+// test: a deterministic mixed-load trace where a saturating bulk
+// backlog and a steady interactive stream contend for every dequeue.
+// It asserts both halves of the policy:
+//
+//  1. interactive wait is bounded — an interactive entry is never
+//     passed over more than once per bulkEvery grants, so its dequeue
+//     position (and with it p99 queue wait in grant units) is bounded
+//     by its queue position plus the bulk share overhead;
+//  2. bulk never starves — over any window of bulkEvery contended
+//     grants at least one goes to bulk.
+func TestTierQueueMixedLoadFairness(t *testing.T) {
+	const bulkEvery = 4
+	tq := newTierQueue(bulkEvery)
+
+	// A standing bulk backlog of 200 entries…
+	type tag struct {
+		tier Tier
+		seq  int
+	}
+	tags := map[*Ticket]tag{}
+	for i := 0; i < 200; i++ {
+		tk := mkTicket(Bulk)
+		tags[tk] = tag{Bulk, i}
+		tq.push(tk)
+	}
+	// …while interactive entries arrive one per grant (saturating: the
+	// interactive queue never empties until the arrivals stop).
+	const grants = 400
+	nextI := 0
+	var picks []tag
+	interactiveWait := map[int]int{} // seq → grants spent waiting
+	enqueueGrant := map[int]int{}
+	for g := 0; g < grants; g++ {
+		tk := mkTicket(Interactive)
+		tags[tk] = tag{Interactive, nextI}
+		enqueueGrant[nextI] = g
+		tq.push(tk)
+		nextI++
+
+		got := tq.pop()
+		if got == nil {
+			t.Fatalf("grant %d: pop returned nil with both tiers loaded", g)
+		}
+		pk := tags[got]
+		picks = append(picks, pk)
+		if pk.tier == Interactive {
+			interactiveWait[pk.seq] = g - enqueueGrant[pk.seq]
+		}
+	}
+
+	// Bulk never starves: every window of bulkEvery grants contains a
+	// bulk grant (both tiers were non-empty throughout).
+	for w := 0; w+bulkEvery <= len(picks); w++ {
+		bulk := 0
+		for _, p := range picks[w : w+bulkEvery] {
+			if p.tier == Bulk {
+				bulk++
+			}
+		}
+		if bulk == 0 {
+			t.Fatalf("grants %d..%d: no bulk grant in a full window — bulk starved", w, w+bulkEvery-1)
+		}
+		if bulk > 1 {
+			t.Fatalf("grants %d..%d: %d bulk grants — interactive under-served", w, w+bulkEvery-1, bulk)
+		}
+	}
+
+	// Interactive is FIFO and its wait is bounded: with one arrival and
+	// one grant per step and a 1/bulkEvery bulk share, the backlog in
+	// front of an interactive entry grows by at most 1 per bulkEvery
+	// grants, so the wait of the n-th entry is at most
+	// n/(bulkEvery-1) + bulkEvery grants. Check the exact trace against
+	// that closed-form bound — this is the "interactive p99 stays
+	// bounded" acceptance assertion in deterministic form.
+	prev := -1
+	for _, p := range picks {
+		if p.tier != Interactive {
+			continue
+		}
+		if p.seq != prev+1 {
+			t.Fatalf("interactive served out of order: %d after %d", p.seq, prev)
+		}
+		prev = p.seq
+		bound := p.seq/(bulkEvery-1) + bulkEvery
+		if w := interactiveWait[p.seq]; w > bound {
+			t.Fatalf("interactive %d waited %d grants, bound %d", p.seq, w, bound)
+		}
+	}
+	if prev < 0 {
+		t.Fatal("no interactive entry was ever served")
+	}
+
+	// Exact shares over the contended region: 1 in bulkEvery grants went
+	// to bulk.
+	bulkPicks := 0
+	for _, p := range picks {
+		if p.tier == Bulk {
+			bulkPicks++
+		}
+	}
+	if want := grants / bulkEvery; bulkPicks != want {
+		t.Fatalf("bulk got %d of %d contended grants, want exactly %d", bulkPicks, grants, want)
+	}
+
+	// After arrivals stop the drained interactive queue hands the
+	// remaining grants to bulk alone.
+	sawBulkRun := 0
+	for tq.len(Interactive) > 0 || tq.len(Bulk) > 0 {
+		got := tq.pop()
+		if tags[got].tier == Bulk {
+			sawBulkRun++
+		}
+	}
+	if sawBulkRun == 0 {
+		t.Fatal("bulk backlog never drained")
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if Interactive.String() != "interactive" || Bulk.String() != "bulk" {
+		t.Fatal("tier names changed — they are wire/metric names")
+	}
+	if s := Tier(9).String(); s != fmt.Sprintf("tier(%d)", 9) {
+		t.Fatalf("unknown tier string = %q", s)
+	}
+}

@@ -165,26 +165,116 @@ func (t *Timer) Count() int64 {
 	return t.n.Load()
 }
 
+// histogramBounds are the shared duration bucket upper bounds (a 1-2-5
+// decade ladder from 1 ms to 60 s). One fixed layout for every
+// histogram keeps /metrics lines comparable across instruments and
+// avoids per-instrument configuration in hot paths.
+var histogramBounds = [numHistogramBounds]time.Duration{
+	time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2 * time.Second, 5 * time.Second,
+	10 * time.Second, 30 * time.Second, 60 * time.Second,
+}
+
+const numHistogramBounds = 15
+
+// Histogram accumulates duration observations into fixed exponential
+// buckets (histogramBounds plus an overflow bucket), tracking count and
+// sum exactly. Quantiles are read back as the upper bound of the bucket
+// the quantile falls in — coarse, but monotone and allocation-free. The
+// nil Histogram is valid and ignores all updates.
+type Histogram struct {
+	counts [numHistogramBounds + 1]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe folds one duration into the histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(histogramBounds) && d > histogramBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations (0 for the nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the exact accumulated duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of
+// the observed durations: the bucket boundary at or above the point
+// where the cumulative count crosses q. Returns 0 with no observations;
+// observations beyond the last bound report that bound (the histogram
+// cannot resolve further).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(histogramBounds) {
+				return histogramBounds[i]
+			}
+			return histogramBounds[len(histogramBounds)-1]
+		}
+	}
+	return histogramBounds[len(histogramBounds)-1]
+}
+
 // Obs is a registry of named instruments plus an optional event tracer.
 // The nil *Obs disables everything: instrument lookups return nil
 // instruments and Emit is a no-op, so a single nil propagates "off"
 // through an entire call tree.
 type Obs struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	levels   map[string]*Level
-	timers   map[string]*Timer
-	tracer   *Tracer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	levels     map[string]*Level
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+	tracer     *Tracer
 }
 
 // New returns an empty enabled registry with no tracer attached.
 func New() *Obs {
 	return &Obs{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		levels:   map[string]*Level{},
-		timers:   map[string]*Timer{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		levels:     map[string]*Level{},
+		timers:     map[string]*Timer{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -249,6 +339,21 @@ func (o *Obs) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (o *Obs) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		o.histograms[name] = h
+	}
+	return h
+}
+
 // SetTracer attaches an event tracer (nil detaches).
 func (o *Obs) SetTracer(t *Tracer) {
 	if o == nil {
@@ -279,10 +384,11 @@ func (o *Obs) Emit(scope, name string, attrs ...Attr) {
 
 // Snapshot is a point-in-time copy of every instrument's value.
 type Snapshot struct {
-	Counters map[string]int64
-	Gauges   map[string]int64
-	Levels   map[string]LevelStat
-	Timers   map[string]TimerStat
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Levels     map[string]LevelStat
+	Timers     map[string]TimerStat
+	Histograms map[string]HistogramStat
 }
 
 // TimerStat is one timer's accumulated state.
@@ -297,13 +403,23 @@ type LevelStat struct {
 	Max     int64
 }
 
+// HistogramStat is one histogram's accumulated state: exact count and
+// sum plus the bucketed p50/p99 upper bounds.
+type HistogramStat struct {
+	Count int64
+	Sum   time.Duration
+	P50   time.Duration
+	P99   time.Duration
+}
+
 // Snapshot copies all instrument values. The nil Obs yields empty maps.
 func (o *Obs) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]int64{},
-		Levels:   map[string]LevelStat{},
-		Timers:   map[string]TimerStat{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Levels:     map[string]LevelStat{},
+		Timers:     map[string]TimerStat{},
+		Histograms: map[string]HistogramStat{},
 	}
 	if o == nil {
 		return s
@@ -322,13 +438,20 @@ func (o *Obs) Snapshot() Snapshot {
 	for name, t := range o.timers {
 		s.Timers[name] = TimerStat{Total: t.Total(), Count: t.Count()}
 	}
+	for name, h := range o.histograms {
+		s.Histograms[name] = HistogramStat{
+			Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+		}
+	}
 	return s
 }
 
 // Flat returns every instrument as name → integer value: counters and
 // gauges verbatim, levels as two entries (<name> and <name>_max), timers
-// as two entries (<name>_ns and <name>_count). This is the shape the
-// bench JSON and the -metrics dump share.
+// as two entries (<name>_ns and <name>_count), histograms as four
+// (<name>_count, <name>_sum_ns, <name>_p50_ns, <name>_p99_ns). This is
+// the shape the bench JSON and the -metrics dump share.
 func (s Snapshot) Flat() map[string]int64 {
 	out := make(map[string]int64, len(s.Counters)+len(s.Gauges)+2*len(s.Levels)+2*len(s.Timers))
 	for name, v := range s.Counters {
@@ -344,6 +467,12 @@ func (s Snapshot) Flat() map[string]int64 {
 	for name, t := range s.Timers {
 		out[name+"_ns"] = int64(t.Total)
 		out[name+"_count"] = t.Count
+	}
+	for name, h := range s.Histograms {
+		out[name+"_count"] = h.Count
+		out[name+"_sum_ns"] = int64(h.Sum)
+		out[name+"_p50_ns"] = int64(h.P50)
+		out[name+"_p99_ns"] = int64(h.P99)
 	}
 	return out
 }

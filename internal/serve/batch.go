@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"prpart/internal/jobs"
+)
+
+// BatchRequest is the wire schema of POST /v1/solve/batch: N ordinary
+// solve request objects in one body. Every member is decoded, keyed and
+// served exactly like a POST /v1/solve — same canonicalization, same
+// cache key, same cache/store/coalescing tiers — but on the bulk
+// scheduler tier, so a batch can never crowd out interactive traffic.
+type BatchRequest struct {
+	Requests []json.RawMessage `json:"requests"`
+}
+
+// BatchItem is one member's outcome, in input order.
+type BatchItem struct {
+	// Key is the member's content-addressed solve key (empty when the
+	// member failed to decode).
+	Key string `json:"key,omitempty"`
+	// Status is the member's HTTP-equivalent status: what the same body
+	// would have gotten from POST /v1/solve.
+	Status int `json:"status"`
+	// Cache reports how the member was served: hit, store, miss,
+	// coalesced — or dup for a member whose key already appeared
+	// earlier in the same batch.
+	Cache string `json:"cache,omitempty"`
+	// Error carries the failure message for non-200 members.
+	Error string `json:"error,omitempty"`
+	// Result is the solve body for 200 members.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// BatchResponse is the wire schema of the batch reply.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// handleBatch is POST /v1/solve/batch. Members with identical keys are
+// deduplicated inside the batch (one solve, shared result, later copies
+// marked "dup"); distinct members fan out concurrently through the bulk
+// tier with EnqueueWait providing flow control instead of refusals.
+// Per-member failures land in that member's result entry; the batch
+// itself only fails for transport-level problems (bad envelope, too
+// many members, bulk tier already saturated on arrival).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		return
+	}
+	s.cBatches.Inc()
+	if s.isDraining() {
+		s.retryAfter(w, time.Second)
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("serve: reading batch body: %w", err))
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var batch BatchRequest
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding batch: %w", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("serve: trailing data after batch object"))
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: empty batch"))
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: batch carries %d requests, limit %d", len(batch.Requests), s.cfg.MaxBatchItems))
+		return
+	}
+	// Arrival backpressure: a bulk tier already at its bound refuses the
+	// whole batch up front — cheaper for the client to back off now than
+	// to trickle members through a saturated queue.
+	if s.sched.Full(jobs.Bulk) {
+		s.cRejected.Inc()
+		s.retryAfter(w, s.sched.EstimateWait(jobs.Bulk))
+		writeError(w, http.StatusServiceUnavailable, errBulkQueueFull)
+		return
+	}
+	urlCheck := r.URL.Query().Get("check") == "1"
+
+	type member struct {
+		sp      *SolveSpec
+		timeout time.Duration
+	}
+	items := make([]BatchItem, len(batch.Requests))
+	// leaders maps each distinct key to the first member index carrying
+	// it; later members with the same key are dups and copy its outcome.
+	leaders := map[string]int{}
+	var run []int // indices that actually execute
+	members := make([]member, len(batch.Requests))
+	for i, raw := range batch.Requests {
+		sp, meta, err := DecodeRequest(raw)
+		if err != nil {
+			items[i] = BatchItem{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		// The member's key is computed by the same canonicalization as a
+		// single solve: request options (check via the server/URL flag,
+		// multilevel and friends via the spec) hash in identically, so a
+		// batch member and a lone POST /v1/solve for the same input share
+		// cache entries byte-for-byte.
+		key, err := sp.Key()
+		if err != nil {
+			items[i] = BatchItem{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		items[i] = BatchItem{Key: key}
+		if first, dup := leaders[key]; dup {
+			s.cBatchDups.Inc()
+			items[i].Cache = "dup"
+			items[i].Status = -first - 1 // patched to the leader's outcome below
+			continue
+		}
+		leaders[key] = i
+		timeout := meta.Timeout
+		if timeout == 0 {
+			timeout = s.cfg.DefaultTimeout
+		}
+		members[i] = member{sp: sp, timeout: timeout}
+		run = append(run, i)
+	}
+
+	var wg sync.WaitGroup
+	for _, i := range run {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := members[i]
+			wctx := r.Context()
+			if m.timeout > 0 {
+				ctx, cancel := context.WithTimeout(wctx, m.timeout)
+				defer cancel()
+				wctx = ctx
+			}
+			body, cache, status, err := s.executeMember(wctx, items[i].Key, m.sp, urlCheck)
+			items[i].Status = status
+			items[i].Cache = cache
+			if err != nil {
+				items[i].Error = err.Error()
+			} else {
+				items[i].Result = body
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Patch duplicate members with their leader's outcome.
+	for i := range items {
+		if items[i].Cache != "dup" {
+			continue
+		}
+		first := -items[i].Status - 1
+		items[i].Status = items[first].Status
+		items[i].Error = items[first].Error
+		items[i].Result = items[first].Result
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(BatchResponse{Results: items})
+}
+
+// executeMember serves one distinct batch member through the same tiers
+// as a synchronous solve — cache, store, flight coalescing — with the
+// solve itself queued on the bulk tier. Unlike handleSolve it uses
+// EnqueueWait: the member blocks (bounded by its own deadline) while
+// the bulk tier is full instead of being refused, which paces a large
+// batch through a small queue. It runs in a handler goroutine, never on
+// a scheduler worker, so waiting on the flight cannot deadlock the pool.
+func (s *Server) executeMember(wctx context.Context, key string, sp *SolveSpec, urlCheck bool) (body []byte, cache string, status int, err error) {
+	docheck := s.cfg.Check || urlCheck
+	if !urlCheck {
+		if cached, ok := s.cache.Get(key); ok {
+			return cached, "hit", http.StatusOK, nil
+		}
+		if s.store != nil {
+			if b, ok := s.store.Get(key); ok {
+				s.cache.Put(key, b)
+				s.cStoreServes.Inc()
+				return b, "store", http.StatusOK, nil
+			}
+		}
+	}
+	fkey := flightKey(key, docheck)
+	call, leader := s.flight.join(s.baseCtx, fkey)
+	if leader {
+		if _, eerr := s.sched.EnqueueWait(wctx, jobs.Bulk, func(ctx context.Context) {
+			s.runLeader(ctx, fkey, key, call, sp, docheck)
+		}); eerr != nil {
+			st, ferr := tierFullError(jobs.Bulk)
+			if !errors.Is(eerr, jobs.ErrTierFull) {
+				st, ferr = http.StatusServiceUnavailable, eerr
+			}
+			s.cRejected.Inc()
+			s.flight.finish(fkey, call, nil, st, ferr)
+			return nil, "", st, ferr
+		}
+	} else {
+		s.cCoalesced.Inc()
+	}
+	select {
+	case <-call.done:
+	case <-wctx.Done():
+		select {
+		case <-call.done:
+		default:
+			s.flight.leave(call)
+			if errors.Is(wctx.Err(), context.DeadlineExceeded) {
+				return nil, "", http.StatusGatewayTimeout, errors.New("serve: batch member deadline exceeded")
+			}
+			return nil, "", http.StatusServiceUnavailable, wctx.Err()
+		}
+	}
+	if call.err != nil {
+		return nil, "", call.status, call.err
+	}
+	cache = "miss"
+	if !leader {
+		cache = "coalesced"
+	}
+	return call.body, cache, http.StatusOK, nil
+}

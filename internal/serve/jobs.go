@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"prpart/internal/jobs"
+	"prpart/internal/obs"
+	"prpart/internal/store"
+)
+
+// The async job API:
+//
+//	POST   /v1/jobs             submit a solve, get an id back (202)
+//	GET    /v1/jobs/{id}        poll the job record
+//	GET    /v1/jobs/{id}/result fetch the result body once done
+//	DELETE /v1/jobs/{id}        cancel (queued: withdrawn; running: ctx cancel)
+//
+// Jobs always run on the bulk tier. Terminal records persist through
+// the solve store under "job:"+id, so a restarted daemon still answers
+// polls for finished jobs; the result body itself lives under the
+// job's solve key exactly like a synchronous solve's, so it is served
+// from the store tier byte-identically. Jobs that were queued or
+// running when the daemon died are simply gone after restart (404):
+// the client's resubmit hits the cache/store if the solve finished, or
+// re-runs it if not — either way no work is lost or duplicated.
+
+// jobSubmitResponse is the wire schema of a 202 from POST /v1/jobs.
+type jobSubmitResponse struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+}
+
+// handleJobSubmit is POST /v1/jobs: the body is a single solve request
+// (same schema as /v1/solve), the response a job id to poll.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.cRequests.Inc()
+	if s.isDraining() {
+		s.retryAfter(w, time.Second)
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
+	sp, meta, err := DecodeRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := sp.Key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	urlCheck := r.URL.Query().Get("check") == "1"
+	docheck := s.cfg.Check || urlCheck
+	timeout := meta.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+
+	job, err := s.jobMgr.Submit(s.baseCtx, key, jobs.Bulk, func(ctx context.Context) ([]byte, int, error) {
+		return s.runJobSolve(ctx, key, sp, timeout, urlCheck, docheck)
+	})
+	if err != nil {
+		if errors.Is(err, jobs.ErrTierFull) {
+			s.cRejected.Inc()
+			s.retryAfter(w, s.sched.EstimateWait(jobs.Bulk))
+			writeError(w, http.StatusServiceUnavailable, errBulkQueueFull)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.cJobsSubmitted.Inc()
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	w.Header().Set("X-Solve-Key", key)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(jobSubmitResponse{ID: job.ID(), Key: key, State: string(job.State())})
+}
+
+// runJobSolve is the RunFunc of an async job. It executes on a
+// scheduler worker, which forces one asymmetry with the synchronous
+// path: a worker must never block waiting on a flight led by a fn that
+// is itself still queued — with every worker waiting, nothing would
+// ever run the leader (deadlock). So a job that loses the flight race
+// leaves immediately and solves independently; the duplicate solve is
+// idempotent (same key, same bytes) and the window is a rare same-key
+// overlap between an async job and an in-flight synchronous solve.
+func (s *Server) runJobSolve(ctx context.Context, key string, sp *SolveSpec, timeout time.Duration, urlCheck, docheck bool) ([]byte, int, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if !urlCheck {
+		if cached, ok := s.cache.Get(key); ok {
+			return cached, http.StatusOK, nil
+		}
+		if s.store != nil {
+			if b, ok := s.store.Get(key); ok {
+				s.cache.Put(key, b)
+				s.cStoreServes.Inc()
+				return b, http.StatusOK, nil
+			}
+		}
+	}
+	fkey := flightKey(key, docheck)
+	call, leader := s.flight.join(s.baseCtx, fkey)
+	if leader {
+		// Leading is safe: the solve runs inline on this worker, and
+		// synchronous followers coalesce onto the job's result.
+		s.runLeader(ctx, fkey, key, call, sp, docheck)
+		<-call.done
+		return call.body, call.status, call.err
+	}
+	s.flight.leave(call)
+	body, status, err := s.solveGuarded(ctx, key, sp, docheck)
+	if err != nil && errors.Is(context.Cause(ctx), jobs.ErrShed) {
+		status, err = http.StatusServiceUnavailable, errShedForLatency
+		s.cBulkShed.Inc()
+	}
+	if err == nil {
+		s.cache.Put(key, body)
+		s.persist(key, body, docheck)
+	}
+	return body, status, err
+}
+
+// handleJobGet is GET /v1/jobs/{id}: the job record, live or persisted.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	_, rec, ok := s.jobMgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, jobs.ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rec)
+}
+
+// handleJobResult is GET /v1/jobs/{id}/result: the solve body for done
+// jobs (resolved through the cache/store tiers after an eviction or
+// restart), the stored failure for failed/canceled ones, and 202 with
+// the record while the job is still queued or running.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, rec, ok := s.jobMgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, jobs.ErrNotFound)
+		return
+	}
+	w.Header().Set("X-Solve-Key", rec.Key)
+	switch rec.State {
+	case jobs.StateDone:
+		if job != nil {
+			if body := job.Body(); body != nil {
+				s.respond(w, "job", body)
+				return
+			}
+		}
+		// Evicted or from a previous daemon life: the body lives under
+		// the solve key in the ordinary result tiers.
+		if cached, ok := s.cache.Get(rec.Key); ok {
+			s.respond(w, "hit", cached)
+			return
+		}
+		if s.store != nil {
+			if b, ok := s.store.Get(rec.Key); ok {
+				s.cache.Put(rec.Key, b)
+				s.cStoreServes.Inc()
+				s.respond(w, "store", b)
+				return
+			}
+		}
+		writeError(w, http.StatusGone, errors.New("serve: job finished but its result is no longer stored; resubmit the solve"))
+	case jobs.StateFailed, jobs.StateCanceled:
+		status := rec.HTTPStatus
+		if status == 0 || status == http.StatusOK {
+			status = http.StatusInternalServerError
+		}
+		msg := rec.Error
+		if msg == "" {
+			msg = string(rec.State)
+		}
+		writeError(w, status, fmt.Errorf("serve: job %s: %s", rec.State, msg))
+	default: // queued, running
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(rec)
+	}
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.jobMgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rec)
+}
+
+// persistJob writes a terminal job record through to the store under a
+// "job:" key — namespaced away from solve keys, which are always
+// "sha256:..." strings. Best-effort like persist.
+func (s *Server) persistJob(rec jobs.Record) {
+	if s.store == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if err := s.store.Put("job:"+rec.ID, b, store.VerdictUnchecked); err != nil {
+		s.obs.Emit("serve", "store.job_put_error", obs.Str("id", rec.ID), obs.Str("err", err.Error()))
+	}
+}
+
+// loadJob resolves a job id from the store (evicted, or from a
+// previous daemon life).
+func (s *Server) loadJob(id string) (jobs.Record, bool) {
+	if s.store == nil {
+		return jobs.Record{}, false
+	}
+	b, ok := s.store.Get("job:" + id)
+	if !ok {
+		return jobs.Record{}, false
+	}
+	var rec jobs.Record
+	if json.Unmarshal(b, &rec) != nil || rec.V != jobs.RecordVersion || rec.ID != id {
+		return jobs.Record{}, false
+	}
+	return rec, true
+}

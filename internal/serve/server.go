@@ -2,7 +2,6 @@ package serve
 
 import (
 	"bytes"
-	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,14 +10,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"prpart/internal/core"
 	"prpart/internal/design"
 	"prpart/internal/device"
 	"prpart/internal/floorplan"
+	"prpart/internal/jobs"
 	"prpart/internal/obs"
 	"prpart/internal/partition"
 	"prpart/internal/store"
@@ -34,10 +32,33 @@ type Config struct {
 	// Workers bounds concurrent solves; excess requests queue.
 	// Default: GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds solves admitted but not yet running. A request
-	// that would exceed Workers+QueueDepth leaders in flight is refused
-	// with 429 and a Retry-After header. Default: 4×Workers.
+	// QueueDepth sizes the default per-tier admission bounds (see
+	// InteractiveDepth / BulkDepth). Default: 4×Workers.
 	QueueDepth int
+	// InteractiveDepth bounds how many latency-sensitive solves may be
+	// admitted (queued or running) at once; overflow is refused with 429
+	// and a Retry-After header. Default: Workers+QueueDepth.
+	InteractiveDepth int
+	// BulkDepth is the same bound for the bulk tier (batch members,
+	// async jobs, bulk-marked solves); overflow gets 503. Bulk work
+	// tolerates queueing, so its default is deeper: Workers+4×QueueDepth.
+	BulkDepth int
+	// BulkShare is the guaranteed bulk fraction of contended dequeues:
+	// when both tiers have waiters, every BulkShare-th grant goes to
+	// bulk, so a saturating interactive stream can never starve bulk.
+	// Default: 4.
+	BulkShare int
+	// MaxBatchItems bounds the number of requests in one
+	// POST /v1/solve/batch body; overflow is a 413. Default: 256.
+	MaxBatchItems int
+	// JitterSeed seeds the Retry-After jitter so tests and chaos runs
+	// can pin the backoff sequence. Production leaves it 0 and gets a
+	// fixed-but-harmless default seed.
+	JitterSeed int64
+	// JobsRetention bounds how many finished async jobs stay pollable
+	// in memory (older ones remain loadable from the store). Default:
+	// 1024.
+	JobsRetention int
 	// CacheEntries bounds the solve cache (0 uses the default;
 	// negative disables caching). Default: 256.
 	CacheEntries int
@@ -70,6 +91,7 @@ type Config struct {
 	// daemon serves previously-solved keys byte-identically from disk
 	// (X-Cache: store) without re-running the search. Store errors
 	// degrade to memory-only serving; they never fail a request.
+	// Finished async job records persist here too (under "job:" keys).
 	Store *store.Store
 	// CacheMaxBody bounds the size of a single cached body (0 = no
 	// bound). Oversized bodies are still served and persisted, just not
@@ -77,8 +99,9 @@ type Config struct {
 	CacheMaxBody int64
 }
 
-// Server is the partitioning service: bounded worker pool, solve cache,
-// request coalescing and graceful drain behind an http.Handler.
+// Server is the partitioning service: two-tier scheduled worker pool,
+// solve cache, request coalescing, batch fan-out, async jobs and
+// graceful drain behind an http.Handler.
 type Server struct {
 	cfg    Config
 	obs    *obs.Obs
@@ -87,22 +110,20 @@ type Server struct {
 	flight flightGroup
 	solver SolveFunc
 
-	sem      chan struct{} // worker slots
-	admit    chan struct{} // admission slots: Workers+QueueDepth
+	sched  *jobs.Scheduler
+	jitter *jobs.Jitter
+	jobMgr *jobs.Manager
+
 	baseCtx  context.Context
 	shutdown context.CancelFunc
 	draining chan struct{}
 	started  time.Time
 	mux      *http.ServeMux
 
-	ewmaNs int64 // atomic: smoothed solve wall time, 0 = unknown
-
-	shedMu   sync.Mutex
-	shedList *list.List // of context.CancelCauseFunc, front = oldest bulk solve
-
 	// Instruments (all nil-safe).
 	cRequests, cSolves, cCoalesced, cRejected, cErrors  *obs.Counter
 	cPanics, cRejectedDeadline, cBulkShed, cStoreServes *obs.Counter
+	cBatches, cBatchDups, cJobsSubmitted                *obs.Counter
 	lQueued, lInflight                                  *obs.Level
 	tSolve                                              *obs.Timer
 }
@@ -114,6 +135,18 @@ func New(cfg Config) *Server {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.InteractiveDepth <= 0 {
+		cfg.InteractiveDepth = cfg.Workers + cfg.QueueDepth
+	}
+	if cfg.BulkDepth <= 0 {
+		cfg.BulkDepth = cfg.Workers + 4*cfg.QueueDepth
+	}
+	if cfg.BulkShare <= 0 {
+		cfg.BulkShare = 4
+	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 256
 	}
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 256
@@ -133,11 +166,9 @@ func New(cfg Config) *Server {
 		cache:    NewCache(cfg.CacheEntries, cfg.Obs),
 		store:    cfg.Store,
 		solver:   cfg.Solver,
-		sem:      make(chan struct{}, cfg.Workers),
-		admit:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		jitter:   jobs.NewJitter(cfg.JitterSeed),
 		draining: make(chan struct{}),
 		started:  time.Now(),
-		shedList: list.New(),
 
 		cRequests:         cfg.Obs.Counter("serve.requests"),
 		cSolves:           cfg.Obs.Counter("serve.solves"),
@@ -148,6 +179,9 @@ func New(cfg Config) *Server {
 		cRejectedDeadline: cfg.Obs.Counter("serve.rejected_deadline"),
 		cBulkShed:         cfg.Obs.Counter("serve.bulk_shed"),
 		cStoreServes:      cfg.Obs.Counter("serve.store_serves"),
+		cBatches:          cfg.Obs.Counter("serve.batches"),
+		cBatchDups:        cfg.Obs.Counter("serve.batch_dups"),
+		cJobsSubmitted:    cfg.Obs.Counter("serve.jobs_submitted"),
 		lQueued:           cfg.Obs.Level("serve.queue_depth"),
 		lInflight:         cfg.Obs.Level("serve.inflight"),
 		tSolve:            cfg.Obs.Timer("serve.solve"),
@@ -156,9 +190,28 @@ func New(cfg Config) *Server {
 	if s.solver == nil {
 		s.solver = core.RunContext
 	}
+	s.sched = jobs.NewScheduler(jobs.SchedConfig{
+		Workers:          cfg.Workers,
+		InteractiveDepth: cfg.InteractiveDepth,
+		BulkDepth:        cfg.BulkDepth,
+		BulkShare:        cfg.BulkShare,
+		Obs:              cfg.Obs,
+		Queued:           s.lQueued,
+	})
+	s.jobMgr = jobs.NewManager(jobs.ManagerConfig{
+		Sched:       s.sched,
+		MaxFinished: cfg.JobsRetention,
+		Persist:     s.persistJob,
+		Load:        s.loadJob,
+	})
 	s.baseCtx, s.shutdown = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
@@ -178,29 +231,21 @@ func (s *Server) Inflight() int64 { return s.lInflight.Value() }
 func (s *Server) Queued() int64 { return s.lQueued.Value() }
 
 // Shutdown drains the server gracefully: new solve requests are refused
-// with 503, while every admitted solve runs to completion. It returns
-// when the last in-flight solve finishes or ctx expires. Wrap it around
-// http.Server.Shutdown — refusing new work first keeps the listener's
-// drain bounded.
+// with 503, while every admitted solve and async job runs to
+// completion. It returns when the scheduler is idle or ctx expires.
+// Wrap it around http.Server.Shutdown — refusing new work first keeps
+// the listener's drain bounded.
 func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-s.draining:
 	default:
 		close(s.draining)
 	}
-	// In-flight solves hold admission slots; the pool is idle once we
-	// can take every slot.
-	for i := 0; i < cap(s.admit); i++ {
-		select {
-		case s.admit <- struct{}{}:
-		case <-ctx.Done():
-			return ctx.Err()
-		}
-	}
-	return nil
+	return s.sched.Drain(ctx)
 }
 
-// Close aborts hard: pending solves are cancelled mid-search.
+// Close aborts hard: pending solves are cancelled mid-search and the
+// worker pool stops once its queue drains.
 func (s *Server) Close() {
 	select {
 	case <-s.draining:
@@ -208,6 +253,7 @@ func (s *Server) Close() {
 		close(s.draining)
 	}
 	s.shutdown()
+	s.sched.Close()
 }
 
 func (s *Server) isDraining() bool {
@@ -239,77 +285,35 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 var (
 	errQueueFull        = errors.New("serve: queue full")
+	errBulkQueueFull    = errors.New("serve: bulk queue full")
 	errDeadlineTooTight = errors.New("serve: estimated queue wait exceeds request deadline")
 	errShedForLatency   = errors.New("serve: bulk solve shed for latency-sensitive work")
 )
 
-// estimateWait predicts how long a newly admitted solve will sit in the
-// queue before a worker picks it up: zero while a worker is idle or no
-// solve has completed yet, otherwise one smoothed solve time per wave
-// of already-queued leaders ahead of it. It is a scheduling estimate
-// over racy channel lengths, not an accounting fact — good enough to
-// refuse work that cannot possibly meet its deadline.
-func (s *Server) estimateWait() time.Duration {
-	avg := time.Duration(atomic.LoadInt64(&s.ewmaNs))
-	if avg <= 0 {
-		return 0
-	}
-	workers := cap(s.sem)
-	if len(s.sem) < workers {
-		return 0
-	}
-	queued := int(s.lQueued.Value())
-	return time.Duration(queued/workers+1) * avg
+// retryAfter stamps a jittered Retry-After header sized to est (or the
+// 1-second floor when est is tiny). Jitter desynchronizes retry storms:
+// a thousand clients refused in the same instant come back spread over
+// the backoff window instead of as a thundering herd.
+func (s *Server) retryAfter(w http.ResponseWriter, est time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.jitter.RetryAfter(est)))
 }
 
-// observeSolve folds one completed solve's wall time into the smoothed
-// estimate (EWMA, alpha 0.3).
-func (s *Server) observeSolve(d time.Duration) {
-	for {
-		old := atomic.LoadInt64(&s.ewmaNs)
-		nw := int64(d)
-		if old != 0 {
-			nw = old + (int64(d)-old)*3/10
-		}
-		if nw <= 0 {
-			nw = 1
-		}
-		if atomic.CompareAndSwapInt64(&s.ewmaNs, old, nw) {
-			return
-		}
+// tierOf maps a request's serving class to its scheduler tier.
+func tierOf(bulk bool) jobs.Tier {
+	if bulk {
+		return jobs.Bulk
 	}
+	return jobs.Interactive
 }
 
-// shedRegister enrolls a running bulk solve as sheddable; the returned
-// element is handed back to shedUnregister when the solve ends.
-func (s *Server) shedRegister(cancel context.CancelCauseFunc) *list.Element {
-	s.shedMu.Lock()
-	defer s.shedMu.Unlock()
-	return s.shedList.PushBack(cancel)
-}
-
-func (s *Server) shedUnregister(el *list.Element) {
-	s.shedMu.Lock()
-	s.shedList.Remove(el) // no-op if already shed
-	s.shedMu.Unlock()
-}
-
-// shedOldestBulk cancels the longest-running sheddable bulk solve so a
-// latency-sensitive request can take its capacity. Returns false when
-// nothing is sheddable.
-func (s *Server) shedOldestBulk() bool {
-	s.shedMu.Lock()
-	el := s.shedList.Front()
-	if el != nil {
-		s.shedList.Remove(el)
+// tierFullError maps a refused tier to its backpressure response:
+// interactive overflow is the client's cue to back off (429), bulk
+// overflow says the service is saturated with throughput work (503).
+func tierFullError(tier jobs.Tier) (int, error) {
+	if tier == jobs.Bulk {
+		return http.StatusServiceUnavailable, errBulkQueueFull
 	}
-	s.shedMu.Unlock()
-	if el == nil {
-		return false
-	}
-	el.Value.(context.CancelCauseFunc)(errShedForLatency)
-	s.cBulkShed.Inc()
-	return true
+	return http.StatusTooManyRequests, errQueueFull
 }
 
 // handleSolve is POST /v1/solve: decode, consult the cache, coalesce,
@@ -324,7 +328,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cRequests.Inc()
 	if s.isDraining() {
-		w.Header().Set("Retry-After", "1")
+		s.retryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
 		return
 	}
@@ -386,85 +390,83 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	tier := tierOf(meta.Bulk)
 	// Checked and unchecked requests must not coalesce onto each other:
 	// a follower asking for verification would otherwise ride on a
 	// leader that skipped it. The flight key is namespaced; the cache
 	// key is not (the result bytes are the same).
-	fkey := key
-	if docheck {
-		fkey += "+check"
-	}
+	fkey := flightKey(key, docheck)
 	call, leader := s.flight.join(s.baseCtx, fkey)
 	if leader {
 		// Deadline-aware admission: refuse work that cannot possibly
 		// meet its deadline instead of letting it queue, burn a slot and
 		// time out anyway. Retry-After carries the wait estimate.
 		if dl, ok := wctx.Deadline(); ok {
-			if est := s.estimateWait(); est > 0 && est > time.Until(dl) {
+			if est := s.sched.EstimateWait(tier); est > 0 && est > time.Until(dl) {
 				s.cRejectedDeadline.Inc()
 				s.flight.finish(fkey, call, nil, http.StatusTooManyRequests, errDeadlineTooTight)
-				w.Header().Set("Retry-After", strconv.Itoa(int(est/time.Second)+1))
+				s.retryAfter(w, est)
 				writeError(w, http.StatusTooManyRequests, errDeadlineTooTight)
 				return
 			}
 		}
-		admitted := false
-		select {
-		case s.admit <- struct{}{}:
-			admitted = true
-		default:
-		}
-		if !admitted && !meta.Bulk {
-			// Admission is full but this request is latency-sensitive:
-			// shed the oldest running bulk solve and wait for the freed
-			// capacity (bounded by the request's own deadline).
-			if s.shedOldestBulk() {
-				select {
-				case s.admit <- struct{}{}:
-					admitted = true
-				case <-wctx.Done():
-				}
-			}
-		}
-		if !admitted {
+		// The solve runs under the flight call's context — detached from
+		// this request, alive while any waiter remains — so the scheduler
+		// ticket outlives a leader that times out while followers wait.
+		// An interactive enqueue that finds every worker stuck in bulk
+		// sheds the oldest bulk solve inside the scheduler.
+		_, err := s.sched.Enqueue(call.ctx, tier, func(ctx context.Context) {
+			s.runLeader(ctx, fkey, key, call, sp, docheck)
+		})
+		if err != nil {
 			// Coalesced waiters share the leader's admission fate: the
-			// 429 below is published to every follower already joined on
-			// this key (see DESIGN.md §8, backpressure semantics).
+			// refusal below is published to every follower already joined
+			// on this key (see DESIGN.md §8, backpressure semantics).
 			s.cRejected.Inc()
-			s.flight.finish(fkey, call, nil, http.StatusTooManyRequests, errQueueFull)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, errQueueFull)
+			status, ferr := tierFullError(tier)
+			s.flight.finish(fkey, call, nil, status, ferr)
+			s.retryAfter(w, s.sched.EstimateWait(tier))
+			writeError(w, status, ferr)
 			return
 		}
-		bulk := meta.Bulk
-		go func() {
-			defer func() { <-s.admit }()
-			sctx := call.ctx
-			if bulk {
-				bctx, bcancel := context.WithCancelCause(call.ctx)
-				el := s.shedRegister(bcancel)
-				defer s.shedUnregister(el)
-				defer bcancel(nil)
-				sctx = bctx
-			}
-			body, status, err := s.solveGuarded(sctx, key, sp, docheck)
-			if err != nil && errors.Is(context.Cause(sctx), errShedForLatency) {
-				status, err = http.StatusServiceUnavailable, errShedForLatency
-			}
-			if err == nil {
-				s.cache.Put(key, body)
-				s.persist(key, body, docheck)
-			}
-			s.flight.finish(fkey, call, body, status, err)
-		}()
 	} else {
 		s.cCoalesced.Inc()
 	}
 
-	deliver := func() {
+	s.deliver(w, wctx, fkey, call, leader, docheck)
+}
+
+// flightKey namespaces the coalescing key by the check flag.
+func flightKey(key string, docheck bool) string {
+	if docheck {
+		return key + "+check"
+	}
+	return key
+}
+
+// runLeader is the scheduler-side body of a synchronous solve: run the
+// search, classify shed, populate the cache tiers and publish to every
+// coalesced waiter.
+func (s *Server) runLeader(ctx context.Context, fkey, key string, call *flightCall, sp *SolveSpec, docheck bool) {
+	body, status, err := s.solveGuarded(ctx, key, sp, docheck)
+	if err != nil && errors.Is(context.Cause(ctx), jobs.ErrShed) {
+		status, err = http.StatusServiceUnavailable, errShedForLatency
+		s.cBulkShed.Inc()
+	}
+	if err == nil {
+		s.cache.Put(key, body)
+		s.persist(key, body, docheck)
+	}
+	s.flight.finish(fkey, call, body, status, err)
+}
+
+// deliver waits for the flight call to finish (or the request context
+// to die) and writes the outcome.
+func (s *Server) deliver(w http.ResponseWriter, wctx context.Context, fkey string, call *flightCall, leader, docheck bool) {
+	write := func() {
 		if call.err != nil {
 			if call.status == http.StatusTooManyRequests || errors.Is(call.err, errShedForLatency) {
-				w.Header().Set("Retry-After", "1")
+				s.retryAfter(w, time.Second)
 			}
 			s.cErrors.Inc()
 			writeError(w, call.status, call.err)
@@ -482,14 +484,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case <-call.done:
-		deliver()
+		write()
 	case <-wctx.Done():
 		// select picks randomly when both channels are ready, so a solve
 		// that completed right at the deadline could land here. Prefer
 		// the (now cached) result over a 504.
 		select {
 		case <-call.done:
-			deliver()
+			write()
 			return
 		default:
 		}
@@ -512,8 +514,8 @@ func (s *Server) respond(w http.ResponseWriter, cache string, body []byte) {
 }
 
 // solveGuarded is solve behind a panic barrier: a panicking solver (or
-// renderer) downs one request with a 500, never the daemon. The solve
-// path's own defers release the worker slot and levels during unwind.
+// renderer) downs one request with a 500, never the daemon — and never
+// a scheduler worker.
 func (s *Server) solveGuarded(ctx context.Context, key string, sp *SolveSpec, docheck bool) (body []byte, status int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -541,18 +543,14 @@ func (s *Server) persist(key string, body []byte, checked bool) {
 	}
 }
 
-// solve waits for a worker slot, runs the flow under the call context
-// and renders the canonical result bytes.
+// solve runs the flow under the call context and renders the canonical
+// result bytes. It executes on a scheduler worker, which is the
+// concurrency bound; only real solver wall time feeds the smoothed
+// admission estimate.
 func (s *Server) solve(ctx context.Context, key string, sp *SolveSpec, docheck bool) ([]byte, int, error) {
-	s.lQueued.Inc()
-	select {
-	case s.sem <- struct{}{}:
-		s.lQueued.Dec()
-	case <-ctx.Done():
-		s.lQueued.Dec()
-		return nil, errStatus(ctx.Err()), fmt.Errorf("serve: cancelled before solving: %w", ctx.Err())
+	if err := ctx.Err(); err != nil {
+		return nil, errStatus(err), fmt.Errorf("serve: cancelled before solving: %w", err)
 	}
-	defer func() { <-s.sem }()
 	s.lInflight.Inc()
 	defer s.lInflight.Dec()
 	s.cSolves.Inc()
@@ -564,7 +562,7 @@ func (s *Server) solve(ctx context.Context, key string, sp *SolveSpec, docheck b
 	copts.Library = s.cfg.Library
 	begin := time.Now()
 	res, err := s.solver(ctx, sp.Design, copts)
-	s.observeSolve(time.Since(begin))
+	s.sched.ObserveWork(time.Since(begin))
 	if err != nil {
 		s.obs.Emit("serve", "solve.error", obs.Str("key", key), obs.Str("err", err.Error()))
 		return nil, errStatus(err), err
@@ -604,7 +602,16 @@ type healthState struct {
 		Misses    int64 `json:"misses"`
 		Evictions int64 `json:"evictions"`
 	} `json:"cache"`
+	Jobs  *jobsHealth  `json:"jobs,omitempty"`
 	Store *storeHealth `json:"store,omitempty"`
+}
+
+// jobsHealth summarizes the two-tier intake and async job table.
+type jobsHealth struct {
+	InteractiveQueued int            `json:"interactiveQueued"`
+	BulkQueued        int            `json:"bulkQueued"`
+	Running           int            `json:"running"`
+	States            map[string]int `json:"states,omitempty"`
 }
 
 // storeHealth summarizes the persistent tier in /healthz.
@@ -629,6 +636,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st.Cache.Hits = snap.Counters["serve.cache_hits"]
 	st.Cache.Misses = snap.Counters["serve.cache_misses"]
 	st.Cache.Evictions = snap.Counters["serve.cache_evictions"]
+	jh := &jobsHealth{
+		InteractiveQueued: s.sched.QueueLen(jobs.Interactive),
+		BulkQueued:        s.sched.QueueLen(jobs.Bulk),
+		Running:           s.sched.Running(),
+	}
+	if counts := s.jobMgr.Counts(); len(counts) > 0 {
+		jh.States = map[string]int{}
+		for state, n := range counts {
+			jh.States[string(state)] = n
+		}
+	}
+	st.Jobs = jh
 	if s.store != nil {
 		st.Store = &storeHealth{
 			Keys:            s.store.Len(),

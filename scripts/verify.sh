@@ -2,8 +2,9 @@
 # Tiered verification for the repo.
 #
 #   scripts/verify.sh          # tier 1 only: build + tests (the CI gate)
-#   scripts/verify.sh all      # tiers 1-4: + vet/race, + fault determinism,
-#                              #            + oracle soak
+#   scripts/verify.sh all      # tiers 1-7: + vet/race, + fault determinism,
+#                              #   + oracle soak, + chaos, + multilevel,
+#                              #   + batch/async daemon-client e2e
 #
 # Tier 1  go build + go test             — must always pass (ROADMAP gate)
 # Tier 2  go vet + go test -race         — static checks and race detection,
@@ -30,6 +31,13 @@
 #         differential, property, metamorphic and huge-scale suites
 #         (DESIGN.md §12) twice over, so the seeded coarsening and
 #         refinement chain proves bit-stable across processes.
+# Tier 7  go test -run Remote — the batch/async daemon-client e2e
+#         (DESIGN.md §13): the 100-design sweep driven through
+#         /v1/solve/batch and the async job API against a booted
+#         daemon, asserting metric-identical outcomes to the
+#         in-process sweep — including across a mid-sweep daemon
+#         kill/restart with no lost or duplicated jobs — plus both
+#         prbench -daemon surfaces as CLI smoke.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -66,6 +74,11 @@ if [ "$1" = "all" ]; then
 
 	echo "== tier 6: multilevel engine re-runs (x2) =="
 	go test -run Multilevel -count=2 ./internal/multilevel/
+
+	echo "== tier 7: batch/async daemon sweep e2e (kill/restart) =="
+	go test -run Remote ./internal/experiments/
+	go run ./cmd/prbench -exp claims -n 24 -daemon > /dev/null
+	go run ./cmd/prbench -exp claims -n 24 -daemon -daemon-mode async > /dev/null
 fi
 
 echo "verify: OK"
