@@ -327,15 +327,21 @@ func BenchmarkCostModel(b *testing.B) {
 	b.ReportMetric(float64(total), "total_frames")
 }
 
-// BenchmarkMultilevelHuge measures the scale tier the multilevel engine
-// exists for: one prgen huge-tier design (10³ modes) through the full
-// coarsen–partition–refine chain. The direct engine cannot enumerate at
-// this size at all, so there is no like-for-like baseline; the gate is
-// this benchmark's own history (results/BENCH_pr7.json onward).
-func BenchmarkMultilevelHuge(b *testing.B) {
-	d := synthetic.GenerateHuge(1, 1)[0]
+// benchMultilevelHuge solves one prgen huge-tier design through the
+// full coarsen–partition–refine chain with the given per-level refine
+// worker count. The direct engine cannot enumerate at this size at
+// all, so there is no like-for-like baseline; the gate is the
+// benchmark's own history (results/BENCH_pr7.json onward) plus the
+// serial-vs-parallel identity contract (Workers changes wall-clock,
+// never the scheme — see internal/partition/refine_parallel.go).
+func benchMultilevelHuge(b *testing.B, design, workers int) {
+	b.Helper()
+	d := synthetic.GenerateHuge(1, design+1)[design]
 	opts := multilevel.Options{
-		Partition: partition.Options{Budget: partition.Modular(d).TotalResources()},
+		Partition: partition.Options{
+			Budget:  partition.Modular(d).TotalResources(),
+			Workers: workers,
+		},
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -349,6 +355,20 @@ func BenchmarkMultilevelHuge(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.Partition.Summary.Total), "total_frames")
 	b.ReportMetric(float64(res.Stats.Levels), "levels")
+}
+
+// BenchmarkMultilevelHuge is the 10³-mode tier, serial refinement.
+func BenchmarkMultilevelHuge(b *testing.B) { benchMultilevelHuge(b, 0, 1) }
+
+// BenchmarkMultilevelHugeParallel is the same solve with the per-level
+// refine scan sharded over four workers; the PR 9 acceptance gate is
+// ≥2× over BenchmarkMultilevelHuge with a byte-identical scheme.
+func BenchmarkMultilevelHugeParallel(b *testing.B) { benchMultilevelHuge(b, 0, 4) }
+
+// BenchmarkMultilevelHuge20K is the extended tier parallel refinement
+// unlocked: 2×10⁴ modes (the last HugeSizes entry), four workers.
+func BenchmarkMultilevelHuge20K(b *testing.B) {
+	benchMultilevelHuge(b, len(synthetic.HugeSizes)-1, 4)
 }
 
 // BenchmarkGalleryDesigns runs the full evaluation procedure on the

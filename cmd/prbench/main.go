@@ -387,10 +387,25 @@ func (e *env) microBenchmarks(r *benchfmt.Report) error {
 	hugeOpts := multilevel.Options{
 		Partition: partition.Options{Budget: partition.Modular(huge).TotalResources()},
 	}
-	return record("multilevel_huge", func(b *testing.B) {
+	if err := record("multilevel_huge", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := multilevel.Solve(huge, hugeOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	// The same solve with the per-level refine scan sharded over four
+	// workers (capped at the machine's cores; results are byte-identical
+	// to the serial run, only wall clock may differ).
+	hugeP4 := hugeOpts
+	hugeP4.Partition.Workers = 4
+	return record("multilevel_huge_p4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := multilevel.Solve(huge, hugeP4); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) (err error) {
 	multilevel := fs.Bool("multilevel", false, "solve through the coarsen-partition-refine engine (for very large designs)")
 	mlSeed := fs.Int64("ml-seed", 0, "multilevel coarsening seed")
 	mlThreshold := fs.Int("ml-threshold", 0, "multilevel delegation cutoff in modes (0: engine default)")
+	workers := fs.Int("workers", 0, "solve workers: candidate-set search and per-level refine scan (0/1: serial, negative: all CPUs; identical results at any count)")
 	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +85,7 @@ func run(args []string, out io.Writer) (err error) {
 		Multilevel:          *multilevel,
 		MultilevelSeed:      *mlSeed,
 		MultilevelThreshold: *mlThreshold,
+		Workers:             *workers,
 	}
 	if !*multilevel && (*mlSeed != 0 || *mlThreshold != 0) {
 		return fmt.Errorf("-ml-seed/-ml-threshold require -multilevel")

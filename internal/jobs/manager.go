@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -304,6 +305,46 @@ func (m *Manager) Cancel(id string) (Record, error) {
 		j.cancel(ErrCanceled)
 	}
 	return j.Record(), nil
+}
+
+// List returns a page of in-memory job records, newest first
+// (CreatedMs descending, ties broken by id so the order is total), and
+// the number of records matching the filter before pagination. A
+// non-empty state keeps only jobs in that state; offset/limit slice
+// the filtered, sorted list (limit <= 0 means no bound). Persisted
+// records of evicted jobs are not listed — the listing is an admin
+// view of the live table, and evicted ids remain reachable through
+// Get.
+func (m *Manager) List(state State, offset, limit int) ([]Record, int) {
+	m.mu.Lock()
+	live := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		live = append(live, j)
+	}
+	m.mu.Unlock()
+	recs := make([]Record, 0, len(live))
+	for _, j := range live {
+		r := j.Record()
+		if state != "" && r.State != state {
+			continue
+		}
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, k int) bool {
+		if recs[i].CreatedMs != recs[k].CreatedMs {
+			return recs[i].CreatedMs > recs[k].CreatedMs
+		}
+		return recs[i].ID < recs[k].ID
+	})
+	total := len(recs)
+	if offset > len(recs) {
+		offset = len(recs)
+	}
+	recs = recs[offset:]
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit]
+	}
+	return recs, total
 }
 
 // Counts returns the number of in-memory jobs per state.

@@ -216,15 +216,24 @@ func SolveContext(ctx context.Context, d *design.Design, o Options) (*Result, er
 		return nil, err
 	}
 
-	// Uncoarsen: refine at every level, projecting downward.
+	// Uncoarsen: refine at every level, projecting downward. Each
+	// level's refinement inherits the partition worker count: its move
+	// scan shards across up to that many workers (coarse levels with
+	// few regions fall back to the single-pass scan below the sharding
+	// threshold — see partition/refine_parallel.go). The gauge records
+	// the resolved count; per-level timers attribute the wall-clock win
+	// per level in prbench traces.
 	stopRefine := ob.Timer("multilevel.phase.refine").Time()
+	ob.Gauge("multilevel.refine.workers").Observe(int64(partition.EffectiveRefineWorkers(o.Partition.Workers)))
 	var chain *partition.Result
 	for l := len(levels) - 1; l >= 0; l-- {
 		if err := ctx.Err(); err != nil {
 			stopRefine()
 			return nil, fmt.Errorf("multilevel: cancelled: %w", err)
 		}
+		stopLevel := ob.Timer(fmt.Sprintf("multilevel.refine_parallel.level%02d", l)).Time()
 		out, err := partition.RefineContext(ctx, d, warmStart(levels[l], g), o.Partition)
+		stopLevel()
 		if err != nil {
 			stopRefine()
 			return nil, err

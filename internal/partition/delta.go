@@ -181,39 +181,43 @@ type quantEntry struct {
 // quantize returns the tile-quantised capacity and search-frame cost of
 // a raw resource requirement, memoised per candidate set. Both are pure
 // functions of res (given the searcher's NoQuantize option), so the
-// memo can never change a result — only skip recomputing it.
-func (s *searcher) quantize(res resource.Vector) (area resource.Vector, frames int64) {
-	if e, ok := s.sc.quant[res]; ok {
+// memo can never change a result — only skip recomputing it. The memo
+// lives in the caller-supplied scratch: the serial descent passes the
+// searcher's own s.sc, the parallel refine scan passes its shard's
+// scratch (see refine_parallel.go), so no scratch is ever shared
+// between goroutines.
+func (s *searcher) quantize(sc *scratch, res resource.Vector) (area resource.Vector, frames int64) {
+	if e, ok := sc.quant[res]; ok {
 		s.cQuantHit.Inc()
 		return e.area, e.frames
 	}
 	s.cQuantMiss.Inc()
 	area = device.TilesToPrimitives(device.Tiles(res))
 	frames = s.searchFrames(res)
-	s.sc.quant[res] = quantEntry{area: area, frames: frames}
+	sc.quant[res] = quantEntry{area: area, frames: frames}
 	return area, frames
 }
 
 // mergeEntry returns the contribution and area of the group that would
 // result from merging gi and gj, cached under the unordered id pair.
-func (s *searcher) mergeEntry(gi, gj *group) pairEntry {
+func (s *searcher) mergeEntry(sc *scratch, gi, gj *group) pairEntry {
 	a, b := gi.id, gj.id
 	if a > b {
 		a, b = b, a
 	}
 	key := pairKey(kindMerge, a, b)
-	if e, ok := s.sc.pairs.get(key); ok {
+	if e, ok := sc.pairs.get(key); ok {
 		s.cDeltaHit.Inc()
 		return e
 	}
 	s.cDeltaMiss.Inc()
 	res := gi.res.Max(gj.res)
-	area, frames := s.quantize(res)
+	area, frames := s.quantize(sc, res)
 	var contrib int64
 	if s.weights != nil {
 		// Compatibility guarantees at most one side is active per
 		// configuration, so the merged activation is a plain overlay.
-		act := s.sc.act[:0]
+		act := sc.act[:0]
 		for ci := range gi.act {
 			if gi.act[ci] != 0 {
 				act = append(act, gi.act[ci])
@@ -221,7 +225,7 @@ func (s *searcher) mergeEntry(gi, gj *group) pairEntry {
 				act = append(act, gj.act[ci])
 			}
 		}
-		s.sc.act = act
+		sc.act = act
 		contrib = frames * s.weightedDiff(act)
 	} else {
 		sum := int64(gi.active + gj.active)
@@ -229,30 +233,30 @@ func (s *searcher) mergeEntry(gi, gj *group) pairEntry {
 		contrib = frames * (sum*sum - sq) / 2
 	}
 	e := pairEntry{contrib: contrib, area: area}
-	s.sc.pairs.put(key, e)
+	sc.pairs.put(key, e)
 	return e
 }
 
 // extendEntry returns the contribution and area of group gj extended by
 // candidate part pi — the destination side of a transfer move.
-func (s *searcher) extendEntry(gj *group, pi int) pairEntry {
+func (s *searcher) extendEntry(sc *scratch, gj *group, pi int) pairEntry {
 	key := pairKey(kindExtend, gj.id, uint64(pi))
-	if e, ok := s.sc.pairs.get(key); ok {
+	if e, ok := sc.pairs.get(key); ok {
 		s.cDeltaHit.Inc()
 		return e
 	}
 	s.cDeltaMiss.Inc()
 	res := gj.res.Max(s.partRes[pi])
-	area, frames := s.quantize(res)
+	area, frames := s.quantize(sc, res)
 	var contrib int64
 	if s.weights != nil {
-		act := append(s.sc.act[:0], gj.act...)
+		act := append(sc.act[:0], gj.act...)
 		for ci := range s.cs.Active {
 			if s.cs.Active[ci][pi] {
 				act[ci] = int32(pi) + 1
 			}
 		}
-		s.sc.act = act
+		sc.act = act
 		contrib = frames * s.weightedDiff(act)
 	} else {
 		n := int64(s.partAct[pi])
@@ -261,7 +265,7 @@ func (s *searcher) extendEntry(gj *group, pi int) pairEntry {
 		contrib = frames * (sum*sum - sq) / 2
 	}
 	e := pairEntry{contrib: contrib, area: area}
-	s.sc.pairs.put(key, e)
+	sc.pairs.put(key, e)
 	return e
 }
 
@@ -270,10 +274,10 @@ func (s *searcher) extendEntry(gj *group, pi int) pairEntry {
 // cannot be computed incrementally (max does not subtract), so a miss
 // walks the remaining parts; the cache makes that a one-time cost per
 // (group, part) combination.
-func (s *searcher) shrinkEntry(gi *group, k int) pairEntry {
+func (s *searcher) shrinkEntry(sc *scratch, gi *group, k int) pairEntry {
 	pi := gi.parts[k]
 	key := pairKey(kindShrink, gi.id, uint64(pi))
-	if e, ok := s.sc.pairs.get(key); ok {
+	if e, ok := sc.pairs.get(key); ok {
 		s.cDeltaHit.Inc()
 		return e
 	}
@@ -290,10 +294,10 @@ func (s *searcher) shrinkEntry(gi *group, k int) pairEntry {
 		active += s.partAct[p]
 		sumSq += n * n
 	}
-	area, frames := s.quantize(res)
+	area, frames := s.quantize(sc, res)
 	var contrib int64
 	if s.weights != nil {
-		act := s.sc.act[:0]
+		act := sc.act[:0]
 		for range s.d.Configurations {
 			act = append(act, 0)
 		}
@@ -307,14 +311,14 @@ func (s *searcher) shrinkEntry(gi *group, k int) pairEntry {
 				}
 			}
 		}
-		s.sc.act = act
+		sc.act = act
 		contrib = frames * s.weightedDiff(act)
 	} else {
 		sum := int64(active)
 		contrib = frames * (sum*sum - sumSq) / 2
 	}
 	e := pairEntry{contrib: contrib, area: area}
-	s.sc.pairs.put(key, e)
+	sc.pairs.put(key, e)
 	return e
 }
 
@@ -328,16 +332,16 @@ func (s *searcher) shrinkEntry(gi *group, k int) pairEntry {
 // destination group alone — the source group's area is non-negative and
 // violation is monotone in area, so a lower bound that already fails
 // proves the exact area fails too, and the source side is never built.
-func (s *searcher) evalMove(st *state, mv move, curArea resource.Vector, curViol int64) (dCost int64, newArea resource.Vector, v int64, ok bool) {
+func (s *searcher) evalMove(sc *scratch, st *state, mv move, curArea resource.Vector, curViol int64) (dCost int64, newArea resource.Vector, v int64, ok bool) {
 	if mv.part >= 0 && mv.j >= 0 {
 		gi, gj := st.groups[mv.i], st.groups[mv.j]
 		pi := gi.parts[mv.part]
-		dst := s.extendEntry(gj, pi)
+		dst := s.extendEntry(sc, gj, pi)
 		lower := curArea.Sub(gi.area).Sub(gj.area).Add(dst.area)
 		if _, rej := s.areaViolation(lower, curViol); rej {
 			return 0, resource.Vector{}, 0, false
 		}
-		src := s.shrinkEntry(gi, mv.part)
+		src := s.shrinkEntry(sc, gi, mv.part)
 		newArea = lower.Add(src.area)
 		v, rej := s.areaViolation(newArea, curViol)
 		if rej {
@@ -356,7 +360,7 @@ func (s *searcher) evalMove(st *state, mv move, curArea resource.Vector, curViol
 		return -g.contrib, newArea, v, true
 	}
 	gi, gj := st.groups[mv.i], st.groups[mv.j]
-	e := s.mergeEntry(gi, gj)
+	e := s.mergeEntry(sc, gi, gj)
 	newArea = curArea.Sub(gi.area).Sub(gj.area).Add(e.area)
 	v, rej := s.areaViolation(newArea, curViol)
 	if rej {
@@ -396,6 +400,6 @@ func (s *searcher) moveCost(st *state, mv move) int64 {
 		return -st.groups[mv.i].contrib
 	}
 	gi, gj := st.groups[mv.i], st.groups[mv.j]
-	e := s.mergeEntry(gi, gj)
+	e := s.mergeEntry(s.sc, gi, gj)
 	return e.contrib - gi.contrib - gj.contrib
 }

@@ -53,7 +53,7 @@ func checkStateAgainstOracle(t *testing.T, label string, s *searcher, st *state,
 	for _, mv := range s.appendLegalMoves(nil, st, true, true) {
 		wantD, wantArea := s.moveDelta(st, mv)
 		wantV := s.violation(wantArea)
-		gotD, gotArea, gotV, ok := s.evalMove(st, mv, st.area, curViol)
+		gotD, gotArea, gotV, ok := s.evalMove(s.sc, st, mv, st.area, curViol)
 		if !ok {
 			// The cache may only reject moves the greedy policy's
 			// area rule would reject on the oracle's numbers too.
@@ -103,7 +103,7 @@ func TestDeltaCacheMatchesMoveDelta(t *testing.T) {
 					// Deterministic pseudo-arbitrary choice, varied by
 					// candidate set and step.
 					mv := moves[(step*13+si*7+5)%len(moves)]
-					s.applyMove(st, mv)
+					s.applyMove(s.sc, st, mv)
 				}
 			}
 		}
@@ -136,7 +136,7 @@ func TestDeltaCacheMatchesMoveDeltaWeighted(t *testing.T) {
 				if len(moves) == 0 {
 					break
 				}
-				s.applyMove(st, moves[(step*11+si*3+2)%len(moves)])
+				s.applyMove(s.sc, st, moves[(step*11+si*3+2)%len(moves)])
 			}
 		}
 	}
@@ -155,7 +155,7 @@ func TestQuantMemo(t *testing.T) {
 		resource.New(6800, 64, 150),
 	}
 	for _, res := range vecs {
-		area, frames := s.quantize(res)
+		area, frames := s.quantize(s.sc, res)
 		if want := device.TilesToPrimitives(device.Tiles(res)); area != want {
 			t.Errorf("quantize(%v) area = %v, want %v", res, area, want)
 		}
@@ -165,7 +165,7 @@ func TestQuantMemo(t *testing.T) {
 	}
 	size := len(s.sc.quant)
 	for _, res := range vecs {
-		s.quantize(res)
+		s.quantize(s.sc, res)
 	}
 	if len(s.sc.quant) != size {
 		t.Errorf("repeated quantize grew the memo: %d -> %d entries", size, len(s.sc.quant))

@@ -147,6 +147,13 @@ func RefineContext(ctx context.Context, d *design.Design, ws WarmStart, opts Opt
 	cs := &cover.CandidateSet{Parts: ws.Parts, Active: ws.Active}
 	s := newSearcher(d, m, cs, opts, newScratch())
 	s.useMasks = true
+	// Shard large scan iterations over Options.Workers (refine is the
+	// only caller of the per-iteration parallel scan; the shard
+	// decomposition is Workers-independent, so any worker count —
+	// including the serial default — produces byte-identical schemes
+	// and identical obs counters; see refine_parallel.go).
+	s.par = newParScan(s, opts.Workers)
+	defer s.par.close()
 
 	// Group-internal compatibility: since a group's mask is the union of
 	// its parts' masks, the group is internally compatible iff its mask

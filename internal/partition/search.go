@@ -407,6 +407,12 @@ type searcher struct {
 	// allocation-identical behaviour.
 	useMasks bool
 
+	// par, when non-nil, shards large scan iterations across a worker
+	// pool (see refine_parallel.go). Only the Refine warm-start path
+	// sets it; the standard solve path parallelises over candidate
+	// sets instead and keeps its exact serial scan.
+	par *parScan
+
 	// Observability instruments, resolved once per searcher; all nil when
 	// Options.Obs is nil, making every update a single branch.
 	cMoves, cRejects, cDescents *obs.Counter

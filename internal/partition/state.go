@@ -216,12 +216,16 @@ type move struct {
 // matches the original engine exactly — group order feeds both move
 // enumeration and the scheme's stable region sort, so it is part of the
 // determinism contract.
-func (s *searcher) applyMove(st *state, mv move) {
+//
+// sc must be the scratch whose delta cache evaluated mv (the shard
+// scratch on the parallel refine path, s.sc otherwise) so the entry
+// lookups below always hit.
+func (s *searcher) applyMove(sc *scratch, st *state, mv move) {
 	if mv.part >= 0 && mv.j >= 0 {
 		gi, gj := st.groups[mv.i], st.groups[mv.j]
 		pi := gi.parts[mv.part]
-		dst := s.extendEntry(gj, pi)
-		src := s.shrinkEntry(gi, mv.part)
+		dst := s.extendEntry(sc, gj, pi)
+		src := s.shrinkEntry(sc, gi, mv.part)
 		rest := make([]int, 0, len(gi.parts)-1)
 		for k, p := range gi.parts {
 			if k != mv.part {
@@ -255,7 +259,7 @@ func (s *searcher) applyMove(st *state, mv move) {
 		return
 	}
 	gi, gj := st.groups[mv.i], st.groups[mv.j]
-	e := s.mergeEntry(gi, gj)
+	e := s.mergeEntry(sc, gi, gj)
 	st.path = append(st.path, pathStep{a: gi.parts, b: gj.parts})
 	merged := s.newGroup(append(append([]int(nil), gi.parts...), gj.parts...)...)
 	hi, lo := mv.i, mv.j
@@ -272,7 +276,7 @@ func (s *searcher) applyMove(st *state, mv move) {
 // apply returns a new state with the move applied.
 func (s *searcher) apply(st *state, mv move) *state {
 	out := st.clone()
-	s.applyMove(out, mv)
+	s.applyMove(s.sc, out, mv)
 	return out
 }
 
@@ -622,51 +626,70 @@ func (s *searcher) greedy(st *state, allowStatic, allowTransfers bool, record fu
 	defer func() { s.gDepth.Observe(int64(depth)) }()
 	cur := st.clone()
 	for {
-		moves := s.appendLegalMoves(s.sc.moves[:0], cur, allowStatic, allowTransfers)
-		s.sc.moves = moves
-		if len(moves) == 0 {
+		mv, sc, ok := s.scanMoves(cur, allowStatic, allowTransfers)
+		if !ok {
 			return
 		}
-		s.cMoves.Add(int64(len(moves)))
-		curArea := cur.area
-		curViol := s.violation(curArea)
-		bestIdx := -1
-		var bestCost, bestViol, bestSaved int64
-		for i, mv := range moves {
-			d, area, v, ok := s.evalMove(cur, mv, curArea, curViol)
-			if !ok {
-				s.cRejects.Inc()
-				continue
-			}
-			if curViol == 0 {
-				// Feasible: accept strict cost improvements, or
-				// cost-neutral area reductions that make room for later
-				// static promotions.
-				if d > 0 || (d == 0 && area.Total() >= curArea.Total()) {
-					s.cRejects.Inc()
-					continue
-				}
-				saved := int64(curArea.Total() - area.Total())
-				if bestIdx < 0 || d < bestCost || (d == bestCost && saved > bestSaved) {
-					bestIdx, bestCost, bestSaved = i, d, saved
-				}
-			} else {
-				saved := curViol - v
-				// Lower dCost per violation removed wins; cross-multiply
-				// to stay in integers (saved > 0 on both sides).
-				if bestIdx < 0 || d*bestSaved < bestCost*saved ||
-					(d*bestSaved == bestCost*saved && v < bestViol) {
-					bestIdx, bestCost, bestViol, bestSaved = i, d, v, saved
-				}
-			}
-		}
-		if bestIdx < 0 {
-			return
-		}
-		s.applyMove(cur, moves[bestIdx])
+		s.applyMove(sc, cur, mv)
 		depth++
 		record(cur)
 	}
+}
+
+// scanMoves selects the best legal move from cur under the greedy
+// policy, returning it with the scratch whose delta cache evaluated it
+// (so applyMove hits). ok=false means no applicable move remains. The
+// parallel refine scan takes over when the searcher carries a parScan
+// and the state is large enough to shard — a threshold that depends
+// only on the state, never on the worker count, so the set of sharded
+// iterations (and with it every cache and counter trajectory) is
+// identical at any Workers setting.
+func (s *searcher) scanMoves(cur *state, allowStatic, allowTransfers bool) (move, *scratch, bool) {
+	if s.par != nil && parWorthwhile(cur, allowTransfers) {
+		return s.par.scan(cur, allowStatic, allowTransfers)
+	}
+	moves := s.appendLegalMoves(s.sc.moves[:0], cur, allowStatic, allowTransfers)
+	s.sc.moves = moves
+	if len(moves) == 0 {
+		return move{}, nil, false
+	}
+	s.cMoves.Add(int64(len(moves)))
+	curArea := cur.area
+	curViol := s.violation(curArea)
+	bestIdx := -1
+	var bestCost, bestViol, bestSaved int64
+	for i, mv := range moves {
+		d, area, v, ok := s.evalMove(s.sc, cur, mv, curArea, curViol)
+		if !ok {
+			s.cRejects.Inc()
+			continue
+		}
+		if curViol == 0 {
+			// Feasible: accept strict cost improvements, or
+			// cost-neutral area reductions that make room for later
+			// static promotions.
+			if d > 0 || (d == 0 && area.Total() >= curArea.Total()) {
+				s.cRejects.Inc()
+				continue
+			}
+			saved := int64(curArea.Total() - area.Total())
+			if bestIdx < 0 || d < bestCost || (d == bestCost && saved > bestSaved) {
+				bestIdx, bestCost, bestSaved = i, d, saved
+			}
+		} else {
+			saved := curViol - v
+			// Lower dCost per violation removed wins; cross-multiply
+			// to stay in integers (saved > 0 on both sides).
+			if bestIdx < 0 || d*bestSaved < bestCost*saved ||
+				(d*bestSaved == bestCost*saved && v < bestViol) {
+				bestIdx, bestCost, bestViol, bestSaved = i, d, v, saved
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return move{}, nil, false
+	}
+	return moves[bestIdx], s.sc, true
 }
 
 // evaluate is a debugging helper: it materialises and evaluates a state

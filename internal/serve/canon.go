@@ -56,6 +56,14 @@ type SolveSpec struct {
 	Multilevel          bool
 	MultilevelSeed      int64
 	MultilevelThreshold int
+	// Workers, when nonzero, pins the solve's worker count for this
+	// request (candidate-set workers and the per-level refine scan),
+	// overriding the daemon/CLI default. Results are provably identical
+	// at any worker count (see partition/refine_parallel.go), but a set
+	// value is still hashed into the cache key — the key stays a
+	// complete record of the request — while unset requests keep their
+	// pre-existing keys.
+	Workers int
 }
 
 // keySchema versions the canonical byte layout Key hashes. Bump it
@@ -104,12 +112,19 @@ func (sp *SolveSpec) Key() (string, error) {
 		fmt.Fprintf(h, "multilevel seed=%d threshold=%d\n",
 			sp.MultilevelSeed, sp.MultilevelThreshold)
 	}
+	if sp.Workers != 0 {
+		fmt.Fprintf(h, "workers=%d\n", sp.Workers)
+	}
 	return fmt.Sprintf("sha256:%x", h.Sum(nil)), nil
 }
 
 // CoreOptions materialises the flow options for the spec. Workers and
-// obs are execution details layered on top of the canonical request.
+// obs are execution details layered on top of the canonical request;
+// a nonzero sp.Workers overrides the caller's default.
 func (sp *SolveSpec) CoreOptions(workers int, o *obs.Obs) core.Options {
+	if sp.Workers != 0 {
+		workers = sp.Workers
+	}
 	return core.Options{
 		Device:              sp.Device,
 		Budget:              sp.Budget,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"prpart/internal/jobs"
@@ -17,6 +18,7 @@ import (
 // The async job API:
 //
 //	POST   /v1/jobs             submit a solve, get an id back (202)
+//	GET    /v1/jobs             list live jobs (state=, limit=, offset=)
 //	GET    /v1/jobs/{id}        poll the job record
 //	GET    /v1/jobs/{id}/result fetch the result body once done
 //	DELETE /v1/jobs/{id}        cancel (queued: withdrawn; running: ctx cancel)
@@ -140,6 +142,65 @@ func (s *Server) runJobSolve(ctx context.Context, key string, sp *SolveSpec, tim
 		s.persist(key, body, docheck)
 	}
 	return body, status, err
+}
+
+// jobListResponse is the wire schema of GET /v1/jobs.
+type jobListResponse struct {
+	Jobs   []jobs.Record `json:"jobs"`
+	Total  int           `json:"total"`
+	Offset int           `json:"offset"`
+	Limit  int           `json:"limit"`
+}
+
+// Listing page-size bounds: the default keeps a bare GET /v1/jobs
+// cheap, the cap bounds response size however large limit= claims.
+const (
+	jobListDefaultLimit = 100
+	jobListMaxLimit     = 1000
+)
+
+// handleJobList is GET /v1/jobs: a paginated admin view of the live
+// job table, newest first. Query parameters: state= filters to one
+// lifecycle state (queued|running|done|failed|canceled), limit= and
+// offset= page through the filtered list. total counts every match
+// before pagination, so a client can walk pages without racing its own
+// arithmetic.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var state jobs.State
+	if v := q.Get("state"); v != "" {
+		switch jobs.State(v) {
+		case jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+			state = jobs.State(v)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown state %q", v))
+			return
+		}
+	}
+	limit := jobListDefaultLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad limit %q", v))
+			return
+		}
+		limit = min(n, jobListMaxLimit)
+	}
+	offset := 0
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad offset %q", v))
+			return
+		}
+		offset = n
+	}
+	recs, total := s.jobMgr.List(state, offset, limit)
+	if recs == nil {
+		recs = []jobs.Record{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(jobListResponse{Jobs: recs, Total: total, Offset: offset, Limit: limit})
 }
 
 // handleJobGet is GET /v1/jobs/{id}: the job record, live or persisted.

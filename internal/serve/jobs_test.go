@@ -329,6 +329,98 @@ func TestJobSubmitBackpressure(t *testing.T) {
 	}
 }
 
+// TestJobList: GET /v1/jobs pages through the live job table newest
+// first, the state filter selects one lifecycle state, and malformed
+// query parameters are 400s, not silently-defaulted.
+func TestJobList(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	srv := serve.New(serve.Config{Workers: 1, Solver: blockingSolver(release, entered, nil)})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mk := func(i int) []byte {
+		d := design.PaperExample()
+		d.Name = fmt.Sprintf("list-%d", i)
+		return solveBody(t, d, "")
+	}
+	ids := make([]string, 3)
+	ids[0], _ = submitJob(t, ts, mk(0))
+	<-entered // job 0 running on the lone worker; 1 and 2 queue behind it
+	ids[1], _ = submitJob(t, ts, mk(1))
+	ids[2], _ = submitJob(t, ts, mk(2))
+
+	type listResp struct {
+		Jobs   []jobRecord `json:"jobs"`
+		Total  int         `json:"total"`
+		Offset int         `json:"offset"`
+		Limit  int         `json:"limit"`
+	}
+	list := func(query string) (int, listResp) {
+		t.Helper()
+		resp, rb := postPathGet(t, ts, "/v1/jobs"+query)
+		var lr listResp
+		if resp.StatusCode == 200 {
+			if err := json.Unmarshal(rb, &lr); err != nil {
+				t.Fatalf("list %q: %v in %s", query, err, rb)
+			}
+		}
+		return resp.StatusCode, lr
+	}
+
+	if code, lr := list(""); code != 200 || lr.Total != 3 || len(lr.Jobs) != 3 {
+		t.Fatalf("list all = %d total=%d n=%d, want 200/3/3", code, lr.Total, len(lr.Jobs))
+	}
+	if code, lr := list("?state=running"); code != 200 || lr.Total != 1 || lr.Jobs[0].ID != ids[0] {
+		t.Errorf("list running = %d %+v, want exactly job %s", code, lr, ids[0])
+	}
+	if code, lr := list("?state=queued"); code != 200 || lr.Total != 2 {
+		t.Errorf("list queued = %d total=%d, want 200/2", code, lr.Total)
+	}
+	if code, _ := list("?state=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bogus state = %d, want 400", code)
+	}
+
+	close(release)
+	for _, id := range ids {
+		waitJobState(t, ts, id, "done")
+	}
+	if code, lr := list("?state=done"); code != 200 || lr.Total != 3 {
+		t.Errorf("list done = %d total=%d, want 200/3", code, lr.Total)
+	}
+	// An empty match is an empty array, never null.
+	if _, rb := postPathGet(t, ts, "/v1/jobs?state=failed"); !bytes.Contains(rb, []byte(`"jobs":[]`)) {
+		t.Errorf("empty listing = %s, want \"jobs\":[]", rb)
+	}
+	// Pagination: total counts matches before slicing; the pages tile
+	// the sorted list without overlap.
+	code, p1 := list("?limit=2")
+	if code != 200 || p1.Total != 3 || len(p1.Jobs) != 2 || p1.Limit != 2 {
+		t.Fatalf("page 1 = %d %+v, want 2 of 3", code, p1)
+	}
+	code, p2 := list("?limit=2&offset=2")
+	if code != 200 || p2.Total != 3 || len(p2.Jobs) != 1 || p2.Offset != 2 {
+		t.Fatalf("page 2 = %d %+v, want 1 of 3", code, p2)
+	}
+	seen := map[string]bool{}
+	for _, r := range append(p1.Jobs, p2.Jobs...) {
+		seen[r.ID] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("pages overlap or drop: %v", seen)
+	}
+	for _, q := range []string{"?limit=0", "?limit=-1", "?limit=abc", "?offset=-1", "?offset=abc"} {
+		if code, _ := list(q); code != http.StatusBadRequest {
+			t.Errorf("list %q = %d, want 400", q, code)
+		}
+	}
+	// An offset past the end is a valid empty page.
+	if code, lr := list("?offset=50"); code != 200 || lr.Total != 3 || len(lr.Jobs) != 0 {
+		t.Errorf("past-end offset = %d %+v, want empty 200", code, lr)
+	}
+}
+
 // TestJobResultWhileRunning: polling the result of a live job returns
 // 202 with the record, not an error.
 func TestJobResultWhileRunning(t *testing.T) {

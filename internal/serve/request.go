@@ -55,6 +55,12 @@ type RequestOptions struct {
 	Multilevel          bool  `json:"multilevel,omitempty"`
 	MultilevelSeed      int64 `json:"multilevelSeed,omitempty"`
 	MultilevelThreshold int   `json:"multilevelThreshold,omitempty"`
+	// Workers pins this request's solve worker count (candidate-set
+	// search and the multilevel per-level refine scan), overriding the
+	// daemon's -solve-workers default. Results are identical at any
+	// count; only wall-clock changes. Bounded to [0, 64]; 0 keeps the
+	// daemon default.
+	Workers int `json:"workers,omitempty"`
 	// TimeoutMs caps the solve wall time; 0 uses the server default.
 	// The request is cancelled (HTTP 504) when the deadline passes.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
@@ -83,6 +89,10 @@ type BudgetJSON struct {
 // maxWeightDim bounds the transition-weight matrix a request may carry,
 // protecting the decoder from quadratic allocation on hostile input.
 const maxWeightDim = 1024
+
+// maxRequestWorkers bounds the per-request worker override: a client
+// cannot demand unbounded goroutine fan-out from the daemon.
+const maxRequestWorkers = 64
 
 // DecodeRequest parses and validates a solve request body into its
 // canonical SolveSpec plus the serving directives (timeout, bulk
@@ -193,6 +203,10 @@ func DecodeRequest(body []byte) (*SolveSpec, ReqMeta, error) {
 		sp.MultilevelSeed = o.MultilevelSeed
 		sp.MultilevelThreshold = o.MultilevelThreshold
 	}
+	if o.Workers < 0 || o.Workers > maxRequestWorkers {
+		return nil, meta, fmt.Errorf("serve: workers must be in [0, %d]", maxRequestWorkers)
+	}
+	sp.Workers = o.Workers
 	if o.TimeoutMs < 0 {
 		return nil, meta, fmt.Errorf("serve: negative timeoutMs")
 	}

@@ -195,7 +195,9 @@ const (
 )
 
 // HugeSizes is the target mode counts GenerateHuge cycles through.
-var HugeSizes = []int{1000, 2500, 5000, 10000}
+// The 2×10⁴ tier arrived with parallel per-level refinement (PR 9),
+// which removed the serial transfer scan that made it intractable.
+var HugeSizes = []int{1000, 2500, 5000, 10000, 20000}
 
 // HugeOne generates one huge synthetic design with (at least)
 // targetModes modes. Coverage is systematic rather than rejection-

@@ -30,7 +30,13 @@
 # Tier 6  go test -run Multilevel -count=2 — the multilevel engine's
 #         differential, property, metamorphic and huge-scale suites
 #         (DESIGN.md §12) twice over, so the seeded coarsening and
-#         refinement chain proves bit-stable across processes.
+#         refinement chain proves bit-stable across processes. Then the
+#         parallel-refinement identity contract (DESIGN.md §14) under
+#         the race detector: Workers must change wall-clock time and
+#         nothing else, so the serial-vs-parallel suites re-run with
+#         -race over the partition and multilevel packages, and the
+#         committed benchmark baseline is gated against the previous
+#         one (a perf PR must not regress the huge tier).
 # Tier 7  go test -run Remote — the batch/async daemon-client e2e
 #         (DESIGN.md §13): the 100-design sweep driven through
 #         /v1/solve/batch and the async job API against a booted
@@ -74,6 +80,12 @@ if [ "$1" = "all" ]; then
 
 	echo "== tier 6: multilevel engine re-runs (x2) =="
 	go test -run Multilevel -count=2 ./internal/multilevel/
+
+	echo "== tier 6: parallel-refinement identity under the race detector =="
+	go test -race -run 'ParallelIdentity|RefineWorkers' ./internal/multilevel/ ./internal/partition/
+
+	echo "== tier 6: benchmark baseline gate (pr7 -> pr9) =="
+	go run ./scripts -tol 25 results/BENCH_pr7.json results/BENCH_pr9.json
 
 	echo "== tier 7: batch/async daemon sweep e2e (kill/restart) =="
 	go test -run Remote ./internal/experiments/
