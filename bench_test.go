@@ -17,8 +17,8 @@ import (
 	"time"
 
 	"prpart/internal/adaptive"
+	"prpart/internal/basepart"
 	"prpart/internal/bitstream"
-	"prpart/internal/cluster"
 	"prpart/internal/connmat"
 	"prpart/internal/cost"
 	"prpart/internal/design"
@@ -65,7 +65,7 @@ func BenchmarkTable1BasePartitions(b *testing.B) {
 	d := design.PaperExample()
 	var n int
 	for i := 0; i < b.N; i++ {
-		parts, err := cluster.BasePartitions(connmat.New(d))
+		parts, err := basepart.BasePartitions(connmat.New(d))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestClusterFlagsUnreachablePeers boots a single daemon whose -peers
+// name two nodes that do not exist. The cluster must degrade, not fail:
+// the ring log appears at startup, solves fall back to local search
+// after the peer fetches error out, and /healthz reports the dead peers
+// unreachable with their last errors.
+func TestClusterFlagsUnreachablePeers(t *testing.T) {
+	self := "http://127.0.0.1:1"
+	deadA := "http://127.0.0.1:2"
+	deadB := "http://127.0.0.1:3"
+	base, out, stop := bootDaemon(t, []string{
+		"-peers", strings.Join([]string{self, deadA, deadB}, ","),
+		"-self", self,
+		"-ring-seed", "7",
+		"-replicas", "3",
+		"-peer-timeout", "200ms",
+	})
+	defer func() {
+		if err := stop(); err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	}()
+
+	if !strings.Contains(out.String(), "cluster ring: 3 members") {
+		t.Fatalf("startup ring log missing:\n%s", out.String())
+	}
+
+	body := caseStudyBody(t)
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve with dead peers = %d, want 200 (local fallback)", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss (peers are dead, solve ran locally)", got)
+	}
+
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var health struct {
+		Cluster *struct {
+			Self     string `json:"self"`
+			RingSize int    `json:"ringSize"`
+			Replicas int    `json:"replicas"`
+			Peers    []struct {
+				URL       string `json:"url"`
+				Reachable bool   `json:"reachable"`
+				LastError string `json:"lastError"`
+			} `json:"peers"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Cluster == nil {
+		t.Fatal("healthz has no cluster block")
+	}
+	if health.Cluster.Self != self || health.Cluster.RingSize != 3 || health.Cluster.Replicas != 3 {
+		t.Fatalf("cluster block = %+v", health.Cluster)
+	}
+	if len(health.Cluster.Peers) != 2 {
+		t.Fatalf("healthz lists %d peers, want 2", len(health.Cluster.Peers))
+	}
+	for _, p := range health.Cluster.Peers {
+		if p.Reachable || p.LastError == "" {
+			t.Fatalf("dead peer %s reported healthy: %+v", p.URL, p)
+		}
+	}
+	if !strings.Contains(out.String(), "unreachable") {
+		t.Fatalf("reachability transition not logged:\n%s", out.String())
+	}
+}
+
+// TestClusterFlagsRequireSelf pins the flag contract: -peers without
+// -self is a startup error, not a silently degraded cluster.
+func TestClusterFlagsRequireSelf(t *testing.T) {
+	err := run(context.Background(), []string{"-peers", "http://a,http://b"}, &syncWriter{})
+	if err == nil || !strings.Contains(err.Error(), "-self") {
+		t.Fatalf("run without -self: %v", err)
+	}
+}

@@ -10,12 +10,22 @@
 //	        [-store DIR] [-shutdown-timeout 0s] [-cache-max-body N]
 //	        [-interactive-depth N] [-bulk-depth N] [-bulk-share N]
 //	        [-batch-max N] [-jitter-seed S] [-jobs-retention N]
+//	        [-peers URL,URL,...] [-self URL] [-ring-seed S] [-replicas N]
 //
 // With -store the daemon persists every solved result in a
 // content-addressed on-disk store and serves previously-solved keys
 // byte-identically across restarts (X-Cache: store). Corrupt blobs are
 // quarantined under DIR/quarantine and transparently re-solved; a torn
 // ledger tail from a crash is truncated on startup.
+//
+// With -peers the daemon joins a cluster: solve keys shard over a
+// deterministic consistent-hash ring (seeded by -ring-seed, which every
+// member must agree on), a local miss asks the key's ring owners over
+// the peer fetch RPC before solving, and fresh solves replicate to
+// -replicas owners. Peer bodies are hash-verified end to end; a damaged
+// transfer falls back to a local solve, never to wrong bytes. Each node
+// keeps its own -store directory — the cluster shares results over the
+// wire, not the disk.
 //
 // Endpoints:
 //
@@ -25,7 +35,9 @@
 //	GET    /v1/jobs/{id}         job record (queued|running|done|failed|canceled)
 //	GET    /v1/jobs/{id}/result  result body of a done job
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
-//	GET    /healthz              liveness + queue/cache/jobs state
+//	POST   /v1/peer/fetch        cluster-internal: serve a stored result to a peer
+//	POST   /v1/peer/push         cluster-internal: accept a replicated result
+//	GET    /healthz              liveness + queue/cache/jobs/cluster state
 //	GET    /metrics              obs instrument dump (text)
 //	GET    /debug/vars           obs instrument dump (JSON)
 //
@@ -51,9 +63,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"prpart/internal/cluster"
 	"prpart/internal/device"
 	"prpart/internal/faults"
 	"prpart/internal/obs"
@@ -96,6 +110,11 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	batchMax := fs.Int("batch-max", 0, "max requests in one /v1/solve/batch body (0 = default 256)")
 	jitterSeed := fs.Int64("jitter-seed", 0, "seed for Retry-After jitter (deterministic backpressure hints)")
 	jobsRetention := fs.Int("jobs-retention", 0, "finished async jobs kept pollable in memory (0 = default 1024)")
+	peers := fs.String("peers", "", "comma-separated base URLs of every cluster member including this node (empty = single node)")
+	self := fs.String("self", "", "this node's advertised base URL (required with -peers)")
+	ringSeed := fs.Int64("ring-seed", 1, "consistent-hash ring placement seed; all members must agree")
+	replicas := fs.Int("replicas", 0, "ring owners per solve key (0 = default 2)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per peer round-trip bound (0 = default 2s)")
 	ofl := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,6 +183,33 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
+	}
+	if *peers != "" {
+		if *self == "" {
+			return errors.New("-peers requires -self (this node's advertised URL)")
+		}
+		members := strings.Split(*peers, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:     *self,
+			Peers:    members,
+			Seed:     *ringSeed,
+			Replicas: *replicas,
+			Timeout:  *peerTimeout,
+			Obs:      o,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Cluster = cl
+		ring := cl.Ring()
+		fmt.Fprintf(out, "prpartd: cluster ring: %d members, %d vnodes, seed %d, replicas %d; self %s\n",
+			ring.Size(), ring.VNodes(), ring.Seed(), cl.Replicas(), cl.Self())
 	}
 	srv := newServer(cfg)
 

@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"log"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/core"
 	"prpart/internal/cover"
@@ -28,7 +28,7 @@ func main() {
 	fmt.Print(m)
 
 	fmt.Println("\n== base partitions (Table I) ==")
-	parts, err := cluster.BasePartitions(m)
+	parts, err := basepart.BasePartitions(m)
 	if err != nil {
 		log.Fatal(err)
 	}

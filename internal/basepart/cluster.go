@@ -12,7 +12,7 @@
 // enumeration exactly "all non-empty subsets of configurations", with
 // frequency weight equal to the node weight for singletons and the minimum
 // internal edge weight otherwise.
-package cluster
+package basepart
 
 import (
 	"fmt"

@@ -1,9 +1,9 @@
-package cluster_test
+package basepart_test
 
 import (
 	"fmt"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/design"
 )
@@ -13,7 +13,7 @@ import (
 // co-occurrence (weight 2, as in Fig. 5a).
 func ExampleRun() {
 	d := design.PaperExample()
-	res, err := cluster.Run(connmat.New(d))
+	res, err := basepart.Run(connmat.New(d))
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -18,8 +18,8 @@ import (
 	"sort"
 	"strings"
 
+	"prpart/internal/basepart"
 	"prpart/internal/bitstream"
-	"prpart/internal/cluster"
 	"prpart/internal/design"
 	"prpart/internal/device"
 	"prpart/internal/floorplan"
@@ -138,7 +138,7 @@ func regionGeometry(parts []partView) (area resource.Vector, frames int) {
 
 // viewParts recomputes each part's resource need from the design and
 // flags parts whose stored resources drifted from that ground truth.
-func viewParts(rep *Report, d *design.Design, where string, parts []cluster.BasePartition) []partView {
+func viewParts(rep *Report, d *design.Design, where string, parts []basepart.BasePartition) []partView {
 	out := make([]partView, 0, len(parts))
 	for pi, p := range parts {
 		refs := p.Set.Refs()

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"time"
+
+	"prpart/internal/faults"
+)
+
+// FaultTransport wraps an HTTP transport with a seeded faults.IOInjector
+// so the chaos e2e tier can afflict the peer wire the way FaultFS
+// afflicts the store's disk: stalls, truncated responses and corrupted
+// response bytes, all replayable from the seed. Each response consumes
+// two injector ops — an OpWrite planning truncation/stall of the bytes
+// "sent" and an OpRead planning corruption/stall of the bytes
+// "received" — mirroring the two directions of a transfer. Determinism
+// holds when requests are serialized (the fault e2e drives one request
+// at a time).
+type FaultTransport struct {
+	// Base performs the real round trip (http.DefaultTransport if nil).
+	Base http.RoundTripper
+	// Inject plans the per-transfer faults; nil passes everything through.
+	Inject *faults.IOInjector
+}
+
+// RoundTrip performs the request and then damages the response body
+// according to the injector's plan.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || t.Inject == nil {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if d := t.Inject.PlanOp(faults.OpWrite, len(body)); d.Kind == faults.IOShortWrite {
+		body = body[:d.Keep]
+	} else if d.Kind == faults.IOStall {
+		time.Sleep(d.Stall)
+	}
+	if d := t.Inject.PlanOp(faults.OpRead, len(body)); d.Kind == faults.IOReadCorrupt && len(body) > 0 {
+		body = append([]byte(nil), body...)
+		body[d.Bit/8] ^= 1 << (d.Bit % 8)
+	} else if d.Kind == faults.IOStall {
+		time.Sleep(d.Stall)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}

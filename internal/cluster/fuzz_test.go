@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodePeerFetch feeds arbitrary bytes to the fetch-frame decoder
+// and checks the invariants everything it accepts must satisfy: no
+// panics, deterministic outcomes, keys within bounds, and exact
+// re-encoding (an accepted frame is the canonical encoding of its key,
+// so a peer can never smuggle two byte-level spellings of one request).
+func FuzzDecodePeerFetch(f *testing.F) {
+	good, err := EncodePeerFetch("sha256:" + strings.Repeat("ab", 32))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	short, _ := EncodePeerFetch("k")
+	f.Add(short)
+	f.Add([]byte{})
+	f.Add([]byte("prC1"))
+	f.Add(append([]byte(nil), good[:len(good)-1]...))
+	f.Add(append(append([]byte{}, good...), 0))
+	f.Add([]byte("prB1 pretending to be a fetch frame with padding......"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k1, err1 := DecodePeerFetch(data)
+		k2, err2 := DecodePeerFetch(data)
+		if (err1 == nil) != (err2 == nil) || k1 != k2 {
+			t.Fatalf("nondeterministic decode: (%q,%v) vs (%q,%v)", k1, err1, k2, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if len(k1) == 0 || len(k1) > maxPeerKeyLen {
+			t.Fatalf("accepted key length %d out of bounds", len(k1))
+		}
+		re, err := EncodePeerFetch(k1)
+		if err != nil {
+			t.Fatalf("accepted key %q does not re-encode: %v", k1, err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("frame is not canonical: decode(%x) = %q but encode gives %x", data, k1, re)
+		}
+	})
+}
+
+// FuzzDecodePeerBody does the same for the body frame: anything
+// accepted must round-trip bit-exact through the encoder, so corrupt or
+// non-canonical bytes can never pass for a verified peer transfer.
+func FuzzDecodePeerBody(f *testing.F) {
+	found, err := EncodePeerBody(Body{Found: true, Verdict: 1, Key: "sha256:" + strings.Repeat("cd", 32), Data: []byte(`{"schemes":[]}`)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(found)
+	miss, _ := EncodePeerBody(Body{Key: "sha256:" + strings.Repeat("ef", 32)})
+	f.Add(miss)
+	empty, _ := EncodePeerBody(Body{Found: true, Key: "k", Data: []byte{}})
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), found[:20]...))
+	f.Add(append(append([]byte{}, found...), 1, 2, 3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b1, err1 := DecodePeerBody(data)
+		b2, err2 := DecodePeerBody(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic decode: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if b1.Found != b2.Found || b1.Key != b2.Key || !bytes.Equal(b1.Data, b2.Data) {
+			t.Fatal("nondeterministic decode of accepted frame")
+		}
+		if b1.Verdict > 1 {
+			t.Fatalf("accepted verdict %d", b1.Verdict)
+		}
+		if !b1.Found && b1.Data != nil {
+			t.Fatal("accepted not-found frame carrying data")
+		}
+		re, err := EncodePeerBody(b1)
+		if err != nil {
+			t.Fatalf("accepted body does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("accepted frame is not the canonical encoding of its content")
+		}
+	})
+}

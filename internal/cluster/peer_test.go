@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prpart/internal/faults"
+	"prpart/internal/obs"
+)
+
+// fakePeer is a minimal in-memory peer speaking the fetch/push RPC.
+type fakePeer struct {
+	mu    sync.Mutex
+	blobs map[string]Body
+	srv   *httptest.Server
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	fp := &fakePeer{blobs: map[string]Body{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc(FetchPath, func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		key, err := DecodePeerFetch(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fp.mu.Lock()
+		pb, ok := fp.blobs[key]
+		fp.mu.Unlock()
+		if !ok {
+			pb = Body{Key: key}
+		}
+		frame, err := EncodePeerBody(pb)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(frame)
+	})
+	mux.HandleFunc(PushPath, func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		pb, err := DecodePeerBody(raw)
+		if err != nil || !pb.Found {
+			http.Error(w, "bad push", http.StatusBadRequest)
+			return
+		}
+		fp.mu.Lock()
+		fp.blobs[pb.Key] = pb
+		fp.mu.Unlock()
+		// The ack echoes the key with an empty body.
+		frame, _ := EncodePeerBody(Body{Found: true, Verdict: pb.Verdict, Key: pb.Key, Data: []byte{}})
+		w.Write(frame)
+	})
+	fp.srv = httptest.NewServer(mux)
+	t.Cleanup(fp.srv.Close)
+	return fp
+}
+
+func (fp *fakePeer) put(key string, verdict uint8, data []byte) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.blobs[key] = Body{Found: true, Verdict: verdict, Key: key, Data: data}
+}
+
+func testKey(fill string) string { return "sha256:" + strings.Repeat(fill, 32) }
+
+func TestPeersFetchAndReplicate(t *testing.T) {
+	a, b := newFakePeer(t), newFakePeer(t)
+	o := obs.New()
+	self := "http://self.invalid"
+	p, err := New(Config{
+		Self:     self,
+		Peers:    []string{self, a.srv.URL, b.srv.URL},
+		Seed:     3,
+		Replicas: 3,
+		Obs:      o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := testKey("11")
+	if _, _, ok := p.Fetch(context.Background(), key); ok {
+		t.Fatal("fetch hit on empty peers")
+	}
+	a.put(key, 1, []byte("solved-bytes"))
+	b.put(key, 1, []byte("solved-bytes"))
+	body, verdict, ok := p.Fetch(context.Background(), key)
+	if !ok || string(body) != "solved-bytes" || verdict != 1 {
+		t.Fatalf("fetch = (%q, %d, %v)", body, verdict, ok)
+	}
+
+	key2 := testKey("22")
+	p.Replicate(context.Background(), key2, []byte("pushed"), 0)
+	ba, okA := a.blobs[key2]
+	bb, okB := b.blobs[key2]
+	if !okA || !okB || string(ba.Data) != "pushed" || string(bb.Data) != "pushed" {
+		t.Fatalf("replication incomplete: a=%v b=%v", okA, okB)
+	}
+	if body, verdict, ok := p.Fetch(context.Background(), key2); !ok || string(body) != "pushed" || verdict != 0 {
+		t.Fatalf("fetch after replicate = (%q, %d, %v)", body, verdict, ok)
+	}
+
+	c := o.Snapshot().Counters
+	if c["cluster.peer_hits"] != 2 {
+		t.Fatalf("peer_hits = %d, want 2", c["cluster.peer_hits"])
+	}
+	if c["cluster.peer_misses"] == 0 {
+		t.Fatalf("peer_misses = %d, want > 0 (empty fetch)", c["cluster.peer_misses"])
+	}
+	if c["cluster.replicas_pushed"] != 2 {
+		t.Fatalf("replicas_pushed = %d, want 2", c["cluster.replicas_pushed"])
+	}
+	if c["cluster.peer_errors"] != 0 || c["cluster.peer_bad_body"] != 0 {
+		t.Fatalf("unexpected errors: %v", c)
+	}
+}
+
+func TestPeersUnreachableAndRecovery(t *testing.T) {
+	a := newFakePeer(t)
+	o := obs.New()
+	var logMu sync.Mutex
+	var logs []string
+	self := "http://self.invalid"
+	p, err := New(Config{
+		Self:     self,
+		Peers:    []string{self, a.srv.URL},
+		Seed:     1,
+		Replicas: 2,
+		Timeout:  500 * time.Millisecond,
+		Obs:      o,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, format)
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the peer: fetches fail, the peer flips unreachable, the
+	// transition is logged once.
+	a.srv.Close()
+	key := testKey("33")
+	for i := 0; i < 3; i++ {
+		if _, _, ok := p.Fetch(context.Background(), key); ok {
+			t.Fatal("fetch succeeded against a closed peer")
+		}
+	}
+	h := p.Health()
+	if len(h) != 1 || h[0].Reachable || h[0].LastError == "" || h[0].LastErrorAgeSec < 0 {
+		t.Fatalf("health after kill = %+v", h)
+	}
+	c := o.Snapshot().Counters
+	if c["cluster.peer_errors"] != 3 {
+		t.Fatalf("peer_errors = %d, want 3", c["cluster.peer_errors"])
+	}
+	logMu.Lock()
+	down := 0
+	for _, l := range logs {
+		if strings.Contains(l, "unreachable") {
+			down++
+		}
+	}
+	logMu.Unlock()
+	if down != 1 {
+		t.Fatalf("unreachable logged %d times, want exactly 1 (transition, not every error)", down)
+	}
+
+	// A fresh peer on the same state map marks recovery.
+	p.markPeer(a.srv.URL, nil)
+	h = p.Health()
+	if !h[0].Reachable {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+	logMu.Lock()
+	up := 0
+	for _, l := range logs {
+		if strings.Contains(l, "reachable again") {
+			up++
+		}
+	}
+	logMu.Unlock()
+	if up != 1 {
+		t.Fatal("recovery transition not logged")
+	}
+}
+
+func TestPeersRejectsSelfOutsideRing(t *testing.T) {
+	if _, err := New(Config{Self: "http://x", Peers: []string{"http://y"}}); err == nil {
+		t.Fatal("self outside ring accepted")
+	}
+}
+
+// TestFaultTransportNeverBadBytes drives fetches through a seeded
+// FaultTransport and checks the contract the cluster fault e2e scales
+// up: damaged transfers are rejected (counted as peer_bad_body), and
+// every fetch that reports ok returns exactly the stored bytes.
+func TestFaultTransportNeverBadBytes(t *testing.T) {
+	run := func(seed int64) (map[string]int64, faults.IOStats) {
+		a := newFakePeer(t)
+		payload := []byte(strings.Repeat(`{"schemes":[0,1,2]}`, 20))
+		key := testKey("44")
+		a.put(key, 1, payload)
+
+		inj := faults.NewIO(seed, faults.IORates{ShortWrite: 0.2, ReadCorrupt: 0.2})
+		o := obs.New()
+		self := "http://self.invalid"
+		p, err := New(Config{
+			Self:      self,
+			Peers:     []string{self, a.srv.URL},
+			Seed:      5,
+			Replicas:  2,
+			Obs:       o,
+			Transport: &FaultTransport{Inject: inj},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			body, verdict, ok := p.Fetch(context.Background(), key)
+			if !ok {
+				continue // damaged transfer, rejected — the contract allows a miss
+			}
+			if string(body) != string(payload) || verdict != 1 {
+				t.Fatalf("iteration %d: fetch returned wrong bytes or verdict", i)
+			}
+		}
+		c := o.Snapshot().Counters
+		if c["cluster.peer_bad_body"] == 0 {
+			t.Fatal("injector never produced a rejected body; rates too low to prove anything")
+		}
+		if c["cluster.peer_bad_body"]+c["cluster.peer_hits"] != 50 {
+			t.Fatalf("counters disagree with 50 fetches: %v", c)
+		}
+		return c, inj.Stats()
+	}
+
+	c1, s1 := run(77)
+	c2, s2 := run(77)
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("counter %s differs across same-seed runs: %d vs %d", k, v, c2[k])
+		}
+	}
+	if s1 != s2 {
+		t.Fatalf("injector stats differ across same-seed runs: %+v vs %+v", s1, s2)
+	}
+}

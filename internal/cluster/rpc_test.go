@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPeerFetchRoundTrip(t *testing.T) {
+	for _, key := range []string{
+		"sha256:" + strings.Repeat("ab", 32),
+		"k",
+		strings.Repeat("x", maxPeerKeyLen),
+	} {
+		frame, err := EncodePeerFetch(key)
+		if err != nil {
+			t.Fatalf("encode %q: %v", key, err)
+		}
+		got, err := DecodePeerFetch(frame)
+		if err != nil {
+			t.Fatalf("decode %q: %v", key, err)
+		}
+		if got != key {
+			t.Fatalf("round trip changed key: %q -> %q", key, got)
+		}
+	}
+}
+
+func TestPeerFetchEncodeRejects(t *testing.T) {
+	if _, err := EncodePeerFetch(""); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := EncodePeerFetch(strings.Repeat("x", maxPeerKeyLen+1)); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestPeerFetchDecodeRejects(t *testing.T) {
+	good, _ := EncodePeerFetch("sha256:" + strings.Repeat("cd", 32))
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     good[:5],
+		"truncated": good[:len(good)-1],
+		"trailing":  append(append([]byte{}, good...), 0),
+		"magic":     append([]byte("prXX"), good[4:]...),
+	}
+	for name, b := range cases {
+		if _, err := DecodePeerFetch(b); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%s: got %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestPeerBodyRoundTrip(t *testing.T) {
+	cases := []Body{
+		{Found: true, Verdict: 1, Key: "sha256:" + strings.Repeat("01", 32), Data: []byte(`{"schemes":[1,2,3]}`)},
+		{Found: true, Verdict: 0, Key: "k", Data: bytes.Repeat([]byte{0xff}, 4096)},
+		{Found: true, Verdict: 0, Key: "empty-ok", Data: []byte{}},
+		{Found: false, Verdict: 0, Key: "sha256:" + strings.Repeat("02", 32)},
+	}
+	for _, in := range cases {
+		frame, err := EncodePeerBody(in)
+		if err != nil {
+			t.Fatalf("encode %q: %v", in.Key, err)
+		}
+		out, err := DecodePeerBody(frame)
+		if err != nil {
+			t.Fatalf("decode %q: %v", in.Key, err)
+		}
+		if out.Found != in.Found || out.Verdict != in.Verdict || out.Key != in.Key {
+			t.Fatalf("header changed: %+v -> %+v", in, out)
+		}
+		if in.Found && !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("%q: body changed in round trip", in.Key)
+		}
+		if !in.Found && out.Data != nil {
+			t.Fatalf("%q: not-found frame decoded with data", in.Key)
+		}
+	}
+}
+
+func TestPeerBodyEncodeRejects(t *testing.T) {
+	if _, err := EncodePeerBody(Body{Found: true, Key: ""}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := EncodePeerBody(Body{Found: true, Key: "k", Verdict: 2}); err == nil {
+		t.Fatal("invalid verdict accepted")
+	}
+	if _, err := EncodePeerBody(Body{Found: false, Key: "k", Data: []byte("x")}); err == nil {
+		t.Fatal("not-found frame with data accepted")
+	}
+}
+
+// TestPeerBodyEveryBitFlipRejected is the exhaustive corruption gate:
+// flip each bit of an encoded body frame in turn and require the
+// decoder to reject every variant — either as a frame error (header,
+// key or CRC damage) or a body-digest error (payload damage). If a
+// single flipped bit ever decoded cleanly, a corrupted peer transfer
+// could be cached and served as truth.
+func TestPeerBodyEveryBitFlipRejected(t *testing.T) {
+	frame, err := EncodePeerBody(Body{
+		Found:   true,
+		Verdict: 1,
+		Key:     "sha256:" + strings.Repeat("5a", 32),
+		Data:    []byte(`{"fingerprint":"sha256:beef","schemes":[{"modes":[0,1]}]}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(frame)*8; i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i/8] ^= 1 << (i % 8)
+		if _, err := DecodePeerBody(mut); err == nil {
+			t.Fatalf("bit flip at bit %d (byte %d) decoded cleanly", i, i/8)
+		} else if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrBadBody) {
+			t.Fatalf("bit %d: unexpected error class: %v", i, err)
+		}
+	}
+	// Same property for the fetch frame: magic+CRC cover every byte.
+	fetch, err := EncodePeerFetch("sha256:" + strings.Repeat("5a", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(fetch)*8; i++ {
+		mut := append([]byte(nil), fetch...)
+		mut[i/8] ^= 1 << (i % 8)
+		if _, err := DecodePeerFetch(mut); err == nil {
+			t.Fatalf("fetch bit flip at bit %d decoded cleanly", i)
+		}
+	}
+}
+
+func TestPeerBodyTruncationRejected(t *testing.T) {
+	frame, err := EncodePeerBody(Body{Found: true, Key: "k", Data: []byte("0123456789")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodePeerBody(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+	if _, err := DecodePeerBody(append(append([]byte{}, frame...), 0xEE)); err == nil {
+		t.Fatal("trailing byte decoded cleanly")
+	}
+}

@@ -5,20 +5,20 @@ import (
 	"strings"
 	"testing"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/design"
 	"prpart/internal/modeset"
 	"prpart/internal/resource"
 	"prpart/internal/scheme"
 )
 
-func bp(d *design.Design, refs ...design.ModeRef) cluster.BasePartition {
+func bp(d *design.Design, refs ...design.ModeRef) basepart.BasePartition {
 	s := modeset.New(refs...)
 	var v resource.Vector
 	for _, r := range s.Refs() {
 		v = v.Add(d.ModeResources(r))
 	}
-	return cluster.BasePartition{Set: s, FreqWeight: 1, Resources: v}
+	return basepart.BasePartition{Set: s, FreqWeight: 1, Resources: v}
 }
 
 func r(mod, mode int) design.ModeRef { return design.ModeRef{Module: mod, Mode: mode} }
@@ -28,8 +28,8 @@ func twoModuleModular(d *design.Design) *scheme.Scheme {
 		Design: d,
 		Name:   "modular",
 		Regions: []scheme.Region{
-			{Parts: []cluster.BasePartition{bp(d, r(0, 1)), bp(d, r(0, 2))}},
-			{Parts: []cluster.BasePartition{bp(d, r(1, 1)), bp(d, r(1, 2))}},
+			{Parts: []basepart.BasePartition{bp(d, r(0, 1)), bp(d, r(0, 2))}},
+			{Parts: []basepart.BasePartition{bp(d, r(1, 1)), bp(d, r(1, 2))}},
 		},
 		Active: [][]int{
 			{0, 0}, // A1 -> B1
@@ -72,7 +72,7 @@ func TestInactiveRegionCostsNothing(t *testing.T) {
 	var regions []scheme.Region
 	for mi := range d.Modules {
 		regions = append(regions, scheme.Region{
-			Parts: []cluster.BasePartition{bp(d, r(mi, 1))},
+			Parts: []basepart.BasePartition{bp(d, r(mi, 1))},
 		})
 	}
 	s := &scheme.Scheme{
@@ -100,7 +100,7 @@ func TestSingleRegionAllPairsEqual(t *testing.T) {
 	// fully on every transition: all off-diagonal costs equal the region
 	// frame count.
 	d := design.PaperExample()
-	var parts []cluster.BasePartition
+	var parts []basepart.BasePartition
 	active := make([][]int, len(d.Configurations))
 	for ci := range d.Configurations {
 		parts = append(parts, bp(d, d.ConfigModes(ci)...))
@@ -216,9 +216,9 @@ func TestStaticPromotionReducesCost(t *testing.T) {
 		Design: d,
 		Name:   "hybrid",
 		Regions: []scheme.Region{
-			{Parts: []cluster.BasePartition{bp(d, r(0, 2)), bp(d, r(1, 1))}},
+			{Parts: []basepart.BasePartition{bp(d, r(0, 2)), bp(d, r(1, 1))}},
 		},
-		Static: []cluster.BasePartition{bp(d, r(0, 1)), bp(d, r(1, 2))},
+		Static: []basepart.BasePartition{bp(d, r(0, 1)), bp(d, r(1, 2))},
 		Active: [][]int{
 			{1},               // A1(static) -> B1(region part 1)
 			{0},               // A2(region part 0) -> B2(static)

@@ -11,7 +11,7 @@ import (
 	"errors"
 	"sort"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/device"
 )
@@ -24,7 +24,7 @@ var ErrUncoverable = errors.New("cover: base partitions cannot cover all configu
 // configuration, plus the activation record the covering produced.
 type CandidateSet struct {
 	// Parts are the selected base partitions, in selection order.
-	Parts []cluster.BasePartition
+	Parts []basepart.BasePartition
 	// Active[ci][pi] reports whether configuration ci requires part pi
 	// (the part covered at least one of the configuration's modes).
 	Active [][]bool
@@ -34,8 +34,8 @@ type CandidateSet struct {
 // number of modes, then ascending frequency weight, then ascending area
 // in frames, with the canonical set key as a final deterministic
 // tie-break. The input is not modified.
-func Order(parts []cluster.BasePartition) []cluster.BasePartition {
-	out := append([]cluster.BasePartition(nil), parts...)
+func Order(parts []basepart.BasePartition) []basepart.BasePartition {
+	out := append([]basepart.BasePartition(nil), parts...)
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Set.Len() != b.Set.Len() {
@@ -57,7 +57,7 @@ func Order(parts []cluster.BasePartition) []cluster.BasePartition {
 // kept only if it covers at least one still-uncovered (configuration,
 // mode) cell, until the matrix is fully covered. ErrUncoverable is
 // returned when the list runs out first.
-func Cover(list []cluster.BasePartition, m *connmat.Matrix) (*CandidateSet, error) {
+func Cover(list []basepart.BasePartition, m *connmat.Matrix) (*CandidateSet, error) {
 	work := m.Clone()
 	nCfg := m.NumConfigs()
 	cs := &CandidateSet{}
@@ -106,7 +106,7 @@ func Cover(list []cluster.BasePartition, m *connmat.Matrix) (*CandidateSet, erro
 // the first covering uses the whole ordered list; each subsequent one
 // removes the current head and re-covers, until covering fails. The
 // partitions must already be in covering order (see Order).
-func Sets(ordered []cluster.BasePartition, m *connmat.Matrix) []*CandidateSet {
+func Sets(ordered []basepart.BasePartition, m *connmat.Matrix) []*CandidateSet {
 	var out []*CandidateSet
 	seen := make(map[string]bool)
 	for start := 0; start < len(ordered); start++ {

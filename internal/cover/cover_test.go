@@ -4,23 +4,23 @@ import (
 	"errors"
 	"testing"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/design"
 	"prpart/internal/modeset"
 )
 
-func paperParts(t *testing.T, d *design.Design) ([]cluster.BasePartition, *connmat.Matrix) {
+func paperParts(t *testing.T, d *design.Design) ([]basepart.BasePartition, *connmat.Matrix) {
 	t.Helper()
 	m := connmat.New(d)
-	parts, err := cluster.BasePartitions(m)
+	parts, err := basepart.BasePartitions(m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return Order(parts), m
 }
 
-func labels(d *design.Design, parts []cluster.BasePartition) map[string]bool {
+func labels(d *design.Design, parts []basepart.BasePartition) map[string]bool {
 	out := make(map[string]bool, len(parts))
 	for _, p := range parts {
 		out[p.Label(d)] = true
@@ -125,7 +125,7 @@ func TestCoverUncoverable(t *testing.T) {
 	d := design.PaperExample()
 	ordered, m := paperParts(t, d)
 	// Strip every partition containing A2: covering must fail.
-	var crippled []cluster.BasePartition
+	var crippled []basepart.BasePartition
 	a2 := design.ModeRef{Module: 0, Mode: 2}
 	for _, p := range ordered {
 		if !p.Set.Contains(a2) {
@@ -205,7 +205,7 @@ func TestSetsOnAllPaperDesigns(t *testing.T) {
 func TestOrderDoesNotMutate(t *testing.T) {
 	d := design.PaperExample()
 	m := connmat.New(d)
-	parts, err := cluster.BasePartitions(m)
+	parts, err := basepart.BasePartitions(m)
 	if err != nil {
 		t.Fatal(err)
 	}

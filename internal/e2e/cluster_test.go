@@ -1,0 +1,466 @@
+// Cluster end-to-end tests: N shared-nothing daemons — each with its
+// own listener, its own on-disk store, its own obs registry — joined
+// only by the peer wire. The three tests here are the acceptance
+// criteria of the cluster layer: byte identity everywhere, survival of
+// a node kill mid-sweep, and hash-verified rejection of damaged peer
+// transfers under seeded fault injection.
+package e2e_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prpart/internal/cluster"
+	"prpart/internal/design"
+	"prpart/internal/experiments"
+	"prpart/internal/faults"
+	"prpart/internal/obs"
+	"prpart/internal/partition"
+	"prpart/internal/serve"
+	"prpart/internal/store"
+	"prpart/internal/synthetic"
+)
+
+// nodeDirSeq disambiguates store directories across the replayed runs
+// inside one test (each run must start on fresh disks).
+var nodeDirSeq atomic.Int64
+
+// nodeDir returns a fresh store directory for one cluster node. Under
+// CI the PRPART_CLUSTER_DIR env pins the directories on real disk so a
+// failing run leaves every node's ledger and blobs behind for the
+// artifact-upload step; otherwise each node gets a throwaway TempDir.
+func nodeDir(t *testing.T, i int) string {
+	root := os.Getenv("PRPART_CLUSTER_DIR")
+	if root == "" {
+		return t.TempDir()
+	}
+	dir := filepath.Join(root, t.Name(), fmt.Sprintf("run%d-node%d", nodeDirSeq.Add(1), i))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// clusterNode is one daemon of the e2e cluster.
+type clusterNode struct {
+	url string
+	dir string
+	o   *obs.Obs
+	st  *store.Store
+	srv *serve.Server
+	hs  *http.Server
+}
+
+// bootNode assembles and serves one cluster member on ln. dir is the
+// node's private store directory; rt (optional) replaces the peer
+// client's transport — the fault tier injects corruption there.
+func bootNode(t *testing.T, ln net.Listener, urls []string, i int, seed int64, dir string, rt http.RoundTripper) *clusterNode {
+	t.Helper()
+	o := obs.New()
+	st, err := store.Open(store.Config{Dir: dir, Obs: o})
+	if err != nil {
+		t.Fatalf("node %d store: %v", i, err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Self:      urls[i],
+		Peers:     urls,
+		Seed:      seed,
+		Replicas:  2,
+		Timeout:   5 * time.Second,
+		Transport: rt,
+		Obs:       o,
+	})
+	if err != nil {
+		t.Fatalf("node %d cluster: %v", i, err)
+	}
+	srv := serve.New(serve.Config{Workers: 4, Obs: o, Store: st, Cluster: cl})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &clusterNode{url: urls[i], dir: dir, o: o, st: st, srv: srv, hs: hs}
+}
+
+// kill tears the node down abruptly: listener and live connections
+// dropped, solve pool aborted, store closed. The disk contents survive
+// for a rejoin.
+func (n *clusterNode) kill() {
+	n.hs.Close()
+	n.srv.Close()
+	n.st.Close()
+}
+
+// bindRing binds one listener per member. With addrs nil it takes three
+// ephemeral ports; otherwise it rebinds the exact addresses given (a
+// killed node rejoining, or a rerun that must reproduce ring placement
+// — member URLs feed the consistent hash, so counters only replay when
+// the addresses do).
+func bindRing(t *testing.T, addrs []string) (lns []net.Listener, urls, boundAddrs []string) {
+	t.Helper()
+	n := 3
+	if addrs != nil {
+		n = len(addrs)
+	}
+	lns = make([]net.Listener, n)
+	urls = make([]string, n)
+	boundAddrs = make([]string, n)
+	for i := range lns {
+		if addrs == nil {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lns[i] = ln
+		} else {
+			lns[i] = rebind(t, addrs[i])
+		}
+		boundAddrs[i] = lns[i].Addr().String()
+		urls[i] = "http://" + boundAddrs[i]
+	}
+	return lns, urls, boundAddrs
+}
+
+// rebind reacquires a specific address, retrying briefly: the previous
+// listener's close may still be settling. It also drops the default
+// client's idle connections — a pooled keep-alive to the old life of
+// this address would EOF the first POST, and POSTs are not retried.
+func rebind(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func solveEnvelope(t *testing.T, d *design.Design) []byte {
+	t.Helper()
+	var dj bytes.Buffer
+	if err := design.EncodeJSON(&dj, d); err != nil {
+		t.Fatal(err)
+	}
+	return []byte(fmt.Sprintf(`{"design": %s, "options": {}}`, dj.String()))
+}
+
+func postSolve(t *testing.T, base string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// referenceBodies answers each envelope from a plain, cluster-free
+// server. Its 200 bodies are byte-identical to `prpart -json` on the
+// same input — that contract is pinned in cmd/prpart's serve e2e test —
+// so these bytes stand in for the CLI as the cluster's oracle.
+func referenceBodies(t *testing.T, bodies [][]byte) [][]byte {
+	t.Helper()
+	plain := serve.New(serve.Config{Workers: 2})
+	t.Cleanup(plain.Close)
+	ts := httptest.NewServer(plain.Handler())
+	t.Cleanup(ts.Close)
+	want := make([][]byte, len(bodies))
+	for i, body := range bodies {
+		resp, got := postSolve(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference solve %d = %d: %s", i, resp.StatusCode, got)
+		}
+		want[i] = got
+	}
+	return want
+}
+
+// clusterCounters flattens every node's cluster-facing counters into
+// one map keyed node0.cluster.peer_hits style, for whole-cluster
+// determinism comparisons.
+func clusterCounters(nodes []*clusterNode) map[string]int64 {
+	out := map[string]int64{}
+	for i, n := range nodes {
+		for k, v := range n.o.Snapshot().Counters {
+			if strings.HasPrefix(k, "cluster.") || k == "serve.peer_serves" || k == "jobs.peer_fills" {
+				out[fmt.Sprintf("node%d.%s", i, k)] = v
+			}
+		}
+	}
+	return out
+}
+
+// TestClusterByteIdentity posts every design to every node of a
+// three-node shared-nothing cluster and requires each response to be
+// byte-identical to the reference (`prpart -json` bytes). It then
+// replays the whole run — same ring addresses, fresh disks — and
+// requires identical cluster.* counters: the peer layer is
+// deterministic, not merely correct.
+func TestClusterByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	designs := synthetic.Generate(41, 8)
+	bodies := make([][]byte, len(designs))
+	for i, d := range designs {
+		bodies[i] = solveEnvelope(t, d)
+	}
+	want := referenceBodies(t, bodies)
+
+	run := func(addrs []string) (map[string]int64, []string) {
+		lns, urls, bound := bindRing(t, addrs)
+		nodes := make([]*clusterNode, len(lns))
+		for i := range lns {
+			nodes[i] = bootNode(t, lns[i], urls, i, 7, nodeDir(t, i), nil)
+		}
+		defer func() {
+			for _, n := range nodes {
+				n.kill()
+			}
+		}()
+		// Sequential traffic, first contact rotating across nodes: the
+		// first node to see a design solves (or peer-fills) it, the
+		// others must answer identically from replica, peer or store.
+		for di, body := range bodies {
+			for k := range nodes {
+				ni := (di + k) % len(nodes)
+				resp, got := postSolve(t, nodes[ni].url, body)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("design %d on node %d = %d: %s", di, ni, resp.StatusCode, got)
+				}
+				if !bytes.Equal(got, want[di]) {
+					t.Fatalf("design %d on node %d (X-Cache %s) differs from prpart -json bytes",
+						di, ni, resp.Header.Get("X-Cache"))
+				}
+			}
+		}
+		return clusterCounters(nodes), bound
+	}
+
+	c1, addrs := run(nil)
+	var hits, serves int64
+	for k, v := range c1 {
+		if strings.HasSuffix(k, "cluster.peer_hits") {
+			hits += v
+		}
+		if strings.HasSuffix(k, "serve.peer_serves") {
+			serves += v
+		}
+	}
+	if hits == 0 || serves == 0 {
+		t.Fatalf("peer tier never engaged: hits=%d serves=%d in %v", hits, serves, c1)
+	}
+
+	c2, _ := run(addrs)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("same seed, different cluster counters:\nrun1: %v\nrun2: %v", c1, c2)
+	}
+}
+
+// normalizeOutcome strips the one field the wire cannot carry (the
+// scheme object) so remote and in-process outcomes compare with
+// DeepEqual over everything the paper's figures consume.
+func normalizeOutcome(o *experiments.Outcome) experiments.Outcome {
+	c := *o
+	c.ProposedScheme = nil
+	return c
+}
+
+// TestClusterNodeKillMidTraffic drives the seeded 100-design §V sweep
+// through a three-node cluster via the batch client's multi-URL
+// failover, kills one node mid-sweep, and requires the sweep to finish
+// with no lost designs, no duplicates, and metrics identical to the
+// in-process run. The killed node then rejoins on its old address and
+// old disk and must serve byte-identical answers again.
+func TestClusterNodeKillMidTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	designs := synthetic.Generate(7, 100)
+	local, err := experiments.Sweep(designs, partition.Options{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lns, urls, addrs := bindRing(t, nil)
+	dirs := make([]string, len(lns))
+	nodes := make([]*clusterNode, len(lns))
+	for i := range lns {
+		dirs[i] = nodeDir(t, i)
+		nodes[i] = bootNode(t, lns[i], urls, i, 7, dirs[i], nil)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.kill()
+		}
+	})
+
+	b := experiments.NewBatcher(experiments.RemoteConfig{
+		URLs:        urls,
+		BatchSize:   8,
+		RetryBase:   20 * time.Millisecond,
+		MaxAttempts: 200,
+	})
+	defer b.Close()
+
+	// Count completed solves so the kill lands mid-sweep: some results
+	// already replicated, some batches in flight against the victim.
+	var completed atomic.Int64
+	inner := b.Solver()
+	counting := func(d *design.Design, opts partition.Options) (*partition.Result, error) {
+		res, err := inner(d, opts)
+		if err == nil {
+			completed.Add(1)
+		}
+		return res, err
+	}
+
+	sweepDone := make(chan struct{})
+	var killer sync.WaitGroup
+	killer.Add(1)
+	go func() {
+		defer killer.Done()
+		for completed.Load() < 15 {
+			select {
+			case <-sweepDone: // sweep failed before the kill point
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		nodes[2].kill()
+	}()
+
+	remote, err := experiments.SweepSolver(designs, partition.Options{}, 8, counting)
+	close(sweepDone)
+	killer.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Metric-identical, no lost or duplicated work, corpus order.
+	if len(remote) != len(local) {
+		t.Fatalf("%d outcomes, want %d", len(remote), len(local))
+	}
+	seen := map[string]bool{}
+	for i := range local {
+		if remote[i] == nil || remote[i].Index != i || remote[i].Name != designs[i].Name {
+			t.Fatalf("outcome %d is %+v, want design %s at its own index", i, remote[i], designs[i].Name)
+		}
+		if seen[remote[i].Name] {
+			t.Fatalf("design %s appears twice in the sweep output", remote[i].Name)
+		}
+		seen[remote[i].Name] = true
+		g, w := normalizeOutcome(remote[i]), normalizeOutcome(local[i])
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("design %d (%s) diverges across the kill:\n cluster    %+v\n in-process %+v",
+				i, designs[i].Name, g, w)
+		}
+	}
+	if rc, lc := experiments.ComputeClaims(remote), experiments.ComputeClaims(local); rc != lc {
+		t.Fatalf("claims diverge: cluster %+v, local %+v", rc, lc)
+	}
+
+	// Rejoin: same address, same disk. The survivor cluster and the
+	// rejoined node must agree byte-for-byte on a design from the sweep.
+	nodes[2] = bootNode(t, rebind(t, addrs[2]), urls, 2, 7, dirs[2], nil)
+	body := solveEnvelope(t, designs[0])
+	respS, wantBody := postSolve(t, nodes[0].url, body)
+	if respS.StatusCode != http.StatusOK {
+		t.Fatalf("survivor solve = %d", respS.StatusCode)
+	}
+	respR, gotBody := postSolve(t, nodes[2].url, body)
+	if respR.StatusCode != http.StatusOK {
+		t.Fatalf("rejoined node solve = %d: %s", respR.StatusCode, gotBody)
+	}
+	if !bytes.Equal(gotBody, wantBody) {
+		t.Fatal("rejoined node diverges from the survivors")
+	}
+}
+
+// TestClusterPeerFaultsNeverBadBytes puts a seeded fault injector on
+// every node's peer transport — truncating and bit-flipping transfers —
+// and requires that no damaged transfer ever surfaces: every response
+// is a 200 with exactly the reference bytes, because hash verification
+// rejects the corruption (counted as peer_bad_body) and the node falls
+// back to another owner or a local solve. A same-seed rerun must
+// reproduce the cluster counters exactly.
+func TestClusterPeerFaultsNeverBadBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	designs := synthetic.Generate(43, 6)
+	bodies := make([][]byte, len(designs))
+	for i, d := range designs {
+		bodies[i] = solveEnvelope(t, d)
+	}
+	want := referenceBodies(t, bodies)
+
+	run := func(addrs []string) (map[string]int64, []string) {
+		lns, urls, bound := bindRing(t, addrs)
+		nodes := make([]*clusterNode, len(lns))
+		for i := range lns {
+			rt := &cluster.FaultTransport{Inject: faults.NewIO(90+int64(i), faults.IORates{
+				ShortWrite:  0.25,
+				ReadCorrupt: 0.25,
+			})}
+			nodes[i] = bootNode(t, lns[i], urls, i, 7, nodeDir(t, i), rt)
+		}
+		defer func() {
+			for _, n := range nodes {
+				n.kill()
+			}
+		}()
+		// Two sequential passes so the second pass exercises peer fill
+		// and replica reads over the now-damaged wire.
+		for pass := 0; pass < 2; pass++ {
+			for di, body := range bodies {
+				for k := range nodes {
+					ni := (di + k + pass) % len(nodes)
+					resp, got := postSolve(t, nodes[ni].url, body)
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("pass %d design %d on node %d = %d: %s", pass, di, ni, resp.StatusCode, got)
+					}
+					if !bytes.Equal(got, want[di]) {
+						t.Fatalf("pass %d design %d on node %d (X-Cache %s): damaged bytes served",
+							pass, di, ni, resp.Header.Get("X-Cache"))
+					}
+				}
+			}
+		}
+		return clusterCounters(nodes), bound
+	}
+
+	c1, addrs := run(nil)
+	var bad int64
+	for k, v := range c1 {
+		if strings.HasSuffix(k, "cluster.peer_bad_body") {
+			bad += v
+		}
+	}
+	if bad == 0 {
+		t.Fatalf("fault injection never fired on the peer wire: %v", c1)
+	}
+
+	c2, _ := run(addrs)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("same seeds, different cluster counters:\nrun1: %v\nrun2: %v", c1, c2)
+	}
+}

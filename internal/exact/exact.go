@@ -15,7 +15,7 @@ import (
 	"errors"
 	"fmt"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/compat"
 	"prpart/internal/connmat"
 	"prpart/internal/cost"
@@ -64,7 +64,7 @@ func Solve(d *design.Design, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("exact: invalid design: %w", err)
 	}
 	m := connmat.New(d)
-	parts, err := cluster.BasePartitions(m)
+	parts, err := basepart.BasePartitions(m)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/cost"
 	"prpart/internal/cover"
@@ -17,7 +17,7 @@ import (
 // worked example with their frequency weights, in covering order.
 func Table1() (*report.Table, error) {
 	d := design.PaperExample()
-	parts, err := cluster.BasePartitions(connmat.New(d))
+	parts, err := basepart.BasePartitions(connmat.New(d))
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prpart/internal/cost"
@@ -34,6 +35,13 @@ import (
 type RemoteConfig struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// URLs lists every daemon the client may talk to. Empty defaults to
+	// [BaseURL]. The batch client rotates across the list per flush and
+	// advances to the next node on every retry, so a cluster sweep both
+	// spreads load and fails over: a killed node's flushes land on the
+	// survivors on the next attempt. The async client ignores extra URLs
+	// (job ids are node-local).
+	URLs []string
 	// Client is the HTTP client (nil = a default with no timeout; solve
 	// pacing comes from the daemon's scheduler, not the transport).
 	Client *http.Client
@@ -67,6 +75,12 @@ type RemoteConfig struct {
 func (cfg *RemoteConfig) fill() {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
+	}
+	if len(cfg.URLs) == 0 && cfg.BaseURL != "" {
+		cfg.URLs = []string{cfg.BaseURL}
+	}
+	if cfg.BaseURL == "" && len(cfg.URLs) > 0 {
+		cfg.BaseURL = cfg.URLs[0]
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 16
@@ -186,6 +200,15 @@ type Batcher struct {
 	calls chan *batchCall
 	stop  chan struct{}
 	wg    sync.WaitGroup
+	seq   atomic.Uint64 // rotates flushes and retries across cfg.URLs
+}
+
+// nextURL picks the daemon for the next exchange, round-robin across
+// the configured URLs so every attempt — first try or retry — moves to
+// the next node in the rotation.
+func (b *Batcher) nextURL(path string) string {
+	i := b.seq.Add(1)
+	return b.cfg.URLs[int(i%uint64(len(b.cfg.URLs)))] + b.cfg.checkQuery(path)
 }
 
 // NewBatcher starts the collection loop. Callers must Close it.
@@ -277,7 +300,6 @@ func (b *Batcher) flush(calls []*batchCall) {
 		}
 		return
 	}
-	url := b.cfg.BaseURL + b.cfg.checkQuery("/v1/solve/batch")
 	for attempt := 0; ; attempt++ {
 		if attempt >= b.cfg.MaxAttempts {
 			for _, c := range calls {
@@ -285,7 +307,7 @@ func (b *Batcher) flush(calls []*batchCall) {
 			}
 			return
 		}
-		resp, err := b.cfg.Client.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := b.cfg.Client.Post(b.nextURL("/v1/solve/batch"), "application/json", bytes.NewReader(body))
 		if err != nil {
 			time.Sleep(b.cfg.RetryBase)
 			continue
@@ -332,7 +354,6 @@ func (b *Batcher) flush(calls []*batchCall) {
 
 // retryOne re-posts a single refused member until it lands.
 func (b *Batcher) retryOne(c *batchCall) {
-	url := b.cfg.BaseURL + b.cfg.checkQuery("/v1/solve/batch")
 	body, err := json.Marshal(serve.BatchRequest{Requests: []json.RawMessage{c.body}})
 	if err != nil {
 		c.err = err
@@ -340,7 +361,7 @@ func (b *Batcher) retryOne(c *batchCall) {
 	}
 	for attempt := 0; attempt < b.cfg.MaxAttempts; attempt++ {
 		time.Sleep(b.cfg.RetryBase)
-		resp, err := b.cfg.Client.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := b.cfg.Client.Post(b.nextURL("/v1/solve/batch"), "application/json", bytes.NewReader(body))
 		if err != nil {
 			continue
 		}

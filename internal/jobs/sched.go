@@ -57,14 +57,15 @@ type Scheduler struct {
 	ewmaNs atomic.Int64 // smoothed work wall time, 0 = unknown
 	wg     sync.WaitGroup
 
-	aggQueued *obs.Level
-	lQueued   [numTiers]*obs.Level
-	lRunning  [numTiers]*obs.Level
-	cDone     [numTiers]*obs.Counter
-	cCanceled [numTiers]*obs.Counter
-	cShed     *obs.Counter
-	hWait     [numTiers]*obs.Histogram
-	hRun      [numTiers]*obs.Histogram
+	aggQueued  *obs.Level
+	lQueued    [numTiers]*obs.Level
+	lRunning   [numTiers]*obs.Level
+	cDone      [numTiers]*obs.Counter
+	cCanceled  [numTiers]*obs.Counter
+	cShed      *obs.Counter
+	cPeerFills *obs.Counter
+	hWait      [numTiers]*obs.Histogram
+	hRun       [numTiers]*obs.Histogram
 }
 
 // NewScheduler builds a scheduler and starts its workers.
@@ -78,6 +79,7 @@ func NewScheduler(cfg SchedConfig) *Scheduler {
 		runningBulk: list.New(),
 		aggQueued:   cfg.Queued,
 		cShed:       cfg.Obs.Counter("jobs.shed"),
+		cPeerFills:  cfg.Obs.Counter("jobs.peer_fills"),
 	}
 	s.depth[Interactive] = cfg.InteractiveDepth
 	s.depth[Bulk] = cfg.BulkDepth
@@ -100,6 +102,12 @@ func NewScheduler(cfg SchedConfig) *Scheduler {
 
 // Workers returns the pool size.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// NotePeerFill records that a request which would otherwise have
+// queued for a worker was answered by a cluster peer instead. The
+// counter (jobs.peer_fills) lets capacity planning see how much
+// admission pressure the peer tier absorbs.
+func (s *Scheduler) NotePeerFill() { s.cPeerFills.Inc() }
 
 // Enqueue submits fn on a tier without blocking. fn always runs exactly
 // once (with ctx, wrapped cancellable for bulk) unless the ticket is

@@ -25,7 +25,7 @@ import (
 	"errors"
 	"fmt"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/design"
 	"prpart/internal/obs"
@@ -41,7 +41,7 @@ const (
 	DefaultCoarseNodes = 32
 	// DefaultMaxConfigNodes is the largest hyperedge (active nodes per
 	// configuration) allowed at the coarsest level; it must stay well
-	// under cluster.MaxConfigModes so the coarse instance is cheap for
+	// under basepart.MaxConfigModes so the coarse instance is cheap for
 	// the standard engine's 2^k candidate enumeration.
 	DefaultMaxConfigNodes = 8
 
@@ -292,14 +292,14 @@ func SolveContext(ctx context.Context, d *design.Design, o Options) (*Result, er
 }
 
 // enumerable reports whether the standard engine can run on the design
-// at all (cluster.Run's per-configuration 2^k enumeration caps actives
+// at all (basepart.Run's per-configuration 2^k enumeration caps actives
 // at MaxConfigModes) and cheaply enough to be worth a polish pass.
 func enumerable(d *design.Design, m *connmat.Matrix) bool {
 	if m.NumModes() > polishModeCap {
 		return false
 	}
 	for ci := range d.Configurations {
-		if len(d.ConfigModes(ci)) > cluster.MaxConfigModes {
+		if len(d.ConfigModes(ci)) > basepart.MaxConfigModes {
 			return false
 		}
 	}

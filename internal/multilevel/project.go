@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/design"
 	"prpart/internal/device"
 	"prpart/internal/partition"
@@ -167,13 +167,13 @@ func (a *maskAcc) intersects(m []uint64) bool {
 // summed resources) and the level's activation table.
 func warmStart(lv *level, g grouping) partition.WarmStart {
 	ws := partition.WarmStart{
-		Parts:  make([]cluster.BasePartition, len(lv.nodes)),
+		Parts:  make([]basepart.BasePartition, len(lv.nodes)),
 		Active: make([][]bool, len(lv.configNodes)),
 		Groups: g.groups,
 		Static: g.static,
 	}
 	for i := range lv.nodes {
-		ws.Parts[i] = cluster.BasePartition{
+		ws.Parts[i] = basepart.BasePartition{
 			Set:        lv.nodes[i].set,
 			FreqWeight: lv.nodes[i].mask.Count(),
 			Resources:  lv.nodes[i].res,

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"prpart/internal/basepart"
 	"prpart/internal/check"
-	"prpart/internal/cluster"
 	"prpart/internal/connmat"
 	"prpart/internal/design"
 	"prpart/internal/partition"
@@ -102,7 +102,7 @@ func groupingScheme(t *testing.T, label string, d *design.Design, lv *level, g g
 		var reg scheme.Region
 		for _, id := range grp {
 			n := &lv.nodes[id]
-			reg.Parts = append(reg.Parts, cluster.BasePartition{
+			reg.Parts = append(reg.Parts, basepart.BasePartition{
 				Set:        n.set,
 				FreqWeight: n.mask.Count(),
 				Resources:  n.res,
@@ -112,7 +112,7 @@ func groupingScheme(t *testing.T, label string, d *design.Design, lv *level, g g
 	}
 	for _, id := range g.static {
 		n := &lv.nodes[id]
-		sch.Static = append(sch.Static, cluster.BasePartition{
+		sch.Static = append(sch.Static, basepart.BasePartition{
 			Set:        n.set,
 			FreqWeight: n.mask.Count(),
 			Resources:  n.res,

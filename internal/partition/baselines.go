@@ -5,20 +5,20 @@
 package partition
 
 import (
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/design"
 	"prpart/internal/modeset"
 	"prpart/internal/resource"
 	"prpart/internal/scheme"
 )
 
-func basePartition(d *design.Design, refs ...design.ModeRef) cluster.BasePartition {
+func basePartition(d *design.Design, refs ...design.ModeRef) basepart.BasePartition {
 	s := modeset.New(refs...)
 	var v resource.Vector
 	for _, r := range s.Refs() {
 		v = v.Add(d.ModeResources(r))
 	}
-	return cluster.BasePartition{Set: s, FreqWeight: 1, Resources: v}
+	return basepart.BasePartition{Set: s, FreqWeight: 1, Resources: v}
 }
 
 // Modular builds the one-module-per-region scheme: each module that is

@@ -3,7 +3,7 @@ package partition
 import (
 	"testing"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/cost"
 	"prpart/internal/cover"
@@ -46,7 +46,7 @@ func BenchmarkSolveSyntheticMedian(b *testing.B) {
 func BenchmarkGreedyDescent(b *testing.B) {
 	d := design.VideoReceiver()
 	m := connmat.New(d)
-	parts, err := cluster.BasePartitions(m)
+	parts, err := basepart.BasePartitions(m)
 	if err != nil {
 		b.Fatal(err)
 	}

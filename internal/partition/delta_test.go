@@ -3,7 +3,7 @@ package partition
 import (
 	"testing"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/cover"
 	"prpart/internal/design"
@@ -17,7 +17,7 @@ import (
 func newTestSearchers(t *testing.T, d *design.Design, opts Options) []*searcher {
 	t.Helper()
 	m := connmat.New(d)
-	parts, err := cluster.BasePartitions(m)
+	parts, err := basepart.BasePartitions(m)
 	if err != nil {
 		t.Fatalf("%s: BasePartitions: %v", d.Name, err)
 	}

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/connmat"
 	"prpart/internal/cost"
 	"prpart/internal/cover"
@@ -28,7 +28,7 @@ import (
 type WarmStart struct {
 	// Parts is the candidate part list; Resources must be each part's
 	// raw resource requirement.
-	Parts []cluster.BasePartition
+	Parts []basepart.BasePartition
 	// Active[ci][pi] reports whether configuration ci activates part pi.
 	Active [][]bool
 	// Groups assigns parts (by index) to initial regions. Each group

@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/design"
 	"prpart/internal/modeset"
 	"prpart/internal/obs"
@@ -21,13 +21,13 @@ import (
 func refineWarmStart(d *design.Design) WarmStart {
 	used := d.UsedModes()
 	ws := WarmStart{
-		Parts:  make([]cluster.BasePartition, len(used)),
+		Parts:  make([]basepart.BasePartition, len(used)),
 		Active: make([][]bool, len(d.Configurations)),
 		Groups: make([][]int, len(used)),
 	}
 	index := map[design.ModeRef]int{}
 	for i, r := range used {
-		ws.Parts[i] = cluster.BasePartition{Set: modeset.New(r), FreqWeight: 1, Resources: d.ModeResources(r)}
+		ws.Parts[i] = basepart.BasePartition{Set: modeset.New(r), FreqWeight: 1, Resources: d.ModeResources(r)}
 		ws.Groups[i] = []int{i}
 		index[r] = i
 	}

@@ -7,7 +7,7 @@ import (
 	"runtime"
 	"sync"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/compat"
 	"prpart/internal/connmat"
 	"prpart/internal/cost"
@@ -229,7 +229,7 @@ func solveSearch(ctx context.Context, d *design.Design, opts Options, useReferen
 		return nil, ErrInfeasible
 	}
 
-	parts, err := cluster.BasePartitions(m)
+	parts, err := basepart.BasePartitions(m)
 	if err != nil {
 		stopCluster()
 		return nil, err

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"strings"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/design"
 	"prpart/internal/device"
 	"prpart/internal/modeset"
@@ -29,7 +29,7 @@ const Inactive = -1
 // partitions; at runtime exactly one of them is loaded at a time.
 type Region struct {
 	// Parts are the base partitions allocated to the region.
-	Parts []cluster.BasePartition
+	Parts []basepart.BasePartition
 }
 
 // MaxResources returns the per-resource maximum over the region's parts:
@@ -90,7 +90,7 @@ type Scheme struct {
 	Regions []Region
 	// Static lists base partitions promoted into the static logic; their
 	// modes are always present and never reconfigured.
-	Static []cluster.BasePartition
+	Static []basepart.BasePartition
 	// Active[ci][ri] is the index into Regions[ri].Parts of the base
 	// partition configuration ci requires there, or Inactive.
 	Active [][]int

@@ -4,19 +4,19 @@ import (
 	"strings"
 	"testing"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/design"
 	"prpart/internal/modeset"
 	"prpart/internal/resource"
 )
 
-func bp(d *design.Design, refs ...design.ModeRef) cluster.BasePartition {
+func bp(d *design.Design, refs ...design.ModeRef) basepart.BasePartition {
 	s := modeset.New(refs...)
 	var v resource.Vector
 	for _, r := range s.Refs() {
 		v = v.Add(d.ModeResources(r))
 	}
-	return cluster.BasePartition{Set: s, FreqWeight: 1, Resources: v}
+	return basepart.BasePartition{Set: s, FreqWeight: 1, Resources: v}
 }
 
 func r(mod, mode int) design.ModeRef { return design.ModeRef{Module: mod, Mode: mode} }
@@ -28,8 +28,8 @@ func twoModuleModular(d *design.Design) *Scheme {
 		Design: d,
 		Name:   "modular",
 		Regions: []Region{
-			{Parts: []cluster.BasePartition{bp(d, r(0, 1)), bp(d, r(0, 2))}},
-			{Parts: []cluster.BasePartition{bp(d, r(1, 1)), bp(d, r(1, 2))}},
+			{Parts: []basepart.BasePartition{bp(d, r(0, 1)), bp(d, r(0, 2))}},
+			{Parts: []basepart.BasePartition{bp(d, r(1, 1)), bp(d, r(1, 2))}},
 		},
 		Active: [][]int{
 			{0, 0}, // A1 -> B1
@@ -60,7 +60,7 @@ func TestRegionAreaAndFrames(t *testing.T) {
 
 func TestRegionModesAndLabel(t *testing.T) {
 	d := design.VideoReceiver()
-	reg := Region{Parts: []cluster.BasePartition{
+	reg := Region{Parts: []basepart.BasePartition{
 		bp(d, r(2, 2)),          // M2
 		bp(d, r(2, 1), r(3, 2)), // {M1, D2}
 	}}
@@ -121,7 +121,7 @@ func TestValidateStaticProvides(t *testing.T) {
 	d := design.TwoModuleExample()
 	s := twoModuleModular(d)
 	// Move B's region to static entirely and deactivate it.
-	s.Static = []cluster.BasePartition{bp(d, r(1, 1)), bp(d, r(1, 2))}
+	s.Static = []basepart.BasePartition{bp(d, r(1, 1)), bp(d, r(1, 2))}
 	s.Regions = s.Regions[:1]
 	s.Active = [][]int{{0}, {1}, {0}}
 	if err := s.Validate(); err != nil {
@@ -167,7 +167,7 @@ func TestValidateCatchesShapeMismatch(t *testing.T) {
 func TestString(t *testing.T) {
 	d := design.TwoModuleExample()
 	s := twoModuleModular(d)
-	s.Static = []cluster.BasePartition{bp(d, r(1, 2))}
+	s.Static = []basepart.BasePartition{bp(d, r(1, 2))}
 	out := s.String()
 	if !strings.Contains(out, "modular") || !strings.Contains(out, "2 regions") ||
 		!strings.Contains(out, "1 static") {

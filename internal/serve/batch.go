@@ -198,15 +198,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) executeMember(wctx context.Context, key string, sp *SolveSpec, urlCheck bool) (body []byte, cache string, status int, err error) {
 	docheck := s.cfg.Check || urlCheck
 	if !urlCheck {
-		if cached, ok := s.cache.Get(key); ok {
-			return cached, "hit", http.StatusOK, nil
-		}
-		if s.store != nil {
-			if b, ok := s.store.Get(key); ok {
-				s.cache.Put(key, b)
-				s.cStoreServes.Inc()
-				return b, "store", http.StatusOK, nil
-			}
+		if body, tier, ok := s.lookup(wctx, key); ok {
+			return body, tier, http.StatusOK, nil
 		}
 	}
 	fkey := flightKey(key, docheck)

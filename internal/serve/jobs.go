@@ -111,15 +111,8 @@ func (s *Server) runJobSolve(ctx context.Context, key string, sp *SolveSpec, tim
 		defer cancel()
 	}
 	if !urlCheck {
-		if cached, ok := s.cache.Get(key); ok {
-			return cached, http.StatusOK, nil
-		}
-		if s.store != nil {
-			if b, ok := s.store.Get(key); ok {
-				s.cache.Put(key, b)
-				s.cStoreServes.Inc()
-				return b, http.StatusOK, nil
-			}
+		if body, _, ok := s.lookup(ctx, key); ok {
+			return body, http.StatusOK, nil
 		}
 	}
 	fkey := flightKey(key, docheck)
@@ -234,18 +227,11 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		// Evicted or from a previous daemon life: the body lives under
-		// the solve key in the ordinary result tiers.
-		if cached, ok := s.cache.Get(rec.Key); ok {
-			s.respond(w, "hit", cached)
+		// the solve key in the ordinary result tiers (including the
+		// cluster — another node may hold the shard after a rebalance).
+		if b, tier, ok := s.lookup(r.Context(), rec.Key); ok {
+			s.respond(w, tier, b)
 			return
-		}
-		if s.store != nil {
-			if b, ok := s.store.Get(rec.Key); ok {
-				s.cache.Put(rec.Key, b)
-				s.cStoreServes.Inc()
-				s.respond(w, "store", b)
-				return
-			}
 		}
 		writeError(w, http.StatusGone, errors.New("serve: job finished but its result is no longer stored; resubmit the solve"))
 	case jobs.StateFailed, jobs.StateCanceled:

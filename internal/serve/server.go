@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"prpart/internal/cluster"
 	"prpart/internal/core"
 	"prpart/internal/design"
 	"prpart/internal/device"
@@ -97,18 +98,25 @@ type Config struct {
 	// bound). Oversized bodies are still served and persisted, just not
 	// held in the memory tier.
 	CacheMaxBody int64
+	// Cluster is the optional peer layer (internal/cluster). When set,
+	// misses in the cache and store tiers ask the key's ring owners
+	// before solving locally (X-Cache: peer), fresh solves replicate to
+	// the other owners, and the server answers the peer fetch/push
+	// endpoints for its own shard.
+	Cluster *cluster.Peers
 }
 
 // Server is the partitioning service: two-tier scheduled worker pool,
 // solve cache, request coalescing, batch fan-out, async jobs and
 // graceful drain behind an http.Handler.
 type Server struct {
-	cfg    Config
-	obs    *obs.Obs
-	cache  *Cache
-	store  *store.Store
-	flight flightGroup
-	solver SolveFunc
+	cfg     Config
+	obs     *obs.Obs
+	cache   *Cache
+	store   *store.Store
+	cluster *cluster.Peers
+	flight  flightGroup
+	solver  SolveFunc
 
 	sched  *jobs.Scheduler
 	jitter *jobs.Jitter
@@ -124,6 +132,8 @@ type Server struct {
 	cRequests, cSolves, cCoalesced, cRejected, cErrors  *obs.Counter
 	cPanics, cRejectedDeadline, cBulkShed, cStoreServes *obs.Counter
 	cBatches, cBatchDups, cJobsSubmitted                *obs.Counter
+	cPeerServes, cFetchServed, cFetchMissed             *obs.Counter
+	cPushesReceived                                     *obs.Counter
 	lQueued, lInflight                                  *obs.Level
 	tSolve                                              *obs.Timer
 }
@@ -165,6 +175,7 @@ func New(cfg Config) *Server {
 		obs:      cfg.Obs,
 		cache:    NewCache(cfg.CacheEntries, cfg.Obs),
 		store:    cfg.Store,
+		cluster:  cfg.Cluster,
 		solver:   cfg.Solver,
 		jitter:   jobs.NewJitter(cfg.JitterSeed),
 		draining: make(chan struct{}),
@@ -182,6 +193,10 @@ func New(cfg Config) *Server {
 		cBatches:          cfg.Obs.Counter("serve.batches"),
 		cBatchDups:        cfg.Obs.Counter("serve.batch_dups"),
 		cJobsSubmitted:    cfg.Obs.Counter("serve.jobs_submitted"),
+		cPeerServes:       cfg.Obs.Counter("serve.peer_serves"),
+		cFetchServed:      cfg.Obs.Counter("cluster.fetch_served"),
+		cFetchMissed:      cfg.Obs.Counter("cluster.fetch_missed"),
+		cPushesReceived:   cfg.Obs.Counter("cluster.pushes_received"),
 		lQueued:           cfg.Obs.Level("serve.queue_depth"),
 		lInflight:         cfg.Obs.Level("serve.inflight"),
 		tSolve:            cfg.Obs.Timer("serve.solve"),
@@ -213,6 +228,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if s.cluster != nil {
+		s.mux.HandleFunc("POST "+cluster.FetchPath, s.handlePeerFetch)
+		s.mux.HandleFunc("POST "+cluster.PushPath, s.handlePeerPush)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
@@ -362,21 +381,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	urlCheck := r.URL.Query().Get("check") == "1"
 	docheck := s.cfg.Check || urlCheck
 	if !urlCheck {
-		if cached, ok := s.cache.Get(key); ok {
-			s.respond(w, "hit", cached)
+		if body, tier, ok := s.lookup(r.Context(), key); ok {
+			s.respond(w, tier, body)
 			return
-		}
-		// Second tier: the persistent store. Bytes coming back from disk
-		// are hash-verified by the store itself (a corrupt blob reads as
-		// a miss and quarantines), so anything returned here is exactly
-		// what a fresh solve would have produced.
-		if s.store != nil {
-			if body, ok := s.store.Get(key); ok {
-				s.cache.Put(key, body)
-				s.cStoreServes.Inc()
-				s.respond(w, "store", body)
-				return
-			}
 		}
 	}
 
@@ -457,6 +464,11 @@ func (s *Server) runLeader(ctx context.Context, fkey, key string, call *flightCa
 	if err == nil {
 		s.cache.Put(key, body)
 		s.persist(key, body, docheck)
+		// Replicate before the flight publishes: by the time any client
+		// holds the response, the key's owners hold the bytes too, which
+		// keeps seeded request sequences producing identical cluster
+		// counters run over run.
+		s.replicate(key, body, docheck)
 	}
 	s.flight.finish(fkey, call, body, status, err)
 }
@@ -603,8 +615,9 @@ type healthState struct {
 		Misses    int64 `json:"misses"`
 		Evictions int64 `json:"evictions"`
 	} `json:"cache"`
-	Jobs  *jobsHealth  `json:"jobs,omitempty"`
-	Store *storeHealth `json:"store,omitempty"`
+	Jobs    *jobsHealth    `json:"jobs,omitempty"`
+	Store   *storeHealth   `json:"store,omitempty"`
+	Cluster *clusterHealth `json:"cluster,omitempty"`
 }
 
 // jobsHealth summarizes the two-tier intake and async job table.
@@ -656,6 +669,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			CorruptBlobs:    snap.Counters["store.corrupt_blobs"],
 			QuarantinedKeys: snap.Counters["store.quarantined_keys"],
 			RecoveredBytes:  s.store.Recovery().TruncatedBytes,
+		}
+	}
+	if s.cluster != nil {
+		st.Cluster = &clusterHealth{
+			Self:     s.cluster.Self(),
+			RingSize: s.cluster.Ring().Size(),
+			Replicas: s.cluster.Replicas(),
+			Peers:    s.cluster.Health(),
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

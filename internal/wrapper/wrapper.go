@@ -10,7 +10,7 @@ import (
 	"sort"
 	"strings"
 
-	"prpart/internal/cluster"
+	"prpart/internal/basepart"
 	"prpart/internal/design"
 	"prpart/internal/netlist"
 	"prpart/internal/scheme"
@@ -48,7 +48,7 @@ func Generate(s *scheme.Scheme, nets map[design.ModeRef]*netlist.Module) (*Set, 
 		out.Regions = append(out.Regions, regionWrappers)
 	}
 	if len(s.Static) > 0 {
-		merged := cluster.BasePartition{Set: s.StaticSet()}
+		merged := basepart.BasePartition{Set: s.StaticSet()}
 		w, err := out.wrap(s.Design, "static_modes", merged, nets)
 		if err != nil {
 			return nil, err
@@ -60,7 +60,7 @@ func Generate(s *scheme.Scheme, nets map[design.ModeRef]*netlist.Module) (*Set, 
 
 // wrap builds one wrapper module instantiating the part's modes behind a
 // 33-bit output mux (32 data + valid) driven by the mode-select input.
-func (set *Set) wrap(d *design.Design, name string, part cluster.BasePartition,
+func (set *Set) wrap(d *design.Design, name string, part basepart.BasePartition,
 	nets map[design.ModeRef]*netlist.Module) (*netlist.Module, error) {
 
 	refs := part.Set.Refs()

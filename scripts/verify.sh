@@ -2,9 +2,9 @@
 # Tiered verification for the repo.
 #
 #   scripts/verify.sh          # tier 1 only: build + tests (the CI gate)
-#   scripts/verify.sh all      # tiers 1-7: + vet/race, + fault determinism,
+#   scripts/verify.sh all      # tiers 1-8: + vet/race, + fault determinism,
 #                              #   + oracle soak, + chaos, + multilevel,
-#                              #   + batch/async daemon-client e2e
+#                              #   + batch/async daemon-client e2e, + cluster
 #
 # Tier 1  go build + go test             — must always pass (ROADMAP gate)
 # Tier 2  go vet + go test -race         — static checks and race detection,
@@ -44,6 +44,17 @@
 #         in-process sweep — including across a mid-sweep daemon
 #         kill/restart with no lost or duplicated jobs — plus both
 #         prbench -daemon surfaces as CLI smoke.
+# Tier 8  the cluster suite (DESIGN.md §15): the multi-node chaos e2e
+#         under the race detector — three shared-nothing daemons on one
+#         consistent-hash ring must answer byte-identically to
+#         `prpart -json` from every node, survive a mid-sweep node
+#         kill with no lost or corrupted responses, and never serve
+#         bad bytes under seeded peer-transport fault injection — then
+#         the seeded determinism contract -count=3 over the cluster
+#         unit suites (same seeds => identical cluster.* counters),
+#         and the benchmark baseline gate pr9 -> pr10 (solve metrics
+#         must stay byte-identical: clustering serves results, it must
+#         not change them).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -91,6 +102,15 @@ if [ "$1" = "all" ]; then
 	go test -run Remote ./internal/experiments/
 	go run ./cmd/prbench -exp claims -n 24 -daemon > /dev/null
 	go run ./cmd/prbench -exp claims -n 24 -daemon -daemon-mode async > /dev/null
+
+	echo "== tier 8: cluster chaos e2e under the race detector =="
+	go test -race -run Cluster ./internal/e2e/ ./internal/serve/ ./cmd/prpartd/
+
+	echo "== tier 8: cluster seeded determinism re-runs (x3) =="
+	go test -run 'Ring|Peer|FaultTransport' -count=3 ./internal/cluster/
+
+	echo "== tier 8: benchmark baseline gate (pr9 -> pr10) =="
+	go run ./scripts -tol 25 results/BENCH_pr9.json results/BENCH_pr10.json
 fi
 
 echo "verify: OK"
