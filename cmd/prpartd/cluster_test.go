@@ -21,6 +21,7 @@ func TestClusterFlagsUnreachablePeers(t *testing.T) {
 	base, out, stop := bootDaemon(t, []string{
 		"-peers", strings.Join([]string{self, deadA, deadB}, ","),
 		"-self", self,
+		"-peer-secret", "flag-test-secret",
 		"-ring-seed", "7",
 		"-replicas", "3",
 		"-peer-timeout", "200ms",
@@ -93,5 +94,27 @@ func TestClusterFlagsRequireSelf(t *testing.T) {
 	err := run(context.Background(), []string{"-peers", "http://a,http://b"}, &syncWriter{})
 	if err == nil || !strings.Contains(err.Error(), "-self") {
 		t.Fatalf("run without -self: %v", err)
+	}
+}
+
+// TestClusterFlagsRequireSecret pins the auth contract: -peers without
+// a shared -peer-secret (or $PRPARTD_PEER_SECRET) is a startup error —
+// never a cluster with open peer endpoints.
+func TestClusterFlagsRequireSecret(t *testing.T) {
+	t.Setenv("PRPARTD_PEER_SECRET", "")
+	err := run(context.Background(), []string{"-peers", "http://a,http://b", "-self", "http://a"}, &syncWriter{})
+	if err == nil || !strings.Contains(err.Error(), "-peer-secret") {
+		t.Fatalf("run without -peer-secret: %v", err)
+	}
+
+	t.Setenv("PRPARTD_PEER_SECRET", "env-secret")
+	// With the env secret set the cluster constructs; the run then fails
+	// later on the unusable listen address, proving the secret check
+	// passed.
+	err = run(context.Background(), []string{
+		"-peers", "http://a,http://b", "-self", "http://a", "-addr", "256.256.256.256:0",
+	}, &syncWriter{})
+	if err == nil || strings.Contains(err.Error(), "-peer-secret") {
+		t.Fatalf("run with env secret: %v", err)
 	}
 }

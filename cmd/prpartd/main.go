@@ -11,6 +11,7 @@
 //	        [-interactive-depth N] [-bulk-depth N] [-bulk-share N]
 //	        [-batch-max N] [-jitter-seed S] [-jobs-retention N]
 //	        [-peers URL,URL,...] [-self URL] [-ring-seed S] [-replicas N]
+//	        [-peer-secret S]
 //
 // With -store the daemon persists every solved result in a
 // content-addressed on-disk store and serves previously-solved keys
@@ -23,9 +24,13 @@
 // member must agree on), a local miss asks the key's ring owners over
 // the peer fetch RPC before solving, and fresh solves replicate to
 // -replicas owners. Peer bodies are hash-verified end to end; a damaged
-// transfer falls back to a local solve, never to wrong bytes. Each node
-// keeps its own -store directory — the cluster shares results over the
-// wire, not the disk.
+// transfer falls back to a local solve, never to wrong bytes. Every
+// peer request is authenticated with an HMAC under the shared
+// -peer-secret (or $PRPARTD_PEER_SECRET; required, all members must
+// agree) — the peer endpoints share the public listener, and without
+// the secret anything that could reach the port could push wrong bytes
+// under real solve keys. Each node keeps its own -store directory —
+// the cluster shares results over the wire, not the disk.
 //
 // Endpoints:
 //
@@ -112,6 +117,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	jobsRetention := fs.Int("jobs-retention", 0, "finished async jobs kept pollable in memory (0 = default 1024)")
 	peers := fs.String("peers", "", "comma-separated base URLs of every cluster member including this node (empty = single node)")
 	self := fs.String("self", "", "this node's advertised base URL (required with -peers)")
+	peerSecret := fs.String("peer-secret", "", "shared secret authenticating /v1/peer/* requests (required with -peers; $PRPARTD_PEER_SECRET keeps it out of argv)")
 	ringSeed := fs.Int64("ring-seed", 1, "consistent-hash ring placement seed; all members must agree")
 	replicas := fs.Int("replicas", 0, "ring owners per solve key (0 = default 2)")
 	peerTimeout := fs.Duration("peer-timeout", 0, "per peer round-trip bound (0 = default 2s)")
@@ -188,6 +194,13 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		if *self == "" {
 			return errors.New("-peers requires -self (this node's advertised URL)")
 		}
+		secret := *peerSecret
+		if secret == "" {
+			secret = os.Getenv("PRPARTD_PEER_SECRET")
+		}
+		if secret == "" {
+			return errors.New("-peers requires a shared -peer-secret (or $PRPARTD_PEER_SECRET): unauthenticated peer endpoints would let anyone push wrong bytes under real solve keys")
+		}
 		members := strings.Split(*peers, ",")
 		for i := range members {
 			members[i] = strings.TrimSpace(members[i])
@@ -195,6 +208,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		cl, err := cluster.New(cluster.Config{
 			Self:     *self,
 			Peers:    members,
+			Secret:   secret,
 			Seed:     *ringSeed,
 			Replicas: *replicas,
 			Timeout:  *peerTimeout,

@@ -31,6 +31,12 @@ const DefaultReplicas = 2
 // the solve it would have saved.
 const DefaultTimeout = 2 * time.Second
 
+// DefaultProbeInterval is how long an unreachable peer is skipped
+// before one request is allowed through to probe it again. During an
+// outage every other request routes around the dead peer instantly
+// instead of paying the round-trip timeout per miss.
+const DefaultProbeInterval = time.Second
+
 // Config assembles a Peers client.
 type Config struct {
 	// Self is this node's advertised base URL; it must appear in Peers.
@@ -38,6 +44,12 @@ type Config struct {
 	// Peers is the full member set (including Self), as base URLs like
 	// "http://127.0.0.1:7411".
 	Peers []string
+	// Secret is the shared cluster secret; every peer request carries
+	// an HMAC of its body under it (AuthHeader), and the peer endpoints
+	// reject requests that do not verify. Required — without it anything
+	// that can reach the port could push wrong bytes under real solve
+	// keys. All members must agree on it.
+	Secret string
 	// Seed is the ring placement seed; all members must agree on it.
 	Seed int64
 	// VNodes is the virtual-node count per member (DefaultVNodes if 0).
@@ -47,6 +59,9 @@ type Config struct {
 	Replicas int
 	// Timeout bounds one peer round trip (DefaultTimeout if 0).
 	Timeout time.Duration
+	// ProbeInterval is how long an unreachable peer is skipped before
+	// one request probes it again (DefaultProbeInterval if 0).
+	ProbeInterval time.Duration
 	// Transport overrides the HTTP transport (tests inject faults here).
 	Transport http.RoundTripper
 	// Obs receives the cluster.* counters; nil disables them.
@@ -62,7 +77,9 @@ type Config struct {
 type Peers struct {
 	ring     *Ring
 	self     string
+	secret   string
 	replicas int
+	probe    time.Duration
 	client   *http.Client
 	logf     func(format string, args ...any)
 
@@ -73,6 +90,8 @@ type Peers struct {
 	misses    *obs.Counter
 	errors    *obs.Counter
 	badBodies *obs.Counter
+	denied    *obs.Counter
+	skipped   *obs.Counter
 	pushed    *obs.Counter
 	pushErrs  *obs.Counter
 }
@@ -81,6 +100,9 @@ type peerState struct {
 	reachable bool
 	lastErr   string
 	lastErrAt time.Time
+	// nextProbe is when the next request may try this peer again while
+	// it is unreachable; requests before it skip the peer outright.
+	nextProbe time.Time
 }
 
 // PeerHealth is one peer's reachability as reported by /healthz.
@@ -109,6 +131,9 @@ func New(cfg Config) (*Peers, error) {
 	if !found {
 		return nil, fmt.Errorf("cluster: self %q is not a ring member", cfg.Self)
 	}
+	if cfg.Secret == "" {
+		return nil, errors.New("cluster: config needs a shared Secret; unauthenticated peers could push wrong bytes under real solve keys")
+	}
 	replicas := cfg.Replicas
 	if replicas <= 0 {
 		replicas = DefaultReplicas
@@ -120,6 +145,10 @@ func New(cfg Config) (*Peers, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
+	probe := cfg.ProbeInterval
+	if probe <= 0 {
+		probe = DefaultProbeInterval
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -127,7 +156,9 @@ func New(cfg Config) (*Peers, error) {
 	p := &Peers{
 		ring:     ring,
 		self:     cfg.Self,
+		secret:   cfg.Secret,
 		replicas: replicas,
+		probe:    probe,
 		client:   &http.Client{Timeout: timeout, Transport: cfg.Transport},
 		logf:     logf,
 		state:    make(map[string]*peerState, ring.Size()),
@@ -144,6 +175,8 @@ func New(cfg Config) (*Peers, error) {
 	p.misses = o.Counter("cluster.peer_misses")
 	p.errors = o.Counter("cluster.peer_errors")
 	p.badBodies = o.Counter("cluster.peer_bad_body")
+	p.denied = o.Counter("cluster.peer_denied")
+	p.skipped = o.Counter("cluster.peer_skipped")
 	p.pushed = o.Counter("cluster.replicas_pushed")
 	p.pushErrs = o.Counter("cluster.replica_errors")
 	o.Gauge("cluster.ring_size").Observe(int64(ring.Size()))
@@ -165,8 +198,23 @@ func (p *Peers) BadBody() {
 	p.badBodies.Inc()
 }
 
+// Authorize reports whether an inbound peer request's AuthHeader value
+// authenticates its body under the cluster secret.
+func (p *Peers) Authorize(header string, body []byte) bool {
+	return Verify(p.secret, header, body)
+}
+
+// Denied records an inbound peer request that failed authentication
+// (counted as cluster.peer_denied by the serve-side handlers).
+func (p *Peers) Denied() {
+	p.denied.Inc()
+}
+
 // Fetch asks the owners of key for its result, nearest owner first,
-// skipping this node. It returns the first verified body; ok is false
+// skipping this node and any peer inside its unreachable probe window
+// (counted as cluster.peer_skipped — a dead peer costs one timeout per
+// ProbeInterval, not one per miss). It returns the first verified body;
+// ok is false
 // when no owner had the key or every round trip failed. A body that
 // fails its frame or digest is rejected (counted as peer_bad_body) and
 // never returned.
@@ -177,6 +225,10 @@ func (p *Peers) Fetch(ctx context.Context, key string) (body []byte, verdict uin
 	}
 	for _, owner := range p.ring.Owners(key, p.replicas) {
 		if owner == p.self {
+			continue
+		}
+		if p.skipPeer(owner) {
+			p.skipped.Inc()
 			continue
 		}
 		pb, err := p.roundTrip(ctx, owner, FetchPath, frame)
@@ -203,9 +255,12 @@ func (p *Peers) Fetch(ctx context.Context, key string) (body []byte, verdict uin
 }
 
 // Replicate pushes a solved result to the other owners of key so the
-// next request for it lands warm anywhere in the cluster. Push failures
-// are counted and logged but never propagate: replication is an
-// optimization, not a durability requirement (every node can re-solve).
+// next request for it lands warm anywhere in the cluster. Owners inside
+// their unreachable probe window are skipped like in Fetch, so a dead
+// peer does not stall every solving worker for the push timeout. Push
+// failures are counted and logged but never propagate: replication is
+// an optimization, not a durability requirement (every node can
+// re-solve).
 func (p *Peers) Replicate(ctx context.Context, key string, body []byte, verdict uint8) {
 	frame, err := EncodePeerBody(Body{Found: true, Verdict: verdict, Key: key, Data: body})
 	if err != nil {
@@ -214,6 +269,10 @@ func (p *Peers) Replicate(ctx context.Context, key string, body []byte, verdict 
 	}
 	for _, owner := range p.ring.Owners(key, p.replicas) {
 		if owner == p.self {
+			continue
+		}
+		if p.skipPeer(owner) {
+			p.skipped.Inc()
 			continue
 		}
 		if _, err := p.roundTrip(ctx, owner, PushPath, frame); err != nil {
@@ -235,12 +294,13 @@ func (p *Peers) roundTrip(ctx context.Context, peer, path string, frame []byte) 
 		return Body{}, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(AuthHeader, Sign(p.secret, frame))
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return Body{}, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody+bodyHeaderLen+maxPeerKeyLen+peerCRCLen+1))
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxFrameBytes+1))
 	if err != nil {
 		return Body{}, err
 	}
@@ -275,10 +335,31 @@ func (p *Peers) markPeer(peer string, err error) {
 	}
 	st.lastErr = err.Error()
 	st.lastErrAt = time.Now()
+	st.nextProbe = st.lastErrAt.Add(p.probe)
 	if st.reachable {
 		st.reachable = false
 		p.logf("cluster: peer %s unreachable: %v", peer, err)
 	}
+}
+
+// skipPeer reports whether peer is currently unreachable and inside
+// its probe window. When the window has elapsed it claims the probe —
+// advancing nextProbe under the lock — so at most one request per
+// window pays the round-trip timeout while the peer stays dead; every
+// other request routes around it immediately.
+func (p *Peers) skipPeer(peer string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state[peer]
+	if st == nil || st.reachable {
+		return false
+	}
+	now := time.Now()
+	if now.Before(st.nextProbe) {
+		return true
+	}
+	st.nextProbe = now.Add(p.probe)
+	return false
 }
 
 // Health reports per-peer reachability for /healthz, sorted by URL.

@@ -14,7 +14,13 @@ import (
 	"prpart/internal/obs"
 )
 
-// fakePeer is a minimal in-memory peer speaking the fetch/push RPC.
+// testSecret is the shared cluster secret every test client and fake
+// peer agree on.
+const testSecret = "peer-test-secret"
+
+// fakePeer is a minimal in-memory peer speaking the fetch/push RPC. It
+// enforces the same request authentication the real serve handlers do,
+// so every test fetch and push also proves the client signs correctly.
 type fakePeer struct {
 	mu    sync.Mutex
 	blobs map[string]Body
@@ -27,6 +33,10 @@ func newFakePeer(t *testing.T) *fakePeer {
 	mux := http.NewServeMux()
 	mux.HandleFunc(FetchPath, func(w http.ResponseWriter, r *http.Request) {
 		raw, _ := io.ReadAll(r.Body)
+		if !Verify(testSecret, r.Header.Get(AuthHeader), raw) {
+			http.Error(w, "unauthenticated", http.StatusForbidden)
+			return
+		}
 		key, err := DecodePeerFetch(raw)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -47,6 +57,10 @@ func newFakePeer(t *testing.T) *fakePeer {
 	})
 	mux.HandleFunc(PushPath, func(w http.ResponseWriter, r *http.Request) {
 		raw, _ := io.ReadAll(r.Body)
+		if !Verify(testSecret, r.Header.Get(AuthHeader), raw) {
+			http.Error(w, "unauthenticated", http.StatusForbidden)
+			return
+		}
 		pb, err := DecodePeerBody(raw)
 		if err != nil || !pb.Found {
 			http.Error(w, "bad push", http.StatusBadRequest)
@@ -79,6 +93,7 @@ func TestPeersFetchAndReplicate(t *testing.T) {
 	p, err := New(Config{
 		Self:     self,
 		Peers:    []string{self, a.srv.URL, b.srv.URL},
+		Secret:   testSecret,
 		Seed:     3,
 		Replicas: 3,
 		Obs:      o,
@@ -133,10 +148,14 @@ func TestPeersUnreachableAndRecovery(t *testing.T) {
 	p, err := New(Config{
 		Self:     self,
 		Peers:    []string{self, a.srv.URL},
+		Secret:   testSecret,
 		Seed:     1,
 		Replicas: 2,
 		Timeout:  500 * time.Millisecond,
-		Obs:      o,
+		// Generous probe window: the three back-to-back fetches below
+		// land inside it even on a stalled CI machine.
+		ProbeInterval: time.Minute,
+		Obs:           o,
 		Logf: func(format string, args ...any) {
 			logMu.Lock()
 			logs = append(logs, format)
@@ -147,8 +166,10 @@ func TestPeersUnreachableAndRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Kill the peer: fetches fail, the peer flips unreachable, the
-	// transition is logged once.
+	// Kill the peer: the first fetch fails and flips it unreachable
+	// (logged once); the following fetches skip it without paying a
+	// round trip, so one dead peer costs one timeout per probe window,
+	// not one per miss.
 	a.srv.Close()
 	key := testKey("33")
 	for i := 0; i < 3; i++ {
@@ -161,8 +182,18 @@ func TestPeersUnreachableAndRecovery(t *testing.T) {
 		t.Fatalf("health after kill = %+v", h)
 	}
 	c := o.Snapshot().Counters
-	if c["cluster.peer_errors"] != 3 {
-		t.Fatalf("peer_errors = %d, want 3", c["cluster.peer_errors"])
+	if c["cluster.peer_errors"] != 1 {
+		t.Fatalf("peer_errors = %d, want 1 (first failure only; the rest skip)", c["cluster.peer_errors"])
+	}
+	if c["cluster.peer_skipped"] != 2 {
+		t.Fatalf("peer_skipped = %d, want 2", c["cluster.peer_skipped"])
+	}
+	// Replication around a dead peer skips the same way.
+	p.Replicate(context.Background(), key, []byte("body"), 0)
+	c = o.Snapshot().Counters
+	if c["cluster.peer_skipped"] != 3 || c["cluster.replica_errors"] != 0 {
+		t.Fatalf("replicate around dead peer: skipped=%d replica_errors=%d, want 3 and 0",
+			c["cluster.peer_skipped"], c["cluster.replica_errors"])
 	}
 	logMu.Lock()
 	down := 0
@@ -196,8 +227,49 @@ func TestPeersUnreachableAndRecovery(t *testing.T) {
 }
 
 func TestPeersRejectsSelfOutsideRing(t *testing.T) {
-	if _, err := New(Config{Self: "http://x", Peers: []string{"http://y"}}); err == nil {
+	if _, err := New(Config{Self: "http://x", Peers: []string{"http://y"}, Secret: testSecret}); err == nil {
 		t.Fatal("self outside ring accepted")
+	}
+}
+
+// TestPeersRequireSecret pins the auth precondition: a cluster client
+// without a shared secret is a configuration error, not a silently
+// unauthenticated peer layer.
+func TestPeersRequireSecret(t *testing.T) {
+	_, err := New(Config{Self: "http://x", Peers: []string{"http://x"}})
+	if err == nil || !strings.Contains(err.Error(), "Secret") {
+		t.Fatalf("New without Secret: %v", err)
+	}
+}
+
+// TestPeersProbeAfterWindow checks that an unreachable peer is retried
+// once its probe window elapses: the skip is a backoff, not a
+// permanent eviction.
+func TestPeersProbeAfterWindow(t *testing.T) {
+	a := newFakePeer(t)
+	o := obs.New()
+	self := "http://self.invalid"
+	p, err := New(Config{
+		Self:          self,
+		Peers:         []string{self, a.srv.URL},
+		Secret:        testSecret,
+		Seed:          1,
+		Replicas:      2,
+		Timeout:       500 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+		Obs:           o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.srv.Close()
+	key := testKey("55")
+	p.Fetch(context.Background(), key) // fails, marks unreachable
+	time.Sleep(100 * time.Millisecond) // let the probe window lapse
+	p.Fetch(context.Background(), key) // probes (and fails) again
+	c := o.Snapshot().Counters
+	if c["cluster.peer_errors"] != 2 {
+		t.Fatalf("peer_errors = %d, want 2 (the second fetch must probe after the window)", c["cluster.peer_errors"])
 	}
 }
 
@@ -218,6 +290,7 @@ func TestFaultTransportNeverBadBytes(t *testing.T) {
 		p, err := New(Config{
 			Self:      self,
 			Peers:     []string{self, a.srv.URL},
+			Secret:    testSecret,
 			Seed:      5,
 			Replicas:  2,
 			Obs:       o,

@@ -57,6 +57,13 @@ const (
 	peerCRCLen     = 4
 )
 
+// MaxFrameBytes bounds a complete framed peer message: the body-frame
+// header, a maximal key, a maximal body and the trailing CRC. The peer
+// HTTP endpoints size their request-body limits from this — not from
+// the JSON API's MaxBodyBytes — so a result near the wire format's own
+// bound replicates instead of bouncing with a 400.
+const MaxFrameBytes = bodyHeaderLen + maxPeerKeyLen + maxPeerBody + peerCRCLen
+
 var peerCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrBadFrame reports a structurally invalid peer message: wrong magic,

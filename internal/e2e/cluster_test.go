@@ -75,6 +75,7 @@ func bootNode(t *testing.T, ln net.Listener, urls []string, i int, seed int64, d
 	cl, err := cluster.New(cluster.Config{
 		Self:      urls[i],
 		Peers:     urls,
+		Secret:    "e2e-cluster-secret",
 		Seed:      seed,
 		Replicas:  2,
 		Timeout:   5 * time.Second,

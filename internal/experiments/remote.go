@@ -76,7 +76,10 @@ func (cfg *RemoteConfig) fill() {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
-	if len(cfg.URLs) == 0 && cfg.BaseURL != "" {
+	// URLs is kept non-empty even when BaseURL is too: rotation then
+	// lands on the empty URL and fails as a graceful connection error
+	// (the pre-cluster behavior) instead of a modulo-by-zero panic.
+	if len(cfg.URLs) == 0 {
 		cfg.URLs = []string{cfg.BaseURL}
 	}
 	if cfg.BaseURL == "" && len(cfg.URLs) > 0 {
@@ -229,6 +232,12 @@ func (b *Batcher) Close() {
 // Solver adapts the batcher to the sweep's Solver seam.
 func (b *Batcher) Solver() Solver {
 	return func(d *design.Design, opts partition.Options) (*partition.Result, error) {
+		if b.cfg.URLs[0] == "" {
+			// A misconfigured batcher fails every solve immediately with
+			// the cause, instead of burning MaxAttempts retries per call
+			// against an empty URL.
+			return nil, fmt.Errorf("experiments: RemoteConfig names no daemon (set BaseURL or URLs)")
+		}
 		body, err := encodeRemoteRequest(d, opts, &b.cfg)
 		if err != nil {
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -255,6 +256,18 @@ func TestRemoteAsyncSingleSolve(t *testing.T) {
 	assertOutcomesIdentical(t, []*Outcome{remote}, []*Outcome{local}, "async single")
 	if n := srv.Obs().Snapshot().Counters["serve.jobs_submitted"]; n == 0 {
 		t.Error("no async jobs reached the daemon")
+	}
+}
+
+// TestRemoteBatcherNoURL pins the misconfiguration path: a batcher
+// with neither BaseURL nor URLs fails each solve immediately with a
+// configuration error — no panic in the URL rotation, no retry burn.
+func TestRemoteBatcherNoURL(t *testing.T) {
+	b := NewBatcher(RemoteConfig{})
+	defer b.Close()
+	_, err := b.Solver()(design.PaperExample(), partition.Options{})
+	if err == nil || !strings.Contains(err.Error(), "no daemon") {
+		t.Fatalf("solve with no URL: %v", err)
 	}
 }
 

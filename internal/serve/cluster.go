@@ -24,11 +24,18 @@ import (
 // replicated to the key's other owners so the next request for it lands
 // warm anywhere in the cluster.
 //
-// The server also answers the two peer endpoints. They are strictly
-// passive: /v1/peer/fetch serves only what this node already has in its
-// cache or store — it never solves, so a cluster-wide miss costs one
-// round of fetches, not a cascade — and /v1/peer/push accepts only
-// well-formed, digest-verified bodies for solve-namespace keys.
+// The server also answers the two peer endpoints. Both require the
+// cluster's shared-secret HMAC (cluster.AuthHeader) over the request
+// body: the endpoints share the public listener, so without it any
+// client that can reach the port could push attacker-chosen bytes
+// under real solve keys — the frame digest only proves the bytes
+// arrived intact, not that they are the true result for the key.
+// Unauthenticated requests are refused with 403 before any decoding
+// and counted as cluster.peer_denied. Past auth the endpoints are
+// strictly passive: /v1/peer/fetch serves only what this node already
+// has in its cache or store — it never solves, so a cluster-wide miss
+// costs one round of fetches, not a cascade — and both accept only
+// well-formed, digest-verified frames for solve-namespace keys.
 
 // lookup serves key from the read tiers: memory cache, persistent
 // store, then cluster peers. The returned label is the X-Cache value
@@ -98,19 +105,44 @@ func (s *Server) replicate(key string, body []byte, checked bool) {
 	s.cluster.Replicate(s.baseCtx, key, body, verdict)
 }
 
+// readPeerFrame reads and authenticates one inbound peer request. The
+// body limit comes from the wire format's own bound (a peer frame may
+// legitimately exceed the JSON API's MaxBodyBytes), and the request
+// must carry a valid shared-secret HMAC over the exact bytes read —
+// anything else is refused before a single frame byte is decoded.
+func (s *Server) readPeerFrame(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cluster.MaxFrameBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	if !s.cluster.Authorize(r.Header.Get(cluster.AuthHeader), raw) {
+		s.cluster.Denied()
+		writeError(w, http.StatusForbidden, errors.New("serve: peer request not authenticated"))
+		return nil, false
+	}
+	return raw, true
+}
+
 // handlePeerFetch is POST /v1/peer/fetch: a framed key in, a framed
 // body out. Strictly cache/store tiers — a fetch must never trigger a
 // solve or another peer fetch.
 func (s *Server) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	raw, ok := s.readPeerFrame(w, r)
+	if !ok {
 		return
 	}
 	key, err := cluster.DecodePeerFetch(raw)
 	if err != nil {
 		s.cluster.BadBody()
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !strings.HasPrefix(key, "sha256:") {
+		// Same namespace guard as push: a peer fetch must never leak job
+		// records or any other store namespace to a poster.
+		s.cluster.BadBody()
+		writeError(w, http.StatusBadRequest, errors.New("serve: fetch key outside the solve namespace"))
 		return
 	}
 	pb := cluster.Body{Key: key}
@@ -152,9 +184,8 @@ func (s *Server) storeVerdict(key string) (uint8, bool) {
 // solve-namespace keys are accepted — a push can never overwrite job
 // records or any other store namespace.
 func (s *Server) handlePeerPush(w http.ResponseWriter, r *http.Request) {
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	raw, ok := s.readPeerFrame(w, r)
+	if !ok {
 		return
 	}
 	pb, err := cluster.DecodePeerBody(raw)

@@ -15,6 +15,10 @@ import (
 	"prpart/internal/serve"
 )
 
+// testPeerSecret is the shared cluster secret both test nodes (and
+// every signed raw frame the tests post) agree on.
+const testPeerSecret = "serve-cluster-secret"
+
 // lateHandler lets a test start an httptest.Server (to learn its URL)
 // before the serve.Server that needs that URL exists.
 type lateHandler struct {
@@ -52,7 +56,7 @@ func clusterPair(t *testing.T) (tsA, tsB *httptest.Server, oA, oB *obs.Obs) {
 	t.Cleanup(tsB.Close)
 
 	oB = obs.New()
-	clB, err := cluster.New(cluster.Config{Self: tsB.URL, Peers: []string{tsB.URL}, Seed: 11, Obs: oB})
+	clB, err := cluster.New(cluster.Config{Self: tsB.URL, Peers: []string{tsB.URL}, Secret: testPeerSecret, Seed: 11, Obs: oB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +66,7 @@ func clusterPair(t *testing.T) (tsA, tsB *httptest.Server, oA, oB *obs.Obs) {
 
 	oA = obs.New()
 	clA, err := cluster.New(cluster.Config{
-		Self: tsA.URL, Peers: []string{tsA.URL, tsB.URL}, Seed: 11, Replicas: 2, Obs: oA,
+		Self: tsA.URL, Peers: []string{tsA.URL, tsB.URL}, Secret: testPeerSecret, Seed: 11, Replicas: 2, Obs: oA,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -123,20 +127,41 @@ func TestClusterPeerFill(t *testing.T) {
 	}
 }
 
-// TestClusterPushEndpointGuards pins the push handler's trust
-// boundary: malformed frames and keys outside the solve namespace are
-// rejected with 400 and counted as peer_bad_body, and nothing is
-// cached.
+// postPeer posts one raw frame to a peer endpoint. A non-empty secret
+// signs the request the way a real ring member would; an empty secret
+// leaves the auth header off entirely.
+func postPeer(t *testing.T, base, path string, raw []byte, secret string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if secret != "" {
+		req.Header.Set(cluster.AuthHeader, cluster.Sign(secret, raw))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestClusterPushEndpointGuards pins the peer handlers' trust boundary
+// for authenticated senders: malformed frames and keys outside the
+// solve namespace are rejected with 400 and counted as peer_bad_body,
+// and nothing is cached.
 func TestClusterPushEndpointGuards(t *testing.T) {
 	_, tsB, _, oB := clusterPair(t)
 
 	postRaw := func(path string, raw []byte) int {
-		resp, err := http.Post(tsB.URL+path, "application/octet-stream", bytes.NewReader(raw))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		return resp.StatusCode
+		code, _ := postPeer(t, tsB.URL, path, raw, testPeerSecret)
+		return code
 	}
 
 	if code := postRaw(cluster.PushPath, []byte("not a frame")); code != http.StatusBadRequest {
@@ -159,13 +184,73 @@ func TestClusterPushEndpointGuards(t *testing.T) {
 	if code := postRaw(cluster.FetchPath, []byte("junk fetch")); code != http.StatusBadRequest {
 		t.Fatalf("garbage fetch = %d, want 400", code)
 	}
+	// The fetch side enforces the same namespace guard as push: job
+	// records never leave the node over the peer wire.
+	jobFetch, err := cluster.EncodePeerFetch("job:some-job-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := postRaw(cluster.FetchPath, jobFetch); code != http.StatusBadRequest {
+		t.Fatalf("job-namespace fetch = %d, want 400", code)
+	}
 
 	c := oB.Snapshot().Counters
-	if c["cluster.peer_bad_body"] != 4 {
-		t.Fatalf("peer_bad_body = %d, want 4", c["cluster.peer_bad_body"])
+	if c["cluster.peer_bad_body"] != 5 {
+		t.Fatalf("peer_bad_body = %d, want 5", c["cluster.peer_bad_body"])
 	}
 	if c["cluster.pushes_received"] != 0 {
 		t.Fatalf("pushes_received = %d after only bad pushes", c["cluster.pushes_received"])
+	}
+}
+
+// TestClusterPeerAuthRequired pins the peer endpoints' authentication
+// boundary: a structurally valid, digest-correct push for a real solve
+// key is still refused with 403 when it is unsigned or signed with the
+// wrong secret — counted as peer_denied, never decoded, never cached.
+// Without this check anything that can reach the public port could
+// poison arbitrary solve keys with attacker-chosen bytes.
+func TestClusterPeerAuthRequired(t *testing.T) {
+	_, tsB, _, oB := clusterPair(t)
+
+	key := "sha256:" + fmt.Sprintf("%064x", 2)
+	push, err := cluster.EncodePeerBody(cluster.Body{Found: true, Verdict: 1, Key: key, Data: []byte(`{"poisoned":true}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postPeer(t, tsB.URL, cluster.PushPath, push, ""); code != http.StatusForbidden {
+		t.Fatalf("unsigned push = %d, want 403", code)
+	}
+	if code, _ := postPeer(t, tsB.URL, cluster.PushPath, push, "wrong-secret"); code != http.StatusForbidden {
+		t.Fatalf("wrong-secret push = %d, want 403", code)
+	}
+	fetch, err := cluster.EncodePeerFetch(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postPeer(t, tsB.URL, cluster.FetchPath, fetch, ""); code != http.StatusForbidden {
+		t.Fatalf("unsigned fetch = %d, want 403", code)
+	}
+
+	c := oB.Snapshot().Counters
+	if c["cluster.peer_denied"] != 3 {
+		t.Fatalf("peer_denied = %d, want 3", c["cluster.peer_denied"])
+	}
+	if c["cluster.pushes_received"] != 0 || c["cluster.peer_bad_body"] != 0 {
+		t.Fatalf("refused requests leaked into other counters: %v", c)
+	}
+
+	// Nothing was imported: an authenticated fetch for the poisoned key
+	// comes back not-found.
+	code, raw := postPeer(t, tsB.URL, cluster.FetchPath, fetch, testPeerSecret)
+	if code != http.StatusOK {
+		t.Fatalf("authenticated fetch = %d, want 200", code)
+	}
+	pb, err := cluster.DecodePeerBody(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Found {
+		t.Fatal("refused push was cached anyway")
 	}
 }
 
